@@ -1,0 +1,33 @@
+//! Benchmark backing Fig. 5: one greedy protector selection at budget
+//! k = 5 per algorithm, scalable `-R` implementations on the Arenas-email
+//! substitute (plain variants are covered by `ablation_evaluators`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpp_core::{ct_greedy, divide_budget, sgb_greedy, wt_greedy, BudgetDivision, GreedyConfig, TppInstance};
+use tpp_datasets::arenas_email_like;
+use tpp_motif::Motif;
+
+fn bench_greedy(c: &mut Criterion) {
+    let instance = TppInstance::with_random_targets(arenas_email_like(1), 20, 7);
+    let k = 5;
+    let mut group = c.benchmark_group("greedy_runtime");
+    group.sample_size(20);
+    for motif in Motif::ALL {
+        let cfg = GreedyConfig::scalable(motif);
+        group.bench_with_input(BenchmarkId::new("sgb_r", motif.name()), &motif, |b, _| {
+            b.iter(|| black_box(sgb_greedy(&instance, k, &cfg)));
+        });
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
+        group.bench_with_input(BenchmarkId::new("ct_r_tbd", motif.name()), &motif, |b, _| {
+            b.iter(|| black_box(ct_greedy(&instance, &budgets, &cfg).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("wt_r_tbd", motif.name()), &motif, |b, _| {
+            b.iter(|| black_box(wt_greedy(&instance, &budgets, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

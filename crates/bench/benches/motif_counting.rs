@@ -1,0 +1,40 @@
+//! Microbenchmark: target-subgraph counting per motif (the inner loop of
+//! every similarity evaluation; the paper's `O(d_u d_v)` analysis in §IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpp_datasets::arenas_email_like;
+use tpp_motif::{count_target_subgraphs, Motif};
+
+fn bench_motif_counting(c: &mut Criterion) {
+    let mut g = arenas_email_like(1);
+    // A hub-ish hidden pair: worst-case neighborhood work.
+    let target = g
+        .edge_vec()
+        .into_iter()
+        .max_by_key(|e| g.degree(e.u()) * g.degree(e.v()))
+        .unwrap();
+    g.remove_edge(target.u(), target.v());
+
+    let mut group = c.benchmark_group("motif_counting");
+    for motif in Motif::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("hub_pair", motif.name()),
+            &motif,
+            |b, &motif| {
+                b.iter(|| {
+                    black_box(count_target_subgraphs(
+                        black_box(&g),
+                        target.u(),
+                        target.v(),
+                        motif,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motif_counting);
+criterion_main!(benches);

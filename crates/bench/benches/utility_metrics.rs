@@ -1,0 +1,39 @@
+//! Microbenchmark: each Table II utility metric on the Arenas-email
+//! substitute (identifies which metrics dominate the Tables III-V cost and
+//! justifies the paper's reduced Table V metric set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpp_datasets::arenas_email_like;
+use tpp_metrics::{
+    assortativity, average_clustering, average_core_number, louvain_modularity,
+    sampled_path_length, second_largest_laplacian_eigenvalue,
+};
+
+fn bench_metrics(c: &mut Criterion) {
+    let g = arenas_email_like(1);
+    let mut group = c.benchmark_group("utility_metrics");
+    group.sample_size(10);
+    group.bench_function("clustering", |b| {
+        b.iter(|| black_box(average_clustering(&g)));
+    });
+    group.bench_function("assortativity", |b| {
+        b.iter(|| black_box(assortativity(&g)));
+    });
+    group.bench_function("core_number", |b| {
+        b.iter(|| black_box(average_core_number(&g)));
+    });
+    group.bench_function("path_length_sampled_64", |b| {
+        b.iter(|| black_box(sampled_path_length(&g, 64, 3)));
+    });
+    group.bench_function("second_eigenvalue", |b| {
+        b.iter(|| black_box(second_largest_laplacian_eigenvalue(&g, 3)));
+    });
+    group.bench_function("louvain_modularity", |b| {
+        b.iter(|| black_box(louvain_modularity(&g, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 4: evolution of the number of existing target subgraphs as a
+//! function of budget `k` on the DBLP-scale graph, `|T| = 50`, budgets up
+//! to 100, scalable `-R` algorithms only (the paper's plain runs did not
+//! finish within a week on DBLP).
+
+use tpp_bench::{evolution_csv, run_evolution, EvolutionConfig, ExpArgs};
+use tpp_datasets::dblp_like;
+use tpp_motif::Motif;
+
+fn main() {
+    let args = ExpArgs::parse(3);
+    let targets = 50;
+    let k_max = if args.quick { 20 } else { 100 };
+    println!(
+        "Fig. 4 — DBLP substitute ({:?} scale), |T| = {targets}, k ≤ {k_max}, {} samples",
+        args.scale, args.samples
+    );
+
+    let grid: Vec<usize> = (1..=k_max)
+        .step_by(5)
+        .collect();
+    for motif in Motif::ALL {
+        let config = EvolutionConfig {
+            motif,
+            targets,
+            samples: args.samples,
+            seed: args.seed,
+            scalable: true,
+            k_grid: Some(grid.clone()),
+        };
+        let result = run_evolution(|i| dblp_like(args.scale, args.seed + 77 * i as u64), &config);
+        println!(
+            "motif {:<10} s(∅,T) = {:>10.1}   k* = {}",
+            result.motif, result.initial_similarity, result.k_star
+        );
+        for series in &result.series {
+            let last = series.points.last().map_or(0.0, |p| p.1);
+            println!("  {:<22} s(k={k_max}) = {last:>10.1}", series.label);
+        }
+        tpp_bench::write_result_file(
+            &args.out_dir,
+            &format!("fig4_{}.csv", result.motif),
+            &evolution_csv(&result),
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table V: utility loss at DBLP scale, `|T| = 52`, budget `k = 25` —
+//! clustering coefficient and core number only (the paper skips the
+//! expensive metrics on the huge graph).
+
+use tpp_bench::{run_utility_row, utility_csv, utility_table_text, ExpArgs, TableConfig};
+use tpp_datasets::dblp_like;
+use tpp_metrics::UtilityConfig;
+use tpp_motif::Motif;
+
+fn main() {
+    let args = ExpArgs::parse(3);
+    let config = TableConfig {
+        targets: 52,
+        samples: args.samples,
+        seed: args.seed,
+        utility: UtilityConfig::large_graph(args.seed),
+        budget_cap: Some(25),
+    };
+    println!(
+        "Table V — DBLP substitute ({:?} scale), |T| = 52, k = 25, clust + cn only",
+        args.scale
+    );
+    let rows: Vec<_> = Motif::ALL
+        .iter()
+        .map(|&motif| {
+            run_utility_row(
+                |i| dblp_like(args.scale, args.seed + 77 * i as u64),
+                motif,
+                &config,
+            )
+        })
+        .collect();
+    print!("{}", utility_table_text("Table V (ulr, all greedy, -R)", &rows));
+    tpp_bench::write_result_file(&args.out_dir, "table5.csv", &utility_csv(&rows));
+}

@@ -1,0 +1,107 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Supported flags (every binary accepts all of them; irrelevant ones are
+//! ignored):
+//!
+//! * `--quick` — shrink samples/grids for a fast smoke run;
+//! * `--samples N` — number of independent target samplings;
+//! * `--seed S` — base RNG seed;
+//! * `--out DIR` — directory for CSV output (default `results/`);
+//! * `--scale tiny|small|medium|full` — DBLP-substitute scale.
+
+use tpp_datasets::DblpScale;
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Quick smoke-run mode.
+    pub quick: bool,
+    /// Number of independent target samplings (paper: "at least 10").
+    pub samples: usize,
+    /// Base seed; sample `i` uses `seed + i`.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+    /// DBLP-scale preset for figs 4/6 and table 5.
+    pub scale: DblpScale,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, with experiment-appropriate defaults.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn parse(default_samples: usize) -> Self {
+        let mut out = ExpArgs {
+            quick: false,
+            samples: default_samples,
+            seed: 2020,
+            out_dir: "results".to_string(),
+            scale: DblpScale::Tiny,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => out.quick = true,
+                "--samples" => {
+                    i += 1;
+                    out.samples = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--samples needs a number"));
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--out" => {
+                    i += 1;
+                    out.out_dir = args
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| panic!("--out needs a directory"));
+                }
+                "--scale" => {
+                    i += 1;
+                    out.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => DblpScale::Tiny,
+                        Some("small") => DblpScale::Small,
+                        Some("medium") => DblpScale::Medium,
+                        Some("full") => DblpScale::Full,
+                        other => panic!("--scale expects tiny|small|medium|full, got {other:?}"),
+                    };
+                }
+                other => panic!("unknown flag {other:?}"),
+            }
+            i += 1;
+        }
+        if out.quick {
+            out.samples = out.samples.min(2);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // parse() reads process args; in tests those are the harness's own,
+        // so just exercise the default construction path by hand.
+        let args = ExpArgs {
+            quick: false,
+            samples: 10,
+            seed: 2020,
+            out_dir: "results".into(),
+            scale: DblpScale::Tiny,
+        };
+        assert_eq!(args.samples, 10);
+    }
+}

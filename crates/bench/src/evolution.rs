@@ -1,0 +1,225 @@
+//! Similarity-evolution experiments (Figs. 3 and 4): the number of
+//! surviving target subgraphs as a function of the deletion budget `k`,
+//! averaged over independent target samplings.
+
+use crate::methods::Method;
+use serde::{Deserialize, Serialize};
+use tpp_core::{critical_budget, TppInstance};
+use tpp_graph::Graph;
+use tpp_motif::Motif;
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Motif under attack.
+    pub motif: Motif,
+    /// Number of targets `|T|`.
+    pub targets: usize,
+    /// Number of independent target samplings.
+    pub samples: usize,
+    /// Base seed (sample `i` uses `seed + i`).
+    pub seed: u64,
+    /// Use the scalable `-R` algorithms.
+    pub scalable: bool,
+    /// Budget grid override (`None` derives `1..=k*` thinned to ≤ 40
+    /// points, as in Fig. 3).
+    pub k_grid: Option<Vec<usize>>,
+}
+
+/// One series: a method's mean similarity at each budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvolutionSeries {
+    /// Series label, e.g. `CT-Greedy-R:TBD`.
+    pub label: String,
+    /// `(k, mean surviving target subgraphs)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// A full figure's worth of series plus metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvolutionResult {
+    /// Motif name.
+    pub motif: String,
+    /// Mean initial similarity `s(∅, T)` across samples.
+    pub initial_similarity: f64,
+    /// Largest critical budget `k*` seen across samples.
+    pub k_star: usize,
+    /// All method series.
+    pub series: Vec<EvolutionSeries>,
+}
+
+/// Runs the similarity-evolution experiment on graphs produced by
+/// `make_graph(sample_index)`.
+///
+/// Prefix-consistent methods (SGB, RD, RDT) are run once to exhaustion per
+/// sample and their trajectories sliced per `k`; CT/WT are rerun for every
+/// grid point because budget division depends on `k`.
+#[must_use]
+pub fn run_evolution<F>(make_graph: F, config: &EvolutionConfig) -> EvolutionResult
+where
+    F: Fn(usize) -> Graph,
+{
+    // Build instances (one per sample) and find the budget grid.
+    let instances: Vec<TppInstance> = (0..config.samples)
+        .map(|i| {
+            let g = make_graph(i);
+            TppInstance::with_random_targets(g, config.targets, config.seed + i as u64)
+        })
+        .collect();
+
+    let mut k_star = 0usize;
+    let mut initial_sum = 0f64;
+    let mut sgb_trajectories = Vec::with_capacity(instances.len());
+    for inst in &instances {
+        let (ks, plan) = critical_budget(inst, config.motif);
+        k_star = k_star.max(ks);
+        initial_sum += plan.initial_similarity as f64;
+        sgb_trajectories.push(plan.similarity_trajectory());
+    }
+    let grid: Vec<usize> = match &config.k_grid {
+        Some(g) => g.clone(),
+        None => thin_grid(k_star.max(1)),
+    };
+
+    let mut series = Vec::new();
+    for method in Method::ALL {
+        let label = method.label(config.scalable);
+        let mut points = Vec::with_capacity(grid.len());
+        if method == Method::Sgb {
+            // Reuse the exhaustion trajectories.
+            for &k in &grid {
+                let mean = sgb_trajectories
+                    .iter()
+                    .map(|traj| traj[k.min(traj.len() - 1)] as f64)
+                    .sum::<f64>()
+                    / instances.len() as f64;
+                points.push((k, mean));
+            }
+        } else if method.is_prefix_consistent() {
+            // RD / RDT: one full-budget run per sample, slice the trajectory.
+            let k_max = *grid.last().unwrap_or(&1);
+            let trajectories: Vec<Vec<usize>> = instances
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| {
+                    method
+                        .run(inst, k_max, config.motif, config.scalable, config.seed + i as u64)
+                        .similarity_trajectory()
+                })
+                .collect();
+            for &k in &grid {
+                let mean = trajectories
+                    .iter()
+                    .map(|traj| traj[k.min(traj.len() - 1)] as f64)
+                    .sum::<f64>()
+                    / instances.len() as f64;
+                points.push((k, mean));
+            }
+        } else {
+            // CT / WT: rerun per k (budget division depends on k).
+            for &k in &grid {
+                let mean = instances
+                    .iter()
+                    .enumerate()
+                    .map(|(i, inst)| {
+                        method
+                            .run(inst, k, config.motif, config.scalable, config.seed + i as u64)
+                            .final_similarity as f64
+                    })
+                    .sum::<f64>()
+                    / instances.len() as f64;
+                points.push((k, mean));
+            }
+        }
+        series.push(EvolutionSeries { label, points });
+    }
+
+    EvolutionResult {
+        motif: config.motif.name().to_string(),
+        initial_similarity: initial_sum / instances.len() as f64,
+        k_star,
+        series,
+    }
+}
+
+/// Thins `1..=k_max` to at most 40 roughly even points (always including 1
+/// and `k_max`).
+#[must_use]
+pub fn thin_grid(k_max: usize) -> Vec<usize> {
+    let step = k_max.div_ceil(40).max(1);
+    let mut grid: Vec<usize> = (1..=k_max).step_by(step).collect();
+    if *grid.last().unwrap() != k_max {
+        grid.push(k_max);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    fn quick_config(motif: Motif) -> EvolutionConfig {
+        EvolutionConfig {
+            motif,
+            targets: 5,
+            samples: 2,
+            seed: 3,
+            scalable: true,
+            k_grid: None,
+        }
+    }
+
+    #[test]
+    fn evolution_series_are_complete_and_ordered() {
+        let result = run_evolution(|i| holme_kim(120, 4, 0.4, i as u64), &quick_config(Motif::Triangle));
+        assert_eq!(result.series.len(), 7);
+        assert!(result.k_star > 0);
+        for s in &result.series {
+            assert!(!s.points.is_empty(), "{} empty", s.label);
+            // similarity never exceeds the initial value
+            for &(_, v) in &s.points {
+                assert!(v <= result.initial_similarity + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sgb_reaches_zero_at_k_star() {
+        let result = run_evolution(|i| holme_kim(100, 4, 0.5, 10 + i as u64), &quick_config(Motif::Triangle));
+        let sgb = result
+            .series
+            .iter()
+            .find(|s| s.label.starts_with("SGB"))
+            .unwrap();
+        let last = sgb.points.last().unwrap();
+        assert_eq!(last.0, result.k_star);
+        assert!(last.1 < 1e-9, "SGB at k* must fully protect");
+    }
+
+    #[test]
+    fn greedy_dominates_rd_pointwise_on_average() {
+        let result = run_evolution(|i| holme_kim(120, 4, 0.4, 20 + i as u64), &quick_config(Motif::Triangle));
+        let get = |label: &str| {
+            result
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let sgb = get("SGB-Greedy-R");
+        let rd = get("RD");
+        for (a, b) in sgb.points.iter().zip(&rd.points) {
+            assert!(a.1 <= b.1 + 1e-9, "SGB worse than RD at k = {}", a.0);
+        }
+    }
+
+    #[test]
+    fn thin_grid_bounds() {
+        assert_eq!(thin_grid(1), vec![1]);
+        let g = thin_grid(200);
+        assert!(g.len() <= 41);
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 200);
+    }
+}

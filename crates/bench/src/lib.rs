@@ -1,0 +1,38 @@
+//! # tpp-bench
+//!
+//! The experiment harness: everything needed to regenerate each table and
+//! figure of the paper (see DESIGN.md §5 for the experiment index).
+//!
+//! Binaries (`cargo run -p tpp-bench --release --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig3` | Fig. 3 — similarity evolution on Arenas-email, 3 motifs |
+//! | `fig4` | Fig. 4 — similarity evolution at DBLP scale (`-R`) |
+//! | `fig5` | Fig. 5 — running time, plain vs `-R`, Arenas-email |
+//! | `fig6` | Fig. 6 — running time at DBLP scale |
+//! | `table3` | Table III — utility loss, Arenas, `|T| = 20` |
+//! | `table4` | Table IV — utility loss, Arenas, `|T| = 50` |
+//! | `table5` | Table V — utility loss, DBLP scale, `|T| = 52`, `k = 25` |
+//! | `extended_discussion` | §VI-D — monotonicity counterexample tables |
+//! | `attack_eval` | threat-model quantification (AUC before/after) |
+//!
+//! All binaries accept `--quick`, `--samples N`, `--seed S`, `--out DIR`,
+//! and (where relevant) `--scale tiny|small|medium|full`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cli;
+pub mod evolution;
+pub mod methods;
+pub mod output;
+pub mod tables;
+pub mod timing;
+
+pub use cli::ExpArgs;
+pub use evolution::{run_evolution, thin_grid, EvolutionConfig, EvolutionResult};
+pub use methods::Method;
+pub use output::{evolution_csv, timing_csv, utility_csv, utility_table_text, write_result_file};
+pub use tables::{run_utility_row, TableConfig, UtilityRow};
+pub use timing::{run_timing, speedup, TimingConfig, TimingResult};

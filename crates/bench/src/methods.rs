@@ -1,0 +1,150 @@
+//! The seven method series of the paper's Figs. 3–6, behind one dispatcher.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpp_core::{
+    ct_greedy, divide_budget, random_deletion, random_deletion_from_subgraphs, sgb_greedy,
+    wt_greedy, BudgetDivision, GreedyConfig, ProtectionPlan, TppInstance,
+};
+use tpp_motif::Motif;
+
+/// One plotted series of Figs. 3–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// SGB-Greedy (global budget).
+    Sgb,
+    /// CT-Greedy with TBD budget division.
+    CtTbd,
+    /// CT-Greedy with DBD budget division.
+    CtDbd,
+    /// WT-Greedy with TBD budget division.
+    WtTbd,
+    /// WT-Greedy with DBD budget division.
+    WtDbd,
+    /// Random deletion baseline.
+    Rd,
+    /// Random deletion from target subgraphs.
+    Rdt,
+}
+
+impl Method {
+    /// All methods in the paper's legend order.
+    pub const ALL: [Method; 7] = [
+        Method::Sgb,
+        Method::CtDbd,
+        Method::WtDbd,
+        Method::CtTbd,
+        Method::WtTbd,
+        Method::Rd,
+        Method::Rdt,
+    ];
+
+    /// The greedy methods only (the ones with utility-loss table columns).
+    pub const GREEDY: [Method; 5] = [
+        Method::Sgb,
+        Method::CtDbd,
+        Method::CtTbd,
+        Method::WtDbd,
+        Method::WtTbd,
+    ];
+
+    /// Paper-style series label; `scalable` appends the `-R` decoration.
+    #[must_use]
+    pub fn label(self, scalable: bool) -> String {
+        let r = if scalable { "-R" } else { "" };
+        match self {
+            Method::Sgb => format!("SGB-Greedy{r}"),
+            Method::CtTbd => format!("CT-Greedy{r}:TBD"),
+            Method::CtDbd => format!("CT-Greedy{r}:DBD"),
+            Method::WtTbd => format!("WT-Greedy{r}:TBD"),
+            Method::WtDbd => format!("WT-Greedy{r}:DBD"),
+            Method::Rd => "RD".to_string(),
+            Method::Rdt => "RDT".to_string(),
+        }
+    }
+
+    /// `true` when one exhaustive run's trajectory answers every budget `k`
+    /// (greedy-prefix or fixed random order); CT/WT redivide budgets per
+    /// `k`, so they must be rerun.
+    #[must_use]
+    pub fn is_prefix_consistent(self) -> bool {
+        matches!(self, Method::Sgb | Method::Rd | Method::Rdt)
+    }
+
+    /// Runs the method with total budget `k`.
+    #[must_use]
+    pub fn run(
+        self,
+        instance: &TppInstance,
+        k: usize,
+        motif: Motif,
+        scalable: bool,
+        seed: u64,
+    ) -> ProtectionPlan {
+        let cfg = if scalable {
+            GreedyConfig::scalable(motif)
+        } else {
+            GreedyConfig::plain(motif)
+        };
+        match self {
+            Method::Sgb => sgb_greedy(instance, k, &cfg),
+            Method::CtTbd | Method::CtDbd | Method::WtTbd | Method::WtDbd => {
+                let division = match self {
+                    Method::CtTbd | Method::WtTbd => BudgetDivision::Tbd,
+                    _ => BudgetDivision::Dbd,
+                };
+                let budgets = divide_budget(division, k, instance, motif);
+                match self {
+                    Method::CtTbd | Method::CtDbd => ct_greedy(instance, &budgets, &cfg)
+                        .expect("budget arity correct by construction"),
+                    _ => wt_greedy(instance, &budgets, &cfg)
+                        .expect("budget arity correct by construction"),
+                }
+            }
+            Method::Rd => random_deletion(instance, k, motif, seed),
+            Method::Rdt => random_deletion_from_subgraphs(instance, k, motif, seed),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::complete_graph;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Method::Sgb.label(true), "SGB-Greedy-R");
+        assert_eq!(Method::CtTbd.label(false), "CT-Greedy:TBD");
+        assert_eq!(Method::Rd.label(true), "RD");
+    }
+
+    #[test]
+    fn every_method_runs() {
+        let inst = TppInstance::with_random_targets(complete_graph(8), 3, 1);
+        for m in Method::ALL {
+            let plan = m.run(&inst, 3, Motif::Triangle, true, 7);
+            plan.check_invariants();
+            assert!(plan.deletions() <= 3 || !m.is_prefix_consistent());
+        }
+    }
+
+    #[test]
+    fn greedy_methods_beat_rd_at_equal_budget() {
+        let inst = TppInstance::with_random_targets(complete_graph(9), 3, 2);
+        let k = 4;
+        let rd: usize = (0..10)
+            .map(|s| Method::Rd.run(&inst, k, Motif::Triangle, true, s).dissimilarity_gain())
+            .sum();
+        let sgb = Method::Sgb
+            .run(&inst, k, Motif::Triangle, true, 0)
+            .dissimilarity_gain();
+        assert!(sgb * 10 >= rd, "SGB should beat average RD");
+    }
+}

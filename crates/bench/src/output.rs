@@ -1,0 +1,137 @@
+//! CSV / report emission shared by the experiment binaries.
+
+use crate::evolution::EvolutionResult;
+use crate::tables::UtilityRow;
+use crate::timing::TimingResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders an evolution result as CSV (`motif,method,k,mean_similarity`).
+#[must_use]
+pub fn evolution_csv(result: &EvolutionResult) -> String {
+    let mut out = String::from("motif,method,k,mean_similarity\n");
+    for series in &result.series {
+        for &(k, v) in &series.points {
+            let _ = writeln!(out, "{},{},{k},{v:.4}", result.motif, series.label);
+        }
+    }
+    out
+}
+
+/// Renders a timing result as CSV (`motif,method,k,seconds`).
+#[must_use]
+pub fn timing_csv(result: &TimingResult) -> String {
+    let mut out = String::from("motif,method,k,seconds\n");
+    for series in &result.series {
+        for &(k, secs) in &series.points {
+            let _ = writeln!(out, "{},{},{k},{secs:.6}", result.motif, series.label);
+        }
+    }
+    out
+}
+
+/// Renders utility rows as CSV
+/// (`motif,method,ulr_percent,mean_deletions,full_protection_rate`).
+#[must_use]
+pub fn utility_csv(rows: &[UtilityRow]) -> String {
+    let mut out = String::from("motif,method,ulr_percent,mean_deletions,full_protection_rate\n");
+    for row in rows {
+        for cell in &row.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.1},{:.2}",
+                row.motif,
+                cell.label,
+                cell.mean_ulr * 100.0,
+                cell.mean_deletions,
+                cell.full_protection_rate
+            );
+        }
+    }
+    out
+}
+
+/// Renders a paper-style text table of one utility row set.
+#[must_use]
+pub fn utility_table_text(title: &str, rows: &[UtilityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if let Some(first) = rows.first() {
+        let header: Vec<String> = std::iter::once("G\\T".to_string())
+            .chain(first.cells.iter().map(|c| c.label.clone()))
+            .collect();
+        let _ = writeln!(out, "{}", header.join(" | "));
+    }
+    for row in rows {
+        let cells: Vec<String> = std::iter::once(row.motif.clone())
+            .chain(
+                row.cells
+                    .iter()
+                    .map(|c| format!("{:.2}%", c.mean_ulr * 100.0)),
+            )
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(" | "));
+    }
+    out
+}
+
+/// Writes `content` into `dir/name`, creating the directory when needed.
+///
+/// # Panics
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn write_result_file(dir: &str, name: &str, content: &str) {
+    let dir_path = Path::new(dir);
+    std::fs::create_dir_all(dir_path).expect("create results directory");
+    let path = dir_path.join(name);
+    std::fs::write(&path, content).expect("write result file");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::EvolutionSeries;
+
+    #[test]
+    fn evolution_csv_format() {
+        let result = EvolutionResult {
+            motif: "triangle".into(),
+            initial_similarity: 48.0,
+            k_star: 2,
+            series: vec![EvolutionSeries {
+                label: "SGB-Greedy-R".into(),
+                points: vec![(1, 30.0), (2, 0.0)],
+            }],
+        };
+        let csv = evolution_csv(&result);
+        assert!(csv.starts_with("motif,method,k,mean_similarity\n"));
+        assert!(csv.contains("triangle,SGB-Greedy-R,1,30.0000"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn utility_table_renders() {
+        let rows = vec![UtilityRow {
+            motif: "triangle".into(),
+            cells: vec![crate::tables::UtilityCell {
+                label: "SGB-Greedy-R".into(),
+                mean_ulr: 0.0195,
+                mean_deletions: 20.0,
+                full_protection_rate: 1.0,
+            }],
+        }];
+        let text = utility_table_text("Table III", &rows);
+        assert!(text.contains("1.95%"));
+        assert!(text.contains("triangle"));
+        let csv = utility_csv(&rows);
+        assert!(csv.contains("triangle,SGB-Greedy-R,1.950,20.0,1.00"));
+    }
+
+    #[test]
+    fn file_writing() {
+        let dir = std::env::temp_dir().join("tpp-bench-test");
+        write_result_file(dir.to_str().unwrap(), "probe.csv", "a,b\n1,2\n");
+        let read = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
+        assert_eq!(read, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,162 @@
+//! Utility-loss tables (Tables III, IV, V): every greedy algorithm run to
+//! full protection, measuring the utility-loss ratio of the final release.
+
+use crate::methods::Method;
+use serde::{Deserialize, Serialize};
+use tpp_core::{critical_budget, TppInstance};
+use tpp_graph::Graph;
+use tpp_metrics::{utility_loss, UtilityConfig};
+use tpp_motif::Motif;
+
+/// One table cell: a method's mean utility-loss ratio at full protection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityCell {
+    /// Method label (with `-R` decoration).
+    pub label: String,
+    /// Mean utility-loss ratio across samples.
+    pub mean_ulr: f64,
+    /// Mean number of protectors deleted to reach the final state.
+    pub mean_deletions: f64,
+    /// Fraction of samples reaching full protection.
+    pub full_protection_rate: f64,
+}
+
+/// One table row (one motif).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityRow {
+    /// Motif name.
+    pub motif: String,
+    /// Cells in [`Method::GREEDY`] order.
+    pub cells: Vec<UtilityCell>,
+}
+
+/// Experiment configuration for the utility tables.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Number of targets `|T|`.
+    pub targets: usize,
+    /// Independent target samplings.
+    pub samples: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Utility metrics to evaluate (full for Tables III/IV, reduced for V).
+    pub utility: UtilityConfig,
+    /// Budget ceiling: `None` = full protection (`k*` per sample/method,
+    /// Tables III/IV); `Some(k)` = fixed budget (Table V uses `k = 25`).
+    pub budget_cap: Option<usize>,
+}
+
+/// Runs one table row (one motif) over graphs from `make_graph(sample)`.
+#[must_use]
+pub fn run_utility_row<F>(make_graph: F, motif: Motif, config: &TableConfig) -> UtilityRow
+where
+    F: Fn(usize) -> Graph,
+{
+    let instances: Vec<TppInstance> = (0..config.samples)
+        .map(|i| {
+            TppInstance::with_random_targets(
+                make_graph(i),
+                config.targets,
+                config.seed + i as u64,
+            )
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for method in Method::GREEDY {
+        let mut ulr_sum = 0.0;
+        let mut del_sum = 0.0;
+        let mut full = 0usize;
+        for (i, inst) in instances.iter().enumerate() {
+            let budget = match config.budget_cap {
+                Some(k) => k,
+                None => {
+                    // full protection: grant the sample's k* as the budget
+                    let (k_star, _) = critical_budget(inst, motif);
+                    // local-budget divisions may need a bit more than k*
+                    // to cover every target (they can't share freely)
+                    k_star.max(1) * 2
+                }
+            };
+            let plan = method.run(inst, budget, motif, true, config.seed + i as u64);
+            let released = inst.apply_protectors(&plan.protectors);
+            let report = utility_loss(inst.original(), &released, &config.utility);
+            ulr_sum += report.average;
+            del_sum += plan.deletions() as f64;
+            if plan.is_full_protection() {
+                full += 1;
+            }
+        }
+        let n = instances.len() as f64;
+        cells.push(UtilityCell {
+            label: method.label(true),
+            mean_ulr: ulr_sum / n,
+            mean_deletions: del_sum / n,
+            full_protection_rate: full as f64 / n,
+        });
+    }
+    UtilityRow {
+        motif: motif.name().to_string(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    #[test]
+    fn table_row_structure() {
+        let cfg = TableConfig {
+            targets: 4,
+            samples: 2,
+            seed: 5,
+            utility: UtilityConfig::large_graph(1),
+            budget_cap: None,
+        };
+        let row = run_utility_row(|i| holme_kim(120, 4, 0.4, i as u64), Motif::Triangle, &cfg);
+        assert_eq!(row.cells.len(), Method::GREEDY.len());
+        for cell in &row.cells {
+            assert!(cell.mean_ulr >= 0.0 && cell.mean_ulr < 0.5);
+            assert!(cell.full_protection_rate > 0.99, "{}", cell.label);
+        }
+    }
+
+    #[test]
+    fn sgb_costs_no_more_deletions_than_local_variants() {
+        let cfg = TableConfig {
+            targets: 5,
+            samples: 2,
+            seed: 9,
+            utility: UtilityConfig::large_graph(2),
+            budget_cap: None,
+        };
+        let row = run_utility_row(|i| holme_kim(150, 4, 0.5, 50 + i as u64), Motif::Triangle, &cfg);
+        let sgb = &row.cells[0];
+        for other in &row.cells[1..] {
+            assert!(
+                sgb.mean_deletions <= other.mean_deletions + 1e-9,
+                "SGB {} vs {} {}",
+                sgb.mean_deletions,
+                other.label,
+                other.mean_deletions
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_budget_cap_limits_deletions() {
+        let cfg = TableConfig {
+            targets: 4,
+            samples: 1,
+            seed: 2,
+            utility: UtilityConfig::large_graph(3),
+            budget_cap: Some(3),
+        };
+        let row = run_utility_row(|i| holme_kim(100, 4, 0.4, i as u64), Motif::Triangle, &cfg);
+        for cell in &row.cells {
+            assert!(cell.mean_deletions <= 3.0, "{}", cell.label);
+        }
+    }
+}

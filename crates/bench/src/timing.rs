@@ -1,0 +1,159 @@
+//! Running-time experiments (Figs. 5 and 6): wall-clock seconds per method
+//! as a function of the budget `k`, contrasting the plain algorithms with
+//! their scalable `-R` implementations.
+
+use crate::methods::Method;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tpp_core::TppInstance;
+use tpp_graph::Graph;
+use tpp_motif::Motif;
+
+/// One timing series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingSeries {
+    /// Series label, e.g. `SGB-Greedy` or `SGB-Greedy-R`.
+    pub label: String,
+    /// `(k, seconds)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Timing experiment output for one motif.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// Motif name.
+    pub motif: String,
+    /// All series.
+    pub series: Vec<TimingSeries>,
+}
+
+/// Which series to time.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingConfig {
+    /// Motif under attack.
+    pub motif: Motif,
+    /// Number of targets.
+    pub targets: usize,
+    /// Include the plain (non-`-R`) greedy algorithms — Arenas-scale only;
+    /// the paper reports they "didn't finish in one week" on DBLP.
+    pub include_plain: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Methods timed in Figs. 5/6 (greedy trio + baselines).
+const TIMED: [Method; 5] = [
+    Method::Sgb,
+    Method::CtTbd,
+    Method::WtTbd,
+    Method::Rd,
+    Method::Rdt,
+];
+
+/// Runs the timing sweep over `k_grid` on the graph produced by `make_graph`.
+#[must_use]
+pub fn run_timing<F>(make_graph: F, k_grid: &[usize], config: &TimingConfig) -> TimingResult
+where
+    F: Fn() -> Graph,
+{
+    let instance =
+        TppInstance::with_random_targets(make_graph(), config.targets, config.seed);
+    let mut series = Vec::new();
+    for method in TIMED {
+        let mut variants: Vec<bool> = vec![true]; // scalable -R
+        let greedy = !matches!(method, Method::Rd | Method::Rdt);
+        if config.include_plain && greedy {
+            variants.push(false); // plain
+        }
+        for scalable in variants {
+            let label = if greedy {
+                method.label(scalable)
+            } else {
+                method.label(true)
+            };
+            let mut points = Vec::with_capacity(k_grid.len());
+            for &k in k_grid {
+                let start = Instant::now();
+                let plan = method.run(&instance, k, config.motif, scalable, config.seed);
+                let secs = start.elapsed().as_secs_f64();
+                std::hint::black_box(plan.final_similarity);
+                points.push((k, secs));
+            }
+            series.push(TimingSeries { label, points });
+        }
+    }
+    TimingResult {
+        motif: config.motif.name().to_string(),
+        series,
+    }
+}
+
+/// Mean speedup of the `scalable_label` series over the `plain_label`
+/// series, if both are present.
+#[must_use]
+pub fn speedup(result: &TimingResult, plain_label: &str, scalable_label: &str) -> Option<f64> {
+    let plain = result.series.iter().find(|s| s.label == plain_label)?;
+    let scalable = result.series.iter().find(|s| s.label == scalable_label)?;
+    let mut ratios = Vec::new();
+    for ((k1, t_plain), (k2, t_r)) in plain.points.iter().zip(&scalable.points) {
+        debug_assert_eq!(k1, k2);
+        if *t_r > 0.0 {
+            ratios.push(t_plain / t_r);
+        }
+    }
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    #[test]
+    fn timing_produces_all_series() {
+        let cfg = TimingConfig {
+            motif: Motif::Triangle,
+            targets: 5,
+            include_plain: true,
+            seed: 1,
+        };
+        let result = run_timing(|| holme_kim(150, 4, 0.4, 2), &[2, 4], &cfg);
+        // 3 greedy * 2 variants + 2 baselines
+        assert_eq!(result.series.len(), 8);
+        for s in &result.series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, t)| t >= 0.0));
+        }
+    }
+
+    #[test]
+    fn scalable_is_faster_than_plain() {
+        let cfg = TimingConfig {
+            motif: Motif::Triangle,
+            targets: 8,
+            include_plain: true,
+            seed: 3,
+        };
+        let result = run_timing(|| holme_kim(400, 5, 0.4, 5), &[6], &cfg);
+        let ratio = speedup(&result, "SGB-Greedy", "SGB-Greedy-R").expect("both series present");
+        assert!(ratio > 1.0, "expected -R speedup, got {ratio}");
+    }
+
+    #[test]
+    fn baselines_only_have_scalable_labels() {
+        let cfg = TimingConfig {
+            motif: Motif::Triangle,
+            targets: 4,
+            include_plain: false,
+            seed: 1,
+        };
+        let result = run_timing(|| holme_kim(100, 3, 0.3, 1), &[2], &cfg);
+        assert_eq!(result.series.len(), 5);
+        assert!(result.series.iter().any(|s| s.label == "RD"));
+        assert!(result.series.iter().all(|s| s.label != "SGB-Greedy"));
+    }
+}

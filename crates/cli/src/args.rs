@@ -1,0 +1,121 @@
+//! Hand-rolled flag parsing for the `tpp` binary (no external CLI crate —
+//! the workspace's dependency policy allows only the offline set).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--flag value` / `--flag` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// Flags; boolean flags map to an empty string.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Flags that never take a value.
+const BOOLEAN_FLAGS: [&str; 4] = ["quick", "verbose", "help", "full"];
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+/// Returns a message for unknown syntax (flag without name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if name.is_empty() {
+                return Err("empty flag name '--'".into());
+            }
+            if BOOLEAN_FLAGS.contains(&name) {
+                out.flags.insert(name.to_string(), String::new());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                out.flags.insert(name.to_string(), value.clone());
+            }
+        } else if out.command.is_empty() {
+            out.command = arg.clone();
+        } else {
+            out.positional.push(arg.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag with default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map_or(default, String::as_str)
+    }
+
+    /// Optional parsed numeric flag with default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let p = parse(&strs(&[
+            "protect", "graph.txt", "--budget", "10", "--motif", "triangle", "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "protect");
+        assert_eq!(p.positional, vec!["graph.txt"]);
+        assert_eq!(p.require("budget").unwrap(), "10");
+        assert_eq!(p.num_or("budget", 0usize).unwrap(), 10);
+        assert!(p.has("quick"));
+        assert!(!p.has("verbose"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let p = parse(&strs(&["stats", "g.txt"])).unwrap();
+        assert_eq!(p.get_or("motif", "triangle"), "triangle");
+        assert!(p.require("budget").is_err());
+        assert_eq!(p.num_or("seed", 7u64).unwrap(), 7);
+
+        assert!(parse(&strs(&["x", "--budget"])).is_err(), "value missing");
+        assert!(parse(&strs(&["x", "--"])).is_err(), "empty flag");
+    }
+
+    #[test]
+    fn numeric_parse_failure_is_reported() {
+        let p = parse(&strs(&["x", "--seed", "abc"])).unwrap();
+        let err = p.num_or("seed", 0u64).unwrap_err();
+        assert!(err.contains("abc"));
+    }
+}

@@ -1,0 +1,531 @@
+//! The `tpp` subcommands: generate, stats, protect, attack, kstar.
+
+use crate::args::Parsed;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use tpp_core::{
+    celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
+    random_deletion_from_subgraphs, sgb_greedy, wt_greedy, BudgetDivision, GreedyConfig,
+    ProtectionPlan, TppInstance,
+};
+use tpp_graph::{parse_edge_list, write_edge_list, Edge, Graph};
+use tpp_linkpred::{evaluate_attack, sample_non_edges, Attacker, SimilarityIndex};
+use tpp_metrics::{compute_utility, utility_loss, UtilityConfig};
+use tpp_motif::Motif;
+
+/// Runs a subcommand; returns an error message for the shell on failure.
+pub fn dispatch(p: &Parsed) -> Result<(), String> {
+    match p.command.as_str() {
+        "generate" => generate(p),
+        "stats" => stats(p),
+        "protect" => protect(p),
+        "attack" => attack(p),
+        "kstar" => kstar(p),
+        "utility" => utility(p),
+        "" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "tpp — target privacy preserving for social networks (ICDE 2020)
+
+USAGE:
+  tpp generate --model <ba|er|ws|hk|arenas|dblp|karate> [--nodes N] [--seed S] --out FILE
+  tpp stats    <edgelist> [--full]
+  tpp protect  <edgelist> --budget K [--motif M] [--algorithm A] [--division D]
+               [--targets u-v,u-v | --random N] [--seed S]
+               [--out released.txt] [--plan plan.json]
+  tpp attack   <edgelist> --targets u-v,... [--attacker cn|jaccard|...|katz]
+               [--negatives N] [--seed S]
+  tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
+  tpp utility  <original> <released> [--full] [--seed S]
+
+MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
+ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
+DIVISIONS:   tbd (default), dbd"
+}
+
+fn load_graph(p: &Parsed) -> Result<Graph, String> {
+    let path = p
+        .positional
+        .first()
+        .ok_or("expected an edge-list file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_edge_list(&text).map_err(|e| e.to_string())
+}
+
+fn parse_motif(p: &Parsed) -> Result<Motif, String> {
+    let name = p.get_or("motif", "triangle");
+    Motif::from_name(name).ok_or_else(|| format!("unknown motif {name:?}"))
+}
+
+fn parse_targets(p: &Parsed, g: &Graph) -> Result<Vec<Edge>, String> {
+    if let Some(spec) = p.flags.get("targets") {
+        let mut out = Vec::new();
+        for token in spec.split(',') {
+            let (a, b) = token
+                .split_once('-')
+                .ok_or_else(|| format!("target {token:?} must look like u-v"))?;
+            let a: u32 = a.trim().parse().map_err(|_| format!("bad node id {a:?}"))?;
+            let b: u32 = b.trim().parse().map_err(|_| format!("bad node id {b:?}"))?;
+            out.push(Edge::new(a, b));
+        }
+        Ok(out)
+    } else {
+        let n: usize = p.num_or("random", 10usize)?;
+        let seed: u64 = p.num_or("seed", 2020u64)?;
+        Ok(TppInstance::sample_targets(g, n.min(g.edge_count()), seed))
+    }
+}
+
+fn generate(p: &Parsed) -> Result<(), String> {
+    let model = p.require("model")?;
+    let seed: u64 = p.num_or("seed", 2020u64)?;
+    let nodes: usize = p.num_or("nodes", 1000usize)?;
+    let g = match model {
+        "ba" => tpp_graph::generators::barabasi_albert(nodes, 4, seed),
+        "er" => tpp_graph::generators::erdos_renyi_gnp(nodes, 8.0 / nodes as f64, seed),
+        "ws" => tpp_graph::generators::watts_strogatz(nodes, 8, 0.1, seed),
+        "hk" => tpp_graph::generators::holme_kim(nodes, 4, 0.4, seed),
+        "arenas" => tpp_datasets::arenas_email_like(seed),
+        "dblp" => tpp_datasets::dblp_like(tpp_datasets::DblpScale::Tiny, seed),
+        "karate" => tpp_datasets::karate_club(),
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let out = p.require("out")?;
+    std::fs::write(out, write_edge_list(&g)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.node_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+fn stats(p: &Parsed) -> Result<(), String> {
+    let g = load_graph(p)?;
+    println!("nodes:  {}", g.node_count());
+    println!("edges:  {}", g.edge_count());
+    println!("max-degree: {}", g.max_degree());
+    println!(
+        "mean-degree: {:.2}",
+        g.degree_sum() as f64 / g.node_count().max(1) as f64
+    );
+    let seed: u64 = p.num_or("seed", 1u64)?;
+    let config = if p.has("full") || p.flags.contains_key("full") {
+        UtilityConfig::full(seed)
+    } else {
+        UtilityConfig::large_graph(seed)
+    };
+    let values = compute_utility(&g, &config);
+    for (metric, value) in &values.values {
+        println!("{metric}: {value:.4}");
+    }
+    Ok(())
+}
+
+/// JSON envelope written by `tpp protect --plan`.
+#[derive(Serialize)]
+struct PlanFile<'a> {
+    algorithm: String,
+    motif: String,
+    budget: usize,
+    targets: &'a [Edge],
+    plan: &'a ProtectionPlan,
+    utility_loss_percent: f64,
+}
+
+fn protect(p: &Parsed) -> Result<(), String> {
+    let g = load_graph(p)?;
+    let motif = parse_motif(p)?;
+    let budget: usize = p.require("budget")?.parse().map_err(|_| "bad --budget")?;
+    let seed: u64 = p.num_or("seed", 2020u64)?;
+    let targets = parse_targets(p, &g)?;
+    let original = g.clone();
+    let instance = TppInstance::new(g, targets).map_err(|e| e.to_string())?;
+
+    let algorithm = p.get_or("algorithm", "sgb");
+    let cfg = GreedyConfig::scalable(motif);
+    let plan = match algorithm {
+        "sgb" => sgb_greedy(&instance, budget, &cfg),
+        "celf" => celf_greedy(&instance, budget, &cfg),
+        "ct" | "wt" => {
+            let division = match p.get_or("division", "tbd") {
+                "tbd" => BudgetDivision::Tbd,
+                "dbd" => BudgetDivision::Dbd,
+                other => return Err(format!("unknown division {other:?}")),
+            };
+            let budgets = divide_budget(division, budget, &instance, motif);
+            if algorithm == "ct" {
+                ct_greedy(&instance, &budgets, &cfg).map_err(|e| e.to_string())?
+            } else {
+                wt_greedy(&instance, &budgets, &cfg).map_err(|e| e.to_string())?
+            }
+        }
+        "rd" => random_deletion(&instance, budget, motif, seed),
+        "rdt" => random_deletion_from_subgraphs(&instance, budget, motif, seed),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    println!(
+        "{}: similarity {} -> {} with {} protector deletions (+{} targets removed)",
+        plan.algorithm,
+        plan.initial_similarity,
+        plan.final_similarity,
+        plan.deletions(),
+        instance.target_count()
+    );
+    if plan.is_full_protection() {
+        println!("all targets fully protected against the {motif} pattern");
+    }
+
+    let released = instance.apply_protectors(&plan.protectors);
+    let loss = utility_loss(&original, &released, &UtilityConfig::large_graph(seed));
+    println!("utility loss (clust, cn): {}", loss.average_percent());
+
+    if let Some(out) = p.flags.get("out") {
+        std::fs::write(out, write_edge_list(&released)).map_err(|e| e.to_string())?;
+        println!("released graph -> {out}");
+    }
+    if let Some(plan_path) = p.flags.get("plan") {
+        let file = PlanFile {
+            algorithm: plan.algorithm.to_string(),
+            motif: motif.to_string(),
+            budget,
+            targets: instance.targets(),
+            plan: &plan,
+            utility_loss_percent: loss.average * 100.0,
+        };
+        let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
+        std::fs::write(plan_path, json).map_err(|e| e.to_string())?;
+        println!("plan -> {plan_path}");
+    }
+    Ok(())
+}
+
+fn attack(p: &Parsed) -> Result<(), String> {
+    let g = load_graph(p)?;
+    let targets = parse_targets(p, &g)?;
+    // Attacked graph = as-released: hide any target edges still present.
+    let mut released = g.clone();
+    for t in &targets {
+        released.remove_edge(t.u(), t.v());
+    }
+    let seed: u64 = p.num_or("seed", 2020u64)?;
+    let negatives_count: usize = p.num_or("negatives", 500usize)?;
+    let negatives = sample_non_edges(&released, negatives_count, &targets, seed);
+
+    let name = p.get_or("attacker", "cn");
+    let attacker = if name == "katz" {
+        Attacker::Katz(0.05, 4)
+    } else if let Some(idx) = SimilarityIndex::ALL.iter().find(|i| i.name() == name) {
+        Attacker::Index(*idx)
+    } else if let Some(motif) = Motif::from_name(name) {
+        Attacker::MotifCount(motif)
+    } else {
+        return Err(format!("unknown attacker {name:?}"));
+    };
+
+    let outcome = evaluate_attack(&released, &targets, &negatives, attacker);
+    println!("attacker:       {}", outcome.attacker);
+    println!("auc:            {:.4}", outcome.auc);
+    println!("precision@|T|:  {:.4}", outcome.precision_at_t);
+    println!("mean target score: {:.4}", outcome.mean_target_score);
+    if outcome.targets_fully_hidden() {
+        println!("verdict: targets fully hidden from this attacker");
+    } else {
+        println!("verdict: residual evidence remains");
+    }
+    Ok(())
+}
+
+fn utility(p: &Parsed) -> Result<(), String> {
+    let original_path = p.positional.first().ok_or("expected <original> <released>")?;
+    let released_path = p.positional.get(1).ok_or("expected <original> <released>")?;
+    let read = |path: &str| -> Result<Graph, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse_edge_list(&text).map_err(|e| e.to_string())
+    };
+    let original = read(original_path)?;
+    let released = read(released_path)?;
+    let seed: u64 = p.num_or("seed", 1u64)?;
+    let config = if p.has("full") {
+        UtilityConfig::full(seed)
+    } else {
+        UtilityConfig::large_graph(seed)
+    };
+    let report = utility_loss(&original, &released, &config);
+    println!(
+        "edges: {} -> {} ({} deleted)",
+        original.edge_count(),
+        released.edge_count(),
+        original.edge_count().saturating_sub(released.edge_count())
+    );
+    for (metric, loss) in &report.per_metric {
+        println!("ulr({metric}): {:.4}%", loss * 100.0);
+    }
+    println!("average utility loss: {}", report.average_percent());
+    Ok(())
+}
+
+fn kstar(p: &Parsed) -> Result<(), String> {
+    let g = load_graph(p)?;
+    let motif = parse_motif(p)?;
+    let targets = parse_targets(p, &g)?;
+    let instance = TppInstance::new(g, targets).map_err(|e| e.to_string())?;
+    let (k_star, plan) = critical_budget(&instance, motif);
+    println!(
+        "k* = {k_star} deletions fully protect {} targets against {motif}",
+        instance.target_count()
+    );
+    println!(
+        "initial similarity {} -> 0; deletion trail:",
+        plan.initial_similarity
+    );
+    let mut shuffled_preview = plan.steps.iter().collect::<Vec<_>>();
+    // show at most 10 steps, deterministic order
+    let mut rng = StdRng::seed_from_u64(0);
+    if shuffled_preview.len() > 10 {
+        shuffled_preview.shuffle(&mut rng);
+        shuffled_preview.truncate(10);
+        shuffled_preview.sort_by_key(|s| s.round);
+        println!("  (showing 10 of {k_star} steps)");
+    }
+    for step in shuffled_preview {
+        println!(
+            "  round {:>3}: {} breaks {}",
+            step.round, step.protector, step.total_broken
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpp-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_then_stats_then_protect_round_trip() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g.txt");
+        let released_path = dir.join("released.txt");
+        let plan_path = dir.join("plan.json");
+
+        let p = parse(&strs(&[
+            "generate",
+            "--model",
+            "karate",
+            "--out",
+            graph_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&p).unwrap();
+
+        let p = parse(&strs(&["stats", graph_path.to_str().unwrap()])).unwrap();
+        dispatch(&p).unwrap();
+
+        let p = parse(&strs(&[
+            "protect",
+            graph_path.to_str().unwrap(),
+            "--budget",
+            "5",
+            "--targets",
+            "0-1,32-33",
+            "--out",
+            released_path.to_str().unwrap(),
+            "--plan",
+            plan_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&p).unwrap();
+
+        // released graph parses and is smaller
+        let released = parse_edge_list(&std::fs::read_to_string(&released_path).unwrap()).unwrap();
+        assert!(released.edge_count() < 78);
+        // plan JSON contains the algorithm name
+        let json = std::fs::read_to_string(&plan_path).unwrap();
+        assert!(json.contains("SGB-Greedy"));
+        assert!(json.contains("protectors"));
+    }
+
+    #[test]
+    fn attack_and_kstar_commands() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g2.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        dispatch(
+            &parse(&strs(&[
+                "attack",
+                graph_path.to_str().unwrap(),
+                "--targets",
+                "0-1",
+                "--attacker",
+                "adamic-adar",
+                "--negatives",
+                "50",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        dispatch(
+            &parse(&strs(&[
+                "kstar",
+                graph_path.to_str().unwrap(),
+                "--targets",
+                "0-1,0-2",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn utility_command_compares_two_releases() {
+        let dir = tmpdir();
+        let orig = dir.join("orig.txt");
+        let rel = dir.join("rel.txt");
+        dispatch(
+            &parse(&strs(&["generate", "--model", "karate", "--out", orig.to_str().unwrap()]))
+                .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &parse(&strs(&[
+                "protect",
+                orig.to_str().unwrap(),
+                "--budget",
+                "4",
+                "--targets",
+                "0-1",
+                "--out",
+                rel.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &parse(&strs(&[
+                "utility",
+                orig.to_str().unwrap(),
+                rel.to_str().unwrap(),
+                "--full",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // missing second positional
+        assert!(dispatch(&parse(&strs(&["utility", orig.to_str().unwrap()])).unwrap()).is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(dispatch(&parse(&strs(&["bogus"])).unwrap()).is_err());
+        assert!(dispatch(&parse(&strs(&["stats", "/no/such/file"])).unwrap()).is_err());
+        let dir = tmpdir();
+        let graph_path = dir.join("g3.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // malformed target spec
+        let p = parse(&strs(&[
+            "protect",
+            graph_path.to_str().unwrap(),
+            "--budget",
+            "2",
+            "--targets",
+            "xx",
+        ]))
+        .unwrap();
+        assert!(dispatch(&p).is_err());
+        // unknown motif
+        let p = parse(&strs(&[
+            "kstar",
+            graph_path.to_str().unwrap(),
+            "--motif",
+            "pentagon",
+        ]))
+        .unwrap();
+        assert!(dispatch(&p).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_is_dispatchable() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g4.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "120",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        for alg in ["sgb", "celf", "ct", "wt", "rd", "rdt"] {
+            let p = parse(&strs(&[
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "4",
+                "--random",
+                "5",
+                "--algorithm",
+                alg,
+            ]))
+            .unwrap();
+            dispatch(&p).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["generate", "stats", "protect", "attack", "kstar"] {
+            assert!(u.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `tpp` — the command-line front end for the Target Privacy Preserving
+//! library. See `tpp help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    if parsed.has("help") {
+        println!("{}", commands::usage());
+        return;
+    }
+    if let Err(msg) = commands::dispatch(&parsed) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

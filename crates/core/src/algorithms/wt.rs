@@ -1,0 +1,192 @@
+//! WT-Greedy (Algorithm 3): Within-Target greedy protector selection for
+//! the Multi-Local-Budget problem. Targets are satisfied one after another;
+//! the guarantee is `1 − e^{−(1−1/e)} ≈ 0.46` (Theorem 5).
+
+use super::{EvaluatorKind, GreedyConfig};
+use crate::error::TppError;
+use crate::oracle::{GainOracle, IndexOracle, NaiveOracle};
+use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::problem::TppInstance;
+use tpp_graph::Edge;
+
+/// Runs WT-Greedy with per-target budgets `budgets[t]`.
+///
+/// Processes targets in declaration order; target `t` spends its whole
+/// sub-budget before target `t+1` starts. Each pick maximizes the paper's
+/// `Δ_t^p = own + cross / C` for the *current* target `t` (lexicographic
+/// `(own, cross)` — own-target instance breaks dominate, cross-target
+/// assistance tie-breaks). A globally exhausted state (`Δ = 0`, meaning no
+/// alive instance remains anywhere) terminates the whole run, mirroring the
+/// paper's `return`.
+///
+/// # Errors
+/// [`TppError::BudgetArityMismatch`] if `budgets.len() != |T|`.
+pub fn wt_greedy(
+    instance: &TppInstance,
+    budgets: &[usize],
+    config: &GreedyConfig,
+) -> Result<ProtectionPlan, TppError> {
+    if budgets.len() != instance.target_count() {
+        return Err(TppError::BudgetArityMismatch {
+            budgets: budgets.len(),
+            targets: instance.target_count(),
+        });
+    }
+    Ok(match config.evaluator {
+        EvaluatorKind::Index => run(
+            IndexOracle::new(instance.released(), instance.targets(), config.motif),
+            budgets,
+            config,
+        ),
+        EvaluatorKind::NaiveRecount => run(
+            NaiveOracle::new(instance.released(), instance.targets(), config.motif),
+            budgets,
+            config,
+        ),
+    })
+}
+
+fn run<O: GainOracle>(mut oracle: O, budgets: &[usize], config: &GreedyConfig) -> ProtectionPlan {
+    let n = budgets.len();
+    let initial = oracle.total_similarity();
+    let mut per_target: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let mut protectors: Vec<Edge> = Vec::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
+
+    'targets: for t in 0..n {
+        for _ in 0..budgets[t] {
+            let candidates = oracle.candidates(config.candidates);
+            let mut best: Option<(usize, usize, Edge)> = None;
+            for &p in &candidates {
+                let v = oracle.gain_vector(p);
+                let total: usize = v.iter().sum();
+                let own = v[t];
+                let cross = total - own;
+                if best.is_none_or(|(bo, bc, _)| (own, cross) > (bo, bc)) {
+                    best = Some((own, cross, p));
+                }
+            }
+            let Some((own, cross, p_star)) = best else {
+                break 'targets;
+            };
+            if own == 0 && cross == 0 {
+                // No candidate breaks anything anywhere: every alive
+                // instance is gone, so the whole run is done (paper's
+                // `return`).
+                break 'targets;
+            }
+            let broken = oracle.commit(p_star);
+            debug_assert_eq!(broken, own + cross);
+            per_target[t].push(p_star);
+            protectors.push(p_star);
+            steps.push(StepRecord {
+                round: steps.len(),
+                protector: p_star,
+                charged_target: Some(t),
+                own_broken: own,
+                total_broken: broken,
+                similarity_after: oracle.total_similarity(),
+            });
+        }
+    }
+
+    ProtectionPlan {
+        algorithm: AlgorithmKind::WtGreedy,
+        protectors,
+        initial_similarity: initial,
+        final_similarity: oracle.total_similarity(),
+        steps,
+        per_target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::Graph;
+    use tpp_motif::Motif;
+
+    fn fixture() -> TppInstance {
+        let g = Graph::from_edges([
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (3, 1),
+            (3, 2),
+            (0, 4),
+            (4, 1),
+        ]);
+        TppInstance::new(g, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn processes_targets_in_order() {
+        let inst = fixture();
+        let plan = wt_greedy(&inst, &[1, 1], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+        plan.check_invariants();
+        // first step charged to target 0, second (if any) to target 1
+        assert_eq!(plan.steps[0].charged_target, Some(0));
+        if let Some(s) = plan.steps.get(1) {
+            assert_eq!(s.charged_target, Some(1));
+        }
+    }
+
+    #[test]
+    fn own_gain_dominates_for_current_target() {
+        let inst = fixture();
+        // Target 0's candidates: (0,3)/(3,1) break the shared triangle
+        // (own 1, cross 1 via (0,3)); (0,4)/(4,1) break the private one
+        // (own 1, cross 0). Lexicographic picks (0,3): own equal, cross 1.
+        let plan = wt_greedy(&inst, &[1, 0], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+        assert_eq!(plan.protectors, vec![Edge::new(0, 3)]);
+        assert_eq!(plan.steps[0].own_broken, 1);
+        assert_eq!(plan.steps[0].total_broken, 2);
+    }
+
+    #[test]
+    fn budget_arity_checked() {
+        let inst = fixture();
+        assert!(wt_greedy(&inst, &[1, 2, 3], &GreedyConfig::scalable(Motif::Triangle)).is_err());
+    }
+
+    #[test]
+    fn within_target_never_exceeds_sub_budget() {
+        let inst = fixture();
+        let plan = wt_greedy(&inst, &[2, 1], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+        assert!(plan.per_target[0].len() <= 2);
+        assert!(plan.per_target[1].len() <= 1);
+    }
+
+    #[test]
+    fn global_exhaustion_stops_early() {
+        let inst = fixture();
+        let plan = wt_greedy(&inst, &[50, 50], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+        assert!(plan.is_full_protection());
+        assert!(plan.deletions() <= 4);
+    }
+
+    #[test]
+    fn evaluators_agree() {
+        let inst = fixture();
+        for motif in [Motif::Triangle, Motif::RecTri] {
+            let a = wt_greedy(&inst, &[1, 2], &GreedyConfig::plain(motif)).unwrap();
+            let b = wt_greedy(&inst, &[1, 2], &GreedyConfig::scalable(motif)).unwrap();
+            assert_eq!(a.protectors, b.protectors, "{motif}");
+        }
+    }
+
+    #[test]
+    fn wt_never_beats_ct_or_sgb_on_shared_budget() {
+        // The ordering SGB >= CT >= WT illustrated by the paper's Fig. 2.
+        use crate::algorithms::{ct_greedy, sgb_greedy};
+        let inst = fixture();
+        let cfg = GreedyConfig::scalable(Motif::Triangle);
+        let budgets = [1usize, 1];
+        let k: usize = budgets.iter().sum();
+        let sgb = sgb_greedy(&inst, k, &cfg);
+        let ct = ct_greedy(&inst, &budgets, &cfg).unwrap();
+        let wt = wt_greedy(&inst, &budgets, &cfg).unwrap();
+        assert!(sgb.dissimilarity_gain() >= ct.dissimilarity_gain());
+        assert!(ct.dissimilarity_gain() >= wt.dissimilarity_gain());
+    }
+}

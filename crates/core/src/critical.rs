@@ -1,0 +1,59 @@
+//! Critical budget `k*`: the smallest deletion budget that achieves full
+//! protection (`s(P, T) = 0`) under SGB-Greedy — the x-axis endpoint of the
+//! paper's Fig. 3 curves.
+
+use crate::algorithms::{sgb_greedy, GreedyConfig};
+use crate::plan::ProtectionPlan;
+use crate::problem::TppInstance;
+use tpp_motif::Motif;
+
+/// Runs SGB-Greedy to exhaustion and returns `(k*, plan)`.
+///
+/// Because the dissimilarity universe is finite and every greedy pick breaks
+/// at least one instance, the run always terminates; `k*` equals the number
+/// of deletions in the returned plan.
+#[must_use]
+pub fn critical_budget(instance: &TppInstance, motif: Motif) -> (usize, ProtectionPlan) {
+    let plan = sgb_greedy(instance, usize::MAX, &GreedyConfig::scalable(motif));
+    debug_assert!(plan.is_full_protection());
+    (plan.deletions(), plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::complete_graph;
+    use tpp_graph::Edge;
+
+    #[test]
+    fn k_star_reaches_zero_similarity() {
+        let inst = TppInstance::with_random_targets(complete_graph(9), 3, 11);
+        for motif in Motif::ALL {
+            let (k_star, plan) = critical_budget(&inst, motif);
+            assert!(plan.is_full_protection(), "{motif}");
+            assert_eq!(k_star, plan.deletions());
+            assert!(k_star > 0, "{motif}: complete graph has evidence");
+        }
+    }
+
+    #[test]
+    fn k_star_is_minimal_for_the_greedy() {
+        // One budget less than k* must leave something alive.
+        let inst = TppInstance::with_random_targets(complete_graph(8), 2, 5);
+        let motif = Motif::Triangle;
+        let (k_star, _) = critical_budget(&inst, motif);
+        let short =
+            crate::algorithms::sgb_greedy(&inst, k_star - 1, &GreedyConfig::scalable(motif));
+        assert!(!short.is_full_protection());
+    }
+
+    #[test]
+    fn trivial_instance_k_star_zero_evidence() {
+        // Targets with no motif evidence need zero deletions.
+        let g = tpp_graph::Graph::from_edges([(0u32, 1u32), (2, 3)]);
+        let inst = TppInstance::new(g, vec![Edge::new(0, 1)]).unwrap();
+        let (k_star, plan) = critical_budget(&inst, Motif::Triangle);
+        assert_eq!(k_star, 0);
+        assert_eq!(plan.initial_similarity, 0);
+    }
+}

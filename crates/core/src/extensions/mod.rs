@@ -1,0 +1,21 @@
+//! Extensions beyond the paper's core contribution: the §VII future-work
+//! items (Katz-aware defense, target-node privacy), importance-weighted
+//! targets, the link-switching anti-baseline of §VI-D, and a parallel
+//! SGB-Greedy for large graphs.
+
+mod katz_defense;
+mod node_privacy;
+mod parallel;
+mod switching;
+mod weighted;
+
+pub use katz_defense::{
+    katz_defense_greedy, katz_pair_score, total_katz_exposure, KatzDefenseConfig,
+};
+pub use node_privacy::{
+    full_isolation_is_self_protecting, node_exposure, node_instance, partial_node_instance,
+    protect_node, protect_node_links, NodeProtection,
+};
+pub use parallel::parallel_sgb_greedy;
+pub use switching::{backfire_rate, random_switch, SwitchOutcome};
+pub use weighted::weighted_sgb_greedy;

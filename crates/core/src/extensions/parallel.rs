@@ -1,0 +1,137 @@
+//! Parallel SGB-Greedy: the per-round argmax over candidates is
+//! embarrassingly parallel, so large-graph rounds fan out across threads
+//! (crossbeam scoped threads; the coverage index is read-only during a
+//! round and mutated only at commit time).
+//!
+//! Output is bit-identical to the sequential [`crate::sgb_greedy`] — each
+//! chunk reduces with the same canonical tie-break, then chunks reduce in
+//! order.
+
+use crate::oracle::{CandidatePolicy, GainOracle, IndexOracle};
+use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::problem::TppInstance;
+use tpp_graph::Edge;
+use tpp_motif::Motif;
+
+/// Runs SGB-Greedy(-R) with the per-round candidate scan split across
+/// `threads` worker threads. `threads = 1` degenerates to the sequential
+/// algorithm.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn parallel_sgb_greedy(
+    instance: &TppInstance,
+    k: usize,
+    motif: Motif,
+    threads: usize,
+) -> ProtectionPlan {
+    assert!(threads >= 1, "need at least one worker thread");
+    let mut oracle = IndexOracle::new(instance.released(), instance.targets(), motif);
+    let initial = oracle.total_similarity();
+    let mut protectors: Vec<Edge> = Vec::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
+
+    while protectors.len() < k {
+        let candidates = oracle.candidates(CandidatePolicy::SubgraphEdges);
+        if candidates.is_empty() {
+            break;
+        }
+        let index = oracle.index();
+        let chunk_size = candidates.len().div_ceil(threads);
+        // (gain, edge) maxima per chunk; chunks are contiguous slices of the
+        // sorted candidate list, so reducing them in order preserves the
+        // "first maximizer wins" tie-break of the sequential scan.
+        let chunk_best: Vec<Option<(usize, Edge)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut best: Option<(usize, Edge)> = None;
+                        for &p in chunk {
+                            let gain = index.gain(p);
+                            if best.is_none_or(|(g, _)| gain > g) {
+                                best = Some((gain, p));
+                            }
+                        }
+                        best
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        let mut best: Option<(usize, Edge)> = None;
+        for cb in chunk_best.into_iter().flatten() {
+            if best.is_none_or(|(g, _)| cb.0 > g) {
+                best = Some(cb);
+            }
+        }
+        let Some((gain, p)) = best else { break };
+        if gain == 0 {
+            break;
+        }
+        let broken = oracle.commit(p);
+        debug_assert_eq!(broken, gain);
+        protectors.push(p);
+        steps.push(StepRecord {
+            round: steps.len(),
+            protector: p,
+            charged_target: None,
+            own_broken: broken,
+            total_broken: broken,
+            similarity_after: oracle.total_similarity(),
+        });
+    }
+
+    ProtectionPlan {
+        algorithm: AlgorithmKind::SgbGreedy,
+        protectors,
+        initial_similarity: initial,
+        final_similarity: oracle.total_similarity(),
+        steps,
+        per_target: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{sgb_greedy, GreedyConfig};
+    use tpp_graph::generators::holme_kim;
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let g = holme_kim(200, 4, 0.5, 6);
+        let inst = TppInstance::with_random_targets(g, 8, 6);
+        for motif in Motif::ALL {
+            let seq = sgb_greedy(&inst, 12, &GreedyConfig::scalable(motif));
+            for threads in [1, 2, 4, 7] {
+                let par = parallel_sgb_greedy(&inst, 12, motif, threads);
+                assert_eq!(seq.protectors, par.protectors, "{motif} x{threads}");
+                assert_eq!(seq.final_similarity, par.final_similarity);
+            }
+        }
+    }
+
+    #[test]
+    fn full_protection_parallel() {
+        let g = holme_kim(150, 4, 0.4, 2);
+        let inst = TppInstance::with_random_targets(g, 6, 2);
+        let plan = parallel_sgb_greedy(&inst, usize::MAX, Motif::Triangle, 4);
+        assert!(plan.is_full_protection());
+        plan.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let g = holme_kim(50, 3, 0.3, 1);
+        let inst = TppInstance::with_random_targets(g, 2, 1);
+        let _ = parallel_sgb_greedy(&inst, 1, Motif::Triangle, 0);
+    }
+}

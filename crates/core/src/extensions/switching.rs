@@ -1,0 +1,151 @@
+//! Link switching as an (anti-)baseline — the paper's §VI-D shows the
+//! dissimilarity under random switching is **not monotone**: the addition
+//! half of a switch can mint fresh motif evidence for a hidden target.
+//! This module makes that failure executable and measurable.
+
+use crate::problem::TppInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_graph::{Edge, Graph, NodeId};
+use tpp_motif::{count_all_targets, Motif};
+
+/// Outcome of a random link-switching perturbation.
+#[derive(Debug, Clone)]
+pub struct SwitchOutcome {
+    /// Edges deleted in step 1.
+    pub deleted: Vec<Edge>,
+    /// Edges added in step 2.
+    pub added: Vec<Edge>,
+    /// Total target similarity before switching.
+    pub similarity_before: usize,
+    /// Total target similarity after switching.
+    pub similarity_after: usize,
+    /// The perturbed graph.
+    pub graph: Graph,
+}
+
+impl SwitchOutcome {
+    /// `true` when the switch *increased* the adversary's evidence —
+    /// the monotonicity failure the paper warns about.
+    #[must_use]
+    pub fn backfired(&self) -> bool {
+        self.similarity_after > self.similarity_before
+    }
+}
+
+/// Random link switching per the paper's two-step description: delete `k`
+/// random existing links, then add `k` random links between unconnected
+/// pairs. Target links are never re-added.
+#[must_use]
+pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) -> SwitchOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = instance.released().clone();
+    let similarity_before = count_all_targets(&g, instance.targets(), motif)
+        .iter()
+        .sum();
+
+    // Step 1: delete k random existing links.
+    let mut deleted = Vec::with_capacity(k);
+    let mut edges = g.edge_vec();
+    for _ in 0..k.min(edges.len()) {
+        let i = rng.gen_range(0..edges.len());
+        let e = edges.swap_remove(i);
+        g.remove_edge(e.u(), e.v());
+        deleted.push(e);
+    }
+
+    // Step 2: add k random links between unconnected pairs (never a target).
+    let n = g.node_count();
+    let mut added = Vec::with_capacity(k);
+    let mut guard = 0usize;
+    while added.len() < k && guard < 1000 * k.max(8) {
+        guard += 1;
+        let a = rng.gen_range(0..n) as NodeId;
+        let b = rng.gen_range(0..n) as NodeId;
+        if a == b {
+            continue;
+        }
+        let e = Edge::new(a, b);
+        if g.contains(e) || instance.targets().contains(&e) {
+            continue;
+        }
+        g.add_edge(a, b);
+        added.push(e);
+    }
+
+    let similarity_after = count_all_targets(&g, instance.targets(), motif)
+        .iter()
+        .sum();
+    SwitchOutcome {
+        deleted,
+        added,
+        similarity_before,
+        similarity_after,
+        graph: g,
+    }
+}
+
+/// Runs `trials` independent random switches and returns how many backfired
+/// (similarity increased) — an empirical estimate of the §VI-D failure rate.
+#[must_use]
+pub fn backfire_rate(instance: &TppInstance, k: usize, motif: Motif, trials: u64) -> f64 {
+    let backfires = (0..trials)
+        .filter(|&seed| random_switch(instance, k, motif, seed).backfired())
+        .count();
+    backfires as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    fn instance() -> TppInstance {
+        let g = holme_kim(150, 4, 0.5, 8);
+        TppInstance::with_random_targets(g, 6, 8)
+    }
+
+    #[test]
+    fn switch_preserves_edge_count() {
+        let inst = instance();
+        let out = random_switch(&inst, 10, Motif::Triangle, 1);
+        assert_eq!(out.deleted.len(), 10);
+        assert_eq!(out.added.len(), 10);
+        assert_eq!(out.graph.edge_count(), inst.released().edge_count());
+        out.graph.check_invariants();
+        // never resurrects a target
+        for t in inst.targets() {
+            assert!(!out.graph.contains(*t));
+        }
+    }
+
+    #[test]
+    fn switching_sometimes_backfires() {
+        // The §VI-D claim: there exist switches that increase evidence.
+        let inst = instance();
+        let rate = backfire_rate(&inst, 15, Motif::Triangle, 40);
+        assert!(
+            rate > 0.0,
+            "expected at least one backfiring switch in 40 trials"
+        );
+    }
+
+    #[test]
+    fn greedy_never_backfires_by_construction() {
+        // Contrast: pure deletion can only reduce evidence.
+        let inst = instance();
+        for seed in 0..20 {
+            let plan = crate::baselines::random_deletion(&inst, 15, Motif::Triangle, seed);
+            assert!(plan.final_similarity <= plan.initial_similarity);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = instance();
+        let a = random_switch(&inst, 5, Motif::Triangle, 7);
+        let b = random_switch(&inst, 5, Motif::Triangle, 7);
+        assert_eq!(a.deleted, b.deleted);
+        assert_eq!(a.added, b.added);
+    }
+}

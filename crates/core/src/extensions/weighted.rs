@@ -1,0 +1,157 @@
+//! Weighted-target TPP: targets with heterogeneous importance.
+//!
+//! The paper motivates MLBT with "the importance level of every sensitive
+//! target is different" and encodes importance through budget division.
+//! This extension encodes it directly in the objective instead:
+//! `f_w(P, T) = C − Σ_t w_t · s(P, t)` — a positively weighted sum of
+//! monotone submodular functions, hence still monotone submodular, so the
+//! greedy keeps its `1 − 1/e` guarantee.
+
+use crate::oracle::{CandidatePolicy, GainOracle, IndexOracle};
+use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::problem::TppInstance;
+use tpp_graph::Edge;
+use tpp_motif::Motif;
+
+/// Runs weighted SGB-Greedy: each round deletes the candidate maximizing
+/// the weighted broken-instance mass `Σ_t w_t · Δ_t(p)`.
+///
+/// `weights[t] >= 0` is the importance of target `t`. With all weights 1
+/// this reduces exactly to [`crate::sgb_greedy`] with the scalable config.
+///
+/// # Panics
+/// Panics if `weights.len() != |T|` or any weight is negative/NaN.
+#[must_use]
+pub fn weighted_sgb_greedy(
+    instance: &TppInstance,
+    weights: &[f64],
+    k: usize,
+    motif: Motif,
+) -> ProtectionPlan {
+    assert_eq!(
+        weights.len(),
+        instance.target_count(),
+        "one weight per target required"
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let mut oracle = IndexOracle::new(instance.released(), instance.targets(), motif);
+    let initial = oracle.total_similarity();
+    let mut protectors: Vec<Edge> = Vec::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
+    while protectors.len() < k {
+        let candidates = oracle.candidates(CandidatePolicy::SubgraphEdges);
+        let mut best: Option<(f64, usize, Edge)> = None;
+        for &p in &candidates {
+            let v = oracle.gain_vector(p);
+            let raw: usize = v.iter().sum();
+            if raw == 0 {
+                continue;
+            }
+            let weighted: f64 = v.iter().zip(weights).map(|(&g, &w)| g as f64 * w).sum();
+            // Candidates are scanned in canonical order; on ties the first
+            // maximizer wins (same tie-break as the sequential SGB scan),
+            // with raw gain as a secondary criterion among weighted ties.
+            let better = match best {
+                None => true,
+                Some((bw, braw, _)) => {
+                    weighted > bw + 1e-12 || ((weighted - bw).abs() <= 1e-12 && raw > braw)
+                }
+            };
+            if better {
+                best = Some((weighted, raw, p));
+            }
+        }
+        let Some((weighted, _, p)) = best else { break };
+        if weighted <= 0.0 {
+            break; // remaining evidence belongs to zero-weight targets only
+        }
+        let broken = oracle.commit(p);
+        protectors.push(p);
+        steps.push(StepRecord {
+            round: steps.len(),
+            protector: p,
+            charged_target: None,
+            own_broken: broken,
+            total_broken: broken,
+            similarity_after: oracle.total_similarity(),
+        });
+    }
+    ProtectionPlan {
+        algorithm: AlgorithmKind::SgbGreedy,
+        protectors,
+        initial_similarity: initial,
+        final_similarity: oracle.total_similarity(),
+        steps,
+        per_target: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{sgb_greedy, GreedyConfig};
+    use tpp_graph::Graph;
+
+    fn fixture() -> TppInstance {
+        // Target 0 = (0,1) with two triangles; target 1 = (5,6) with one.
+        let g = Graph::from_edges([
+            (0u32, 1u32),
+            (0, 2),
+            (2, 1),
+            (0, 3),
+            (3, 1),
+            (5, 6),
+            (5, 7),
+            (7, 6),
+        ]);
+        TppInstance::new(g, vec![Edge::new(0, 1), Edge::new(5, 6)]).unwrap()
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_sgb() {
+        let inst = fixture();
+        let weighted = weighted_sgb_greedy(&inst, &[1.0, 1.0], 3, Motif::Triangle);
+        let plain = sgb_greedy(&inst, 3, &GreedyConfig::scalable(Motif::Triangle));
+        assert_eq!(weighted.protectors, plain.protectors);
+    }
+
+    #[test]
+    fn heavy_weight_redirects_protection() {
+        let inst = fixture();
+        // With overwhelming weight on target 1, its (single-coverage) edges
+        // win over target 0's edges despite equal raw gains.
+        let plan = weighted_sgb_greedy(&inst, &[0.01, 100.0], 1, Motif::Triangle);
+        let p = plan.protectors[0];
+        assert!(
+            p.touches(5) || p.touches(6) || p.touches(7),
+            "expected a target-1 protector, got {p}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_targets_are_ignored() {
+        let inst = fixture();
+        let plan = weighted_sgb_greedy(&inst, &[1.0, 0.0], usize::MAX, Motif::Triangle);
+        // stops once target 0's evidence is gone; target 1's remains
+        assert_eq!(plan.final_similarity, 1);
+        let idx = inst.build_index(Motif::Triangle);
+        assert_eq!(idx.target_similarity(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per target")]
+    fn weight_arity_checked() {
+        let inst = fixture();
+        let _ = weighted_sgb_greedy(&inst, &[1.0], 2, Motif::Triangle);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let inst = fixture();
+        let _ = weighted_sgb_greedy(&inst, &[1.0, -2.0], 2, Motif::Triangle);
+    }
+}

@@ -1,0 +1,321 @@
+//! Gain oracles: how the greedy algorithms evaluate `Δ_p`.
+//!
+//! Two implementations back the same greedy loops:
+//!
+//! * [`IndexOracle`] — the scalable path: a [`CoverageIndex`] built once,
+//!   with incremental deletion. Candidate edges can be restricted to
+//!   target-subgraph edges (Lemma 5), giving the paper's `-R` algorithms.
+//! * [`NaiveOracle`] — the paper-faithful plain path: every gain is a fresh
+//!   motif recount on a scratch graph (delete, recount all targets, restore).
+//!   This is what makes the plain algorithms ~20× slower in Fig. 5 and
+//!   week-long on DBLP — we keep it both for fidelity and as an ablation
+//!   baseline.
+
+use tpp_graph::{Edge, Graph};
+use tpp_motif::{count_target_subgraphs, CoverageIndex, Motif};
+
+/// Candidate-set policy (Lemma 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidatePolicy {
+    /// Every remaining edge of the released graph is a candidate — the
+    /// plain SGB/CT/WT algorithms.
+    AllEdges,
+    /// Only edges participating in alive target subgraphs — the `-R`
+    /// scalable variants.
+    SubgraphEdges,
+}
+
+/// Uniform interface over gain evaluation strategies.
+pub trait GainOracle {
+    /// Current total similarity `s(P, T)`.
+    fn total_similarity(&self) -> usize;
+    /// Current similarity of one target.
+    fn target_similarity(&self, target_idx: usize) -> usize;
+    /// `Δ_p`: total instances a deletion of `p` would break right now.
+    fn gain(&mut self, p: Edge) -> usize;
+    /// `(own, cross)` split of `Δ_p` relative to `target_idx`.
+    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize);
+    /// Per-target broken-instance counts for deleting `p` (one entry per
+    /// target). `gain(p) = gain_vector(p).sum()`.
+    fn gain_vector(&mut self, p: Edge) -> Vec<usize>;
+    /// Candidate protector edges under `policy`, sorted canonically.
+    fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge>;
+    /// Permanently deletes `p`; returns the realized gain.
+    fn commit(&mut self, p: Edge) -> usize;
+    /// Number of targets.
+    fn target_count(&self) -> usize;
+}
+
+/// Incremental oracle over a [`CoverageIndex`] plus a mutable graph copy
+/// (the graph copy keeps `AllEdges` candidate sets accurate).
+pub struct IndexOracle {
+    index: CoverageIndex,
+    graph: Graph,
+}
+
+impl IndexOracle {
+    /// Builds the oracle from the released graph and targets.
+    #[must_use]
+    pub fn new(released: &Graph, targets: &[Edge], motif: Motif) -> Self {
+        IndexOracle {
+            index: CoverageIndex::build(released, targets, motif),
+            graph: released.clone(),
+        }
+    }
+
+    /// Read access to the underlying index (reporting, verification).
+    #[must_use]
+    pub fn index(&self) -> &CoverageIndex {
+        &self.index
+    }
+
+    /// The graph with all committed deletions applied.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl GainOracle for IndexOracle {
+    fn total_similarity(&self) -> usize {
+        self.index.total_similarity()
+    }
+
+    fn target_similarity(&self, target_idx: usize) -> usize {
+        self.index.target_similarity(target_idx)
+    }
+
+    fn gain(&mut self, p: Edge) -> usize {
+        self.index.gain(p)
+    }
+
+    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize) {
+        self.index.gain_split(p, target_idx)
+    }
+
+    fn gain_vector(&mut self, p: Edge) -> Vec<usize> {
+        self.index.gain_vector(p)
+    }
+
+    fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge> {
+        match policy {
+            CandidatePolicy::AllEdges => self.graph.edge_vec(),
+            CandidatePolicy::SubgraphEdges => self.index.alive_candidate_edges(),
+        }
+    }
+
+    fn commit(&mut self, p: Edge) -> usize {
+        self.graph.remove_edge(p.u(), p.v());
+        self.index.delete_edge(p)
+    }
+
+    fn target_count(&self) -> usize {
+        self.index.targets().len()
+    }
+}
+
+/// Recount-everything oracle: each gain is two full similarity evaluations
+/// on a scratch graph. Deliberately unoptimized — this reproduces the cost
+/// model of the paper's plain algorithms.
+pub struct NaiveOracle {
+    graph: Graph,
+    targets: Vec<Edge>,
+    motif: Motif,
+}
+
+impl NaiveOracle {
+    /// Builds the oracle (clones the released graph as scratch space).
+    #[must_use]
+    pub fn new(released: &Graph, targets: &[Edge], motif: Motif) -> Self {
+        NaiveOracle {
+            graph: released.clone(),
+            targets: targets.to_vec(),
+            motif,
+        }
+    }
+
+    fn similarity_of(&self, target_idx: usize) -> usize {
+        let t = self.targets[target_idx];
+        count_target_subgraphs(&self.graph, t.u(), t.v(), self.motif)
+    }
+
+    /// The graph with all committed deletions applied.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl GainOracle for NaiveOracle {
+    fn total_similarity(&self) -> usize {
+        (0..self.targets.len())
+            .map(|i| self.similarity_of(i))
+            .sum()
+    }
+
+    fn target_similarity(&self, target_idx: usize) -> usize {
+        self.similarity_of(target_idx)
+    }
+
+    fn gain(&mut self, p: Edge) -> usize {
+        if !self.graph.contains(p) {
+            return 0;
+        }
+        let before = self.total_similarity();
+        // What-if evaluation by mutate-and-restore: remove p, recount every
+        // target from adjacency, add p back. This is the paper's plain cost
+        // model O(n (log N)^2) per candidate.
+        self.graph.remove_edge(p.u(), p.v());
+        let after = self.total_similarity();
+        self.graph.add_edge(p.u(), p.v());
+        before - after
+    }
+
+    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize) {
+        let v = self.gain_vector(p);
+        let own = v[target_idx];
+        let cross = v.iter().sum::<usize>() - own;
+        (own, cross)
+    }
+
+    fn gain_vector(&mut self, p: Edge) -> Vec<usize> {
+        if !self.graph.contains(p) {
+            return vec![0; self.targets.len()];
+        }
+        let before: Vec<usize> = (0..self.targets.len())
+            .map(|i| self.similarity_of(i))
+            .collect();
+        self.graph.remove_edge(p.u(), p.v());
+        let after: Vec<usize> = (0..self.targets.len())
+            .map(|i| self.similarity_of(i))
+            .collect();
+        self.graph.add_edge(p.u(), p.v());
+        before.iter().zip(&after).map(|(b, a)| b - a).collect()
+    }
+
+    fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge> {
+        match policy {
+            CandidatePolicy::AllEdges => self.graph.edge_vec(),
+            CandidatePolicy::SubgraphEdges => {
+                // Re-enumerate instances from scratch (the restricted variant
+                // without the incremental index).
+                let mut out: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+                for (idx, t) in self.targets.iter().enumerate() {
+                    for inst in tpp_motif::enumerate_target_subgraphs(
+                        &self.graph,
+                        t.u(),
+                        t.v(),
+                        self.motif,
+                        idx,
+                    ) {
+                        out.extend(inst.edges().iter().copied());
+                    }
+                }
+                let mut v: Vec<Edge> = out.into_iter().collect();
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+
+    fn commit(&mut self, p: Edge) -> usize {
+        let before = self.total_similarity();
+        self.graph.remove_edge(p.u(), p.v());
+        before - self.total_similarity()
+    }
+
+    fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::erdos_renyi_gnp;
+
+    fn fixture(motif: Motif) -> (Graph, Vec<Edge>, IndexOracle, NaiveOracle) {
+        let mut g = erdos_renyi_gnp(24, 0.25, 5);
+        let targets = vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(4, 5)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        let idx = IndexOracle::new(&g, &targets, motif);
+        let naive = NaiveOracle::new(&g, &targets, motif);
+        (g, targets, idx, naive)
+    }
+
+    #[test]
+    fn oracles_agree_on_everything() {
+        for motif in Motif::ALL {
+            let (_, targets, mut idx, mut naive) = fixture(motif);
+            assert_eq!(idx.total_similarity(), naive.total_similarity());
+            let cands = idx.candidates(CandidatePolicy::SubgraphEdges);
+            assert_eq!(cands, naive.candidates(CandidatePolicy::SubgraphEdges));
+            for &p in cands.iter().take(12) {
+                assert_eq!(idx.gain(p), naive.gain(p), "{motif} gain({p})");
+                assert_eq!(idx.gain_vector(p), naive.gain_vector(p));
+                assert_eq!(idx.gain_vector(p).iter().sum::<usize>(), idx.gain(p));
+                for t in 0..targets.len() {
+                    assert_eq!(
+                        idx.gain_split(p, t),
+                        naive.gain_split(p, t),
+                        "{motif} split({p}, {t})"
+                    );
+                }
+            }
+            // Commit a few deletions and re-check agreement.
+            for &p in cands.iter().take(3) {
+                assert_eq!(idx.commit(p), naive.commit(p), "{motif} commit({p})");
+                assert_eq!(idx.total_similarity(), naive.total_similarity());
+            }
+        }
+    }
+
+    #[test]
+    fn gain_split_sums_to_gain() {
+        let (_, _, mut idx, _) = fixture(Motif::Triangle);
+        for p in idx.candidates(CandidatePolicy::SubgraphEdges) {
+            let total = idx.gain(p);
+            let split_sum: usize = (0..idx.target_count())
+                .map(|t| idx.gain_split(p, t).0)
+                .sum();
+            assert_eq!(total, split_sum);
+            let (own, cross) = idx.gain_split(p, 0);
+            assert_eq!(own + cross, total);
+        }
+    }
+
+    #[test]
+    fn all_edges_policy_includes_zero_gain_edges() {
+        let (g, _, idx, _) = fixture(Motif::Triangle);
+        let all = idx.candidates(CandidatePolicy::AllEdges);
+        let restricted = idx.candidates(CandidatePolicy::SubgraphEdges);
+        assert_eq!(all.len(), g.edge_count());
+        assert!(restricted.len() <= all.len());
+        for e in &restricted {
+            assert!(all.contains(e), "restricted ⊆ all violated at {e}");
+        }
+    }
+
+    #[test]
+    fn committed_edges_leave_candidates() {
+        let (_, _, mut idx, _) = fixture(Motif::Triangle);
+        let all_before = idx.candidates(CandidatePolicy::AllEdges).len();
+        let p = idx.candidates(CandidatePolicy::SubgraphEdges)[0];
+        idx.commit(p);
+        let all_after = idx.candidates(CandidatePolicy::AllEdges);
+        assert_eq!(all_after.len(), all_before - 1);
+        assert!(!all_after.contains(&p));
+        assert!(!idx
+            .candidates(CandidatePolicy::SubgraphEdges)
+            .contains(&p));
+    }
+
+    #[test]
+    fn naive_gain_on_missing_edge_is_zero() {
+        let (_, _, _, mut naive) = fixture(Motif::Triangle);
+        assert_eq!(naive.gain(Edge::new(0, 1)), 0, "target edge absent");
+        assert_eq!(naive.gain_split(Edge::new(0, 1), 0), (0, 0));
+    }
+}

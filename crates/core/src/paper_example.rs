@@ -1,0 +1,133 @@
+//! The paper's Fig. 2 worked example, reconstructed as an executable
+//! fixture: five targets, shared protectors `p1..p4`, and the headline
+//! comparison — SGB-Greedy gains 5, CT-Greedy 4, WT-Greedy 3 under the
+//! budget assignment `k_{t1} = k_{t2} = 1` (others 0).
+
+use crate::problem::TppInstance;
+use tpp_graph::{Edge, Graph};
+
+/// Node roles in the fixture (matching the construction below):
+/// `x=0, y=1, z=2, s=3, r=4, q=5` are target endpoints; `w=6, w2=7, w3=8`
+/// are the common neighbors forming the target triangles.
+///
+/// Protector participation (triangle instances after phase 1):
+/// * `p1 = (0,6)` is in 2 target triangles (for `t1`, `t2`);
+/// * `p2 = (2,6)` is in 3 target triangles (for `t2`, `t3`, `t4`);
+/// * `p3 = (4,8)` is in 2 target triangles (for `t4`, `t5`);
+/// * `p4 = (0,7)` is in 1 target triangle (for `t2`).
+#[must_use]
+pub fn fig2_instance() -> TppInstance {
+    let g = Graph::from_edges([
+        // target links (removed in phase 1)
+        (0u32, 1u32), // t1
+        (0, 2),       // t2
+        (2, 3),       // t3
+        (2, 4),       // t4
+        (4, 5),       // t5
+        // protector structure
+        (0, 6), // p1
+        (6, 1),
+        (6, 2), // p2
+        (6, 3),
+        (6, 4),
+        (0, 7), // p4
+        (7, 2),
+        (2, 8),
+        (8, 4), // p3
+        (8, 5),
+    ]);
+    let targets = vec![
+        Edge::new(0, 1),
+        Edge::new(0, 2),
+        Edge::new(2, 3),
+        Edge::new(2, 4),
+        Edge::new(4, 5),
+    ];
+    TppInstance::new(g, targets).expect("fixture is valid")
+}
+
+/// The labelled protectors of Fig. 2.
+#[must_use]
+pub fn fig2_protectors() -> [(&'static str, Edge); 4] {
+    [
+        ("p1", Edge::new(0, 6)),
+        ("p2", Edge::new(2, 6)),
+        ("p3", Edge::new(4, 8)),
+        ("p4", Edge::new(0, 7)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{ct_greedy, sgb_greedy, wt_greedy, GreedyConfig};
+    use tpp_motif::Motif;
+
+    fn cfg() -> GreedyConfig {
+        GreedyConfig::scalable(Motif::Triangle)
+    }
+
+    #[test]
+    fn fixture_matches_fig2_participations() {
+        let inst = fig2_instance();
+        let idx = inst.build_index(Motif::Triangle);
+        assert_eq!(idx.total_similarity(), 7, "1+2+1+2+1 triangles");
+        assert_eq!(idx.similarities(), &[1, 2, 1, 2, 1]);
+        let by_label: std::collections::HashMap<_, _> =
+            fig2_protectors().into_iter().collect();
+        assert_eq!(idx.gain(by_label["p1"]), 2);
+        assert_eq!(idx.gain(by_label["p2"]), 3);
+        assert_eq!(idx.gain(by_label["p3"]), 2);
+        assert_eq!(idx.gain(by_label["p4"]), 1);
+    }
+
+    /// Paper Fig. 2(b)(c): SGB with k = 2 deletes p2 then p3, Δf = 5.
+    #[test]
+    fn sgb_gains_five() {
+        let inst = fig2_instance();
+        let plan = sgb_greedy(&inst, 2, &cfg());
+        let p = fig2_protectors();
+        assert_eq!(plan.protectors, vec![p[1].1, p[2].1], "p2 then p3");
+        assert_eq!(plan.dissimilarity_gain(), 5);
+        plan.check_invariants();
+    }
+
+    /// Paper Fig. 2(d)(e): CT with budgets (1, 1, 0, 0, 0) deletes p2 for
+    /// t2 and p1 for t1, Δf = 4.
+    #[test]
+    fn ct_gains_four() {
+        let inst = fig2_instance();
+        let budgets = [1usize, 1, 0, 0, 0];
+        let plan = ct_greedy(&inst, &budgets, &cfg()).unwrap();
+        let p = fig2_protectors();
+        assert_eq!(plan.protectors, vec![p[1].1, p[0].1], "p2 then p1");
+        assert_eq!(plan.steps[0].charged_target, Some(1), "p2 charged to t2");
+        assert_eq!(plan.steps[1].charged_target, Some(0), "p1 charged to t1");
+        assert_eq!(plan.dissimilarity_gain(), 4);
+        plan.check_invariants();
+    }
+
+    /// Paper Fig. 2(f)(g): WT with the same budgets deletes p1 for t1 and
+    /// p4 for t2, Δf = 3.
+    #[test]
+    fn wt_gains_three() {
+        let inst = fig2_instance();
+        let budgets = [1usize, 1, 0, 0, 0];
+        let plan = wt_greedy(&inst, &budgets, &cfg()).unwrap();
+        let p = fig2_protectors();
+        assert_eq!(plan.protectors, vec![p[0].1, p[3].1], "p1 then p4");
+        assert_eq!(plan.dissimilarity_gain(), 3);
+        plan.check_invariants();
+    }
+
+    /// The headline ordering of the example: SGB(5) > CT(4) > WT(3).
+    #[test]
+    fn fig2_ordering() {
+        let inst = fig2_instance();
+        let budgets = [1usize, 1, 0, 0, 0];
+        let sgb = sgb_greedy(&inst, 2, &cfg()).dissimilarity_gain();
+        let ct = ct_greedy(&inst, &budgets, &cfg()).unwrap().dissimilarity_gain();
+        let wt = wt_greedy(&inst, &budgets, &cfg()).unwrap().dissimilarity_gain();
+        assert_eq!((sgb, ct, wt), (5, 4, 3));
+    }
+}

@@ -1,0 +1,137 @@
+//! Zachary's karate club — the canonical small social graph (34 nodes,
+//! 78 edges), embedded as a deterministic fixture for examples and tests.
+
+use tpp_graph::Graph;
+
+/// The 78 undirected edges of Zachary's karate club, 0-indexed.
+pub const KARATE_EDGES: [(u32, u32); 78] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
+    (6, 16),
+    (8, 30),
+    (8, 32),
+    (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
+    (19, 33),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
+    (25, 31),
+    (26, 29),
+    (26, 33),
+    (27, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
+    (32, 33),
+];
+
+/// Builds Zachary's karate club graph.
+#[must_use]
+pub fn karate_club() -> Graph {
+    Graph::from_edges(KARATE_EDGES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::traversal::is_connected;
+
+    #[test]
+    fn canonical_counts() {
+        let g = karate_club();
+        assert_eq!(g.node_count(), 34);
+        assert_eq!(g.edge_count(), 78);
+        assert!(is_connected(&g));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn famous_degrees() {
+        let g = karate_club();
+        assert_eq!(g.degree(0), 16, "instructor (node 0)");
+        assert_eq!(g.degree(33), 17, "president (node 33)");
+        assert_eq!(g.degree(32), 12);
+    }
+
+    #[test]
+    fn has_rich_triangle_structure() {
+        assert!(tpp_metrics_free_triangle_count(&karate_club()) == 45);
+    }
+
+    /// Standalone triangle counter so this crate does not depend on
+    /// tpp-metrics (kept dependency-light).
+    fn tpp_metrics_free_triangle_count(g: &Graph) -> usize {
+        let mut t = 0usize;
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if a > u && b > u && g.has_edge(a, b) {
+                        t += 1;
+                    }
+                }
+            }
+        }
+        t
+    }
+}

@@ -1,0 +1,28 @@
+//! # tpp-datasets
+//!
+//! Dataset substrates for the TPP experiments. The paper evaluates on two
+//! downloads (KONECT Arenas-email, SNAP com-DBLP) that are unavailable in an
+//! offline build, so this crate provides structurally matched synthetic
+//! stand-ins — same node/edge counts, same degree heterogeneity, same motif
+//! density regime — plus the embedded Zachary karate club for examples.
+//! Substitution rationale lives in DESIGN.md §4.
+//!
+//! ```
+//! use tpp_datasets::{arenas_email_like, karate_club};
+//!
+//! let arenas = arenas_email_like(42);
+//! assert_eq!(arenas.node_count(), 1133);
+//! assert_eq!(arenas.edge_count(), 5451);
+//! assert_eq!(karate_club().node_count(), 34);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod arenas;
+mod dblp;
+mod karate;
+
+pub use arenas::{arenas_email_like, ARENAS_EDGES, ARENAS_NODES};
+pub use dblp::{dblp_like, dblp_like_custom, DblpScale, BLOCK};
+pub use karate::{karate_club, KARATE_EDGES};

@@ -1,0 +1,64 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+/// Errors produced by fallible graph mutation and edge-list parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge `(n, n)` was requested; simple graphs forbid self-loops.
+    SelfLoop {
+        /// The offending node.
+        node: crate::edge::NodeId,
+    },
+    /// An edge referenced a node id `>= nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: crate::edge::NodeId,
+        /// Current number of nodes.
+        nodes: usize,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+            }
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (graph has {nodes} nodes)")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "edge-list parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GraphError::SelfLoop { node: 3 }.to_string().contains("node 3"));
+        assert!(GraphError::NodeOutOfRange { node: 9, nodes: 4 }
+            .to_string()
+            .contains("9"));
+        let e = GraphError::Parse {
+            line: 12,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("bad token"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment (scale-free graphs).
+
+use crate::edge::NodeId;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert graph: starts from a small connected seed and attaches
+/// each new node to `m` existing nodes chosen proportionally to degree.
+///
+/// Produces the power-law degree distributions characteristic of real social
+/// graphs (the paper cites BA (its reference 16) as the building principle behind motif
+/// based link prediction).
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+#[must_use]
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n > m (got n = {n}, m = {m})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+
+    // `repeated` holds each node once per incident edge endpoint, so uniform
+    // sampling from it is exactly degree-proportional sampling.
+    let mut repeated: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed: a star over the first m + 1 nodes, guaranteeing every early node
+    // has nonzero degree before preferential attachment starts.
+    for v in 1..=m {
+        g.add_edge(0, v as NodeId);
+        repeated.push(0);
+        repeated.push(v as NodeId);
+    }
+
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    for new in (m + 1)..n {
+        chosen.clear();
+        // Sample m distinct targets proportional to degree.
+        while chosen.len() < m {
+            let pick = repeated[rng.gen_range(0..repeated.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(new as NodeId, t);
+            repeated.push(new as NodeId);
+            repeated.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn edge_count_formula() {
+        // star seed contributes m edges; each of the (n - m - 1) later nodes
+        // contributes m edges.
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(n, m, 11);
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn connected_and_min_degree() {
+        let g = barabasi_albert(300, 4, 5);
+        assert!(is_connected(&g));
+        // Nodes added after the seed star attach with exactly m links, so
+        // their degree is at least m; seed leaves only guarantee degree 1.
+        assert!((5u32..300).all(|u| g.degree(u) >= 4));
+        assert!(g.nodes().all(|u| g.degree(u) >= 1));
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        // A scale-free graph should have a hub well above the mean degree.
+        let g = barabasi_albert(2000, 3, 9);
+        let mean = g.degree_sum() as f64 / g.node_count() as f64;
+        assert!(
+            g.max_degree() as f64 > 5.0 * mean,
+            "max degree {} not hub-like vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 1));
+        assert_ne!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_small_n() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+}

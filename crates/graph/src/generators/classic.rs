@@ -1,0 +1,118 @@
+//! Deterministic classic topologies used as analytic test fixtures.
+
+use crate::edge::NodeId;
+use crate::graph::Graph;
+
+/// Path graph `P_n`: nodes `0..n`, edges `(i, i+1)`.
+#[must_use]
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    g
+}
+
+/// Cycle graph `C_n` (requires `n >= 3` to stay simple; smaller `n` yields a
+/// path).
+#[must_use]
+pub fn cycle_graph(n: usize) -> Graph {
+    let mut g = path_graph(n);
+    if n >= 3 {
+        g.add_edge(0, (n - 1) as NodeId);
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+#[must_use]
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    g
+}
+
+/// Star graph `S_n`: hub `0` connected to `n` leaves (total `n + 1` nodes).
+#[must_use]
+pub fn star_graph(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for leaf in 1..=leaves {
+        g.add_edge(0, leaf as NodeId);
+    }
+    g
+}
+
+/// 2-D grid graph of `rows x cols` nodes with 4-neighbor connectivity.
+#[must_use]
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter(&g), 4);
+        assert!(is_connected(&g));
+        assert_eq!(path_graph(0).edge_count(), 0);
+        assert_eq!(path_graph(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle_graph(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        // n < 3 degenerates to a path (simple graph cannot close a 2-cycle).
+        assert_eq!(cycle_graph(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete_graph(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert_eq!(diameter(&g), 1);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star_graph(7);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.degree(0), 7);
+        assert!((1..8).all(|l| g.degree(l) == 1));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+        g.check_invariants();
+    }
+}

@@ -1,0 +1,153 @@
+//! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
+
+use crate::edge::NodeId;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `G(n, p)`: each of the `n (n-1) / 2` pairs is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so the cost is
+/// `O(n + expected_edges)` rather than `O(n^2)` for sparse graphs.
+///
+/// # Panics
+/// Panics unless `0.0 <= p <= 1.0`.
+#[must_use]
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut g = Graph::new(n);
+    if n < 2 || p == 0.0 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+        return g;
+    }
+    // Walk the strictly-upper-triangular pair sequence with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            g.add_edge(w as NodeId, v as NodeId);
+        }
+    }
+    g
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible pairs.
+#[must_use]
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= pairs, "m = {m} exceeds the {pairs} possible pairs");
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    if pairs == 0 {
+        return g;
+    }
+    // Dense request: rejection sampling would crawl, so shuffle-select.
+    if m * 3 > pairs {
+        let mut all = Vec::with_capacity(pairs);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                all.push((u as NodeId, v as NodeId));
+            }
+        }
+        // Partial Fisher-Yates: select m without full shuffle.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            g.add_edge(all[i].0, all[i].1);
+        }
+        return g;
+    }
+    while g.edge_count() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).edge_count(), 45);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, 1).node_count(), 0);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // 5 sigma tolerance for a binomial draw.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} far from expectation {expected}"
+        );
+        g.check_invariants();
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        let a = erdos_renyi_gnp(100, 0.1, 7);
+        let b = erdos_renyi_gnp(100, 0.1, 7);
+        let c = erdos_renyi_gnp(100, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = erdos_renyi_gnm(50, 200, 3);
+        assert_eq!(g.edge_count(), 200);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        // m close to the max exercises the shuffle-select branch.
+        let g = erdos_renyi_gnm(20, 180, 3);
+        assert_eq!(g.edge_count(), 180);
+        let full = erdos_renyi_gnm(6, 15, 9);
+        assert_eq!(full.edge_count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        let _ = erdos_renyi_gnm(4, 7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn gnp_rejects_bad_p() {
+        let _ = erdos_renyi_gnp(4, 1.5, 0);
+    }
+}

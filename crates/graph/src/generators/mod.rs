@@ -1,0 +1,27 @@
+//! Random and deterministic graph generators.
+//!
+//! These are the substrates for the paper's datasets: the experiments use
+//! scale-free social graphs (Arenas-email, DBLP), which we synthesize with
+//! the Barabási–Albert, Holme–Kim and planted-partition families. Classic
+//! deterministic topologies (paths, cycles, stars, complete graphs, grids)
+//! back the analytic unit tests of the metric implementations.
+//!
+//! All randomized generators take an explicit `u64` seed and are
+//! deterministic for a given seed — every experiment in this workspace is
+//! reproducible bit-for-bit.
+
+mod ba;
+mod classic;
+mod config_model;
+mod er;
+mod holme_kim;
+mod planted;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use classic::{complete_graph, cycle_graph, grid_2d, path_graph, star_graph};
+pub use config_model::configuration_model;
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use holme_kim::holme_kim;
+pub use planted::planted_partition;
+pub use ws::watts_strogatz;

@@ -1,0 +1,138 @@
+//! Planted-partition (stochastic block) graphs with community structure.
+//!
+//! Substrate for the DBLP co-authorship substitute: collaboration networks
+//! decompose into dense communities (research groups) with sparse
+//! cross-community links, which is what drives the large rectangle / RecTri
+//! motif counts in the paper's Fig. 4.
+
+use crate::edge::NodeId;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Planted-partition graph: `communities` blocks of `block_size` nodes;
+/// within-block pairs are edges with probability `p_in`, cross-block pairs
+/// with probability `p_out`.
+///
+/// # Panics
+/// Panics if either probability is outside `[0, 1]`.
+#[must_use]
+pub fn planted_partition(
+    communities: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be in [0, 1]");
+    let n = communities * block_size;
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block_of = |u: usize| u / block_size.max(1);
+
+    // Within-block edges: dense sampling per block (blocks are small).
+    for b in 0..communities {
+        let base = b * block_size;
+        for i in 0..block_size {
+            for j in (i + 1)..block_size {
+                if rng.gen_bool(p_in) {
+                    g.add_edge((base + i) as NodeId, (base + j) as NodeId);
+                }
+            }
+        }
+    }
+    if p_out > 0.0 && communities > 1 {
+        // Cross-block edges: geometric skipping over all pairs, filtered to
+        // cross-block ones, keeps this O(expected edges) for sparse p_out.
+        let log_q = (1.0 - p_out).ln();
+        if p_out >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if block_of(u) != block_of(v) {
+                        g.add_edge(u as NodeId, v as NodeId);
+                    }
+                }
+            }
+            return g;
+        }
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        while (v as usize) < n {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            w += 1 + (r.ln() / log_q).floor() as i64;
+            while w >= v && (v as usize) < n {
+                w -= v;
+                v += 1;
+            }
+            if (v as usize) < n && block_of(w as usize) != block_of(v as usize) {
+                g.add_edge(w as NodeId, v as NodeId);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_denser_than_cross() {
+        let g = planted_partition(4, 50, 0.3, 0.01, 9);
+        let block_of = |u: NodeId| (u as usize) / 50;
+        let (mut within, mut cross) = (0usize, 0usize);
+        for e in g.edges() {
+            if block_of(e.u()) == block_of(e.v()) {
+                within += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        assert!(
+            within > 4 * cross,
+            "expected dense blocks: within = {within}, cross = {cross}"
+        );
+        g.check_invariants();
+    }
+
+    #[test]
+    fn edge_expectations() {
+        let g = planted_partition(2, 100, 0.2, 0.05, 4);
+        // within: 2 * C(100,2) * 0.2 = 1980; cross: 100*100*0.05 = 500
+        let total = g.edge_count() as f64;
+        let expected = 2.0 * 4950.0 * 0.2 + 10_000.0 * 0.05;
+        assert!(
+            (total - expected).abs() < 0.15 * expected,
+            "edge count {total} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn single_community_is_er_block() {
+        let g = planted_partition(1, 30, 1.0, 0.0, 0);
+        assert_eq!(g.edge_count(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn zero_probabilities_give_empty_graph() {
+        let g = planted_partition(3, 10, 0.0, 0.0, 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 30);
+    }
+
+    #[test]
+    fn p_out_one_connects_all_blocks() {
+        let g = planted_partition(3, 2, 0.0, 1.0, 0);
+        // every cross pair present: 3 blocks of 2 => pairs 6*5/2 - 3 within = 12
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            planted_partition(3, 20, 0.2, 0.02, 6),
+            planted_partition(3, 20, 0.2, 0.02, 6)
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::edge::NodeId;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbors (`k` even), with each edge rewired to a
+/// uniform random endpoint with probability `beta`.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+#[must_use]
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!(k < n, "need k < n (got k = {k}, n = {n})");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Ring lattice.
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            g.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    if beta == 0.0 || n < 3 {
+        return g;
+    }
+    // Rewire clockwise edges.
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if !rng.gen_bool(beta) {
+                continue;
+            }
+            // Pick a new endpoint avoiding self-loops and duplicates; give up
+            // after a bounded number of tries on (near-)saturated nodes.
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n) as NodeId;
+                if w as usize != u && !g.has_edge(u as NodeId, w) {
+                    g.remove_edge(u as NodeId, v as NodeId);
+                    g.add_edge(u as NodeId, w);
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = watts_strogatz(10, 4, 0.0, 1);
+        assert_eq!(g.edge_count(), 20);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && !g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let g = watts_strogatz(100, 6, 0.3, 7);
+        assert_eq!(g.edge_count(), 300);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn full_rewire_changes_structure() {
+        let lattice = watts_strogatz(50, 4, 0.0, 3);
+        let rewired = watts_strogatz(50, 4, 1.0, 3);
+        assert_ne!(lattice, rewired);
+        assert_eq!(rewired.edge_count(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            watts_strogatz(60, 4, 0.2, 5),
+            watts_strogatz(60, 4, 0.2, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+}

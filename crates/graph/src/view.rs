@@ -1,0 +1,197 @@
+//! Non-destructive graph views: evaluate "what if these edges were deleted"
+//! without cloning or mutating the base graph.
+//!
+//! Used by interactive callers (e.g. the CLI's what-if analysis and user
+//! code exploring protector candidates) where mutate-and-restore would be
+//! error-prone. The algorithm hot paths use mutation or the coverage index
+//! instead — a view's filtered iteration costs a hash probe per neighbor.
+
+use crate::edge::{Edge, NodeId};
+use crate::graph::Graph;
+use crate::hash::FastSet;
+
+/// A read-only overlay over a [`Graph`] with a set of edges masked out.
+#[derive(Debug, Clone)]
+pub struct MaskedGraph<'g> {
+    base: &'g Graph,
+    masked: FastSet<Edge>,
+}
+
+impl<'g> MaskedGraph<'g> {
+    /// Creates a view of `base` with `masked` edges hidden. Edges not
+    /// present in the base are ignored (masking is idempotent).
+    #[must_use]
+    pub fn new(base: &'g Graph, masked: impl IntoIterator<Item = Edge>) -> Self {
+        MaskedGraph {
+            base,
+            masked: masked.into_iter().collect(),
+        }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Adds another edge to the mask.
+    pub fn mask(&mut self, e: Edge) {
+        self.masked.insert(e);
+    }
+
+    /// Removes an edge from the mask (the edge becomes visible again).
+    pub fn unmask(&mut self, e: Edge) {
+        self.masked.remove(&e);
+    }
+
+    /// Number of nodes (same as the base).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Number of visible edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        let hidden = self
+            .masked
+            .iter()
+            .filter(|e| self.base.contains(**e))
+            .count();
+        self.base.edge_count() - hidden
+    }
+
+    /// Whether `(u, v)` is a visible edge.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.base.has_edge(u, v) && !self.masked.contains(&Edge::new(u, v))
+    }
+
+    /// Visible degree of `u`.
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).count()
+    }
+
+    /// Iterates the visible neighbors of `u` in ascending order.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.base
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(move |&v| !self.masked.contains(&Edge::new(u, v)))
+    }
+
+    /// Visible common neighbors of `u` and `v` in ascending order.
+    #[must_use]
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.base.for_each_common_neighbor(u, v, |w| {
+            if !self.masked.contains(&Edge::new(u, w)) && !self.masked.contains(&Edge::new(w, v)) {
+                out.push(w);
+            }
+        });
+        out
+    }
+
+    /// Materializes the view into an owned [`Graph`].
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let mut g = self.base.clone();
+        g.remove_edges(self.masked.iter());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2 (diagonal)
+        Graph::from_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)])
+    }
+
+    #[test]
+    fn masking_hides_edges_without_mutation() {
+        let g = diamond();
+        let view = MaskedGraph::new(&g, [Edge::new(0, 2)]);
+        assert!(g.has_edge(0, 2), "base untouched");
+        assert!(!view.has_edge(0, 2));
+        assert!(view.has_edge(0, 1));
+        assert_eq!(view.edge_count(), 4);
+        assert_eq!(view.node_count(), 4);
+    }
+
+    #[test]
+    fn neighbors_and_degree_respect_mask() {
+        let g = diamond();
+        let view = MaskedGraph::new(&g, [Edge::new(0, 2), Edge::new(0, 3)]);
+        assert_eq!(view.neighbors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(view.degree(0), 1);
+        assert_eq!(view.degree(1), 2, "untouched node keeps full degree");
+    }
+
+    #[test]
+    fn common_neighbors_respect_mask() {
+        let g = diamond();
+        // common neighbors of 1 and 3 in base: {0, 2}
+        assert_eq!(g.common_neighbors(1, 3), vec![0, 2]);
+        let view = MaskedGraph::new(&g, [Edge::new(1, 0)]);
+        assert_eq!(view.common_neighbors(1, 3), vec![2]);
+    }
+
+    #[test]
+    fn mask_unmask_round_trip() {
+        let g = diamond();
+        let mut view = MaskedGraph::new(&g, []);
+        assert_eq!(view.edge_count(), 5);
+        view.mask(Edge::new(1, 2));
+        assert_eq!(view.edge_count(), 4);
+        view.unmask(Edge::new(1, 2));
+        assert_eq!(view.edge_count(), 5);
+        assert!(view.has_edge(1, 2));
+    }
+
+    #[test]
+    fn masking_nonexistent_edges_is_harmless() {
+        let g = diamond();
+        let view = MaskedGraph::new(&g, [Edge::new(1, 3)]); // not an edge
+        assert_eq!(view.edge_count(), 5);
+        assert!(!view.has_edge(1, 3));
+    }
+
+    #[test]
+    fn to_graph_materializes() {
+        let g = diamond();
+        let view = MaskedGraph::new(&g, [Edge::new(0, 2), Edge::new(2, 3)]);
+        let owned = view.to_graph();
+        assert_eq!(owned.edge_count(), 3);
+        assert!(!owned.contains(Edge::new(0, 2)));
+        owned.check_invariants();
+    }
+
+    #[test]
+    fn view_matches_materialized_graph_semantics() {
+        // property-style spot check: every query agrees with to_graph()
+        let g = tpp_generators_probe();
+        let masked: Vec<Edge> = g.edge_vec().into_iter().step_by(3).collect();
+        let view = MaskedGraph::new(&g, masked);
+        let owned = view.to_graph();
+        assert_eq!(view.edge_count(), owned.edge_count());
+        for u in g.nodes() {
+            assert_eq!(
+                view.neighbors(u).collect::<Vec<_>>(),
+                owned.neighbors(u).to_vec(),
+                "node {u}"
+            );
+        }
+        for e in g.edges() {
+            assert_eq!(view.has_edge(e.u(), e.v()), owned.contains(e));
+        }
+    }
+
+    fn tpp_generators_probe() -> Graph {
+        crate::generators::erdos_renyi_gnp(25, 0.25, 11)
+    }
+}

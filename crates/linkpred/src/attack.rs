@@ -1,0 +1,291 @@
+//! Adversarial link-prediction attack simulation (the paper's threat model,
+//! §III-B): the attacker holds the released graph and scores hidden pairs.
+//!
+//! The paper argues qualitatively that full protection drives subgraph-based
+//! predictors to zero; this module quantifies attack success before/after
+//! protection with standard link-prediction measures (AUC, precision@k).
+
+use crate::scores::SimilarityIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tpp_graph::{Edge, Graph, NodeId};
+use tpp_motif::{count_target_subgraphs, Motif};
+
+/// A scoring strategy for a candidate missing link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Attacker {
+    /// One of the classic similarity indices.
+    Index(SimilarityIndex),
+    /// Motif-instance counting — exactly the evidence TPP minimizes.
+    MotifCount(Motif),
+    /// Truncated Katz walk-counting with `(beta, max_len)`.
+    Katz(f64, usize),
+}
+
+impl Attacker {
+    /// Scores the candidate pair `(u, v)` against the released graph.
+    #[must_use]
+    pub fn score(&self, g: &Graph, u: NodeId, v: NodeId) -> f64 {
+        match *self {
+            Attacker::Index(idx) => idx.score(g, u, v),
+            Attacker::MotifCount(motif) => count_target_subgraphs(g, u, v, motif) as f64,
+            Attacker::Katz(beta, len) => crate::katz::katz_score(g, u, v, beta, len),
+        }
+    }
+
+    /// Human-readable name for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Attacker::Index(idx) => idx.name().to_string(),
+            Attacker::MotifCount(m) => format!("motif-{m}"),
+            Attacker::Katz(beta, len) => format!("katz(beta={beta},len={len})"),
+        }
+    }
+}
+
+/// Result of simulating one attacker against one released graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Attacker description.
+    pub attacker: String,
+    /// AUC: probability a random hidden target outranks a random non-edge
+    /// (0.5 = blind guessing, 1.0 = perfect inference).
+    pub auc: f64,
+    /// Fraction of the top-`|T|` ranked candidates that are true targets.
+    pub precision_at_t: f64,
+    /// Scores assigned to the hidden targets, in target order.
+    pub target_scores: Vec<f64>,
+    /// Mean target score (0 for all targets = full protection against this
+    /// attacker, for score functions that vanish without evidence).
+    pub mean_target_score: f64,
+}
+
+impl AttackOutcome {
+    /// `true` when every hidden target scored exactly zero.
+    #[must_use]
+    pub fn targets_fully_hidden(&self) -> bool {
+        self.target_scores.iter().all(|&s| s == 0.0)
+    }
+}
+
+/// Samples `count` node pairs that are neither edges of `g` nor listed in
+/// `exclude` (e.g. the hidden targets themselves).
+#[must_use]
+pub fn sample_non_edges(g: &Graph, count: usize, exclude: &[Edge], seed: u64) -> Vec<Edge> {
+    let n = g.node_count();
+    assert!(n >= 2, "need at least two nodes to sample non-edges");
+    let excluded: tpp_graph::FastSet<Edge> = exclude.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut seen: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+    let mut guard = 0usize;
+    while out.len() < count {
+        guard += 1;
+        assert!(
+            guard < 1000 * count.max(16),
+            "graph too dense to sample {count} non-edges"
+        );
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if g.contains(e) || excluded.contains(&e) || seen.contains(&e) {
+            continue;
+        }
+        seen.insert(e);
+        out.push(e);
+    }
+    out
+}
+
+/// Simulates `attacker` on the released graph `g`: targets (true hidden
+/// links) are scored against `negatives` (non-links) and ranked.
+#[must_use]
+pub fn evaluate_attack(
+    g: &Graph,
+    targets: &[Edge],
+    negatives: &[Edge],
+    attacker: Attacker,
+) -> AttackOutcome {
+    let target_scores: Vec<f64> = targets
+        .iter()
+        .map(|t| attacker.score(g, t.u(), t.v()))
+        .collect();
+    let negative_scores: Vec<f64> = negatives
+        .iter()
+        .map(|e| attacker.score(g, e.u(), e.v()))
+        .collect();
+
+    // AUC by exhaustive pair comparison (sizes here are small).
+    let mut wins = 0.0f64;
+    for &ts in &target_scores {
+        for &ns in &negative_scores {
+            if ts > ns {
+                wins += 1.0;
+            } else if (ts - ns).abs() < 1e-15 {
+                wins += 0.5;
+            }
+        }
+    }
+    let auc = if target_scores.is_empty() || negative_scores.is_empty() {
+        0.5
+    } else {
+        wins / (target_scores.len() * negative_scores.len()) as f64
+    };
+
+    // precision@|T|: rank all candidates together, descending score; ties
+    // are broken pessimistically (non-targets first) so full protection
+    // cannot luck into precision.
+    let k = targets.len();
+    let mut ranked: Vec<(f64, bool)> = target_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negative_scores.iter().map(|&s| (s, false)))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1)) // false (non-target) before true
+    });
+    let hits = ranked.iter().take(k).filter(|&&(_, t)| t).count();
+    let precision_at_t = if k == 0 { 0.0 } else { hits as f64 / k as f64 };
+
+    let mean_target_score = if target_scores.is_empty() {
+        0.0
+    } else {
+        target_scores.iter().sum::<f64>() / target_scores.len() as f64
+    };
+    AttackOutcome {
+        attacker: attacker.name(),
+        auc,
+        precision_at_t,
+        target_scores,
+        mean_target_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    /// Build a released graph where targets still have strong triangle
+    /// evidence, plus a protected version with the evidence destroyed.
+    fn scenario() -> (Graph, Graph, Vec<Edge>) {
+        let mut g = holme_kim(300, 4, 0.6, 21);
+        // pick targets that have common neighbors (inferable links)
+        let mut targets = Vec::new();
+        for e in g.edge_vec() {
+            if g.common_neighbor_count(e.u(), e.v()) >= 2 {
+                targets.push(e);
+                if targets.len() == 10 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(targets.len(), 10, "fixture needs 10 inferable targets");
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        // naive full protection: delete every edge incident to a common
+        // neighbor of each target (crude but guarantees zero CN evidence).
+        let mut protected = g.clone();
+        for t in &targets {
+            let commons = protected.common_neighbors(t.u(), t.v());
+            for w in commons {
+                protected.remove_edge(t.u(), w);
+            }
+        }
+        (g, protected, targets)
+    }
+
+    #[test]
+    fn attack_succeeds_without_protection() {
+        let (released, _, targets) = scenario();
+        let negatives = sample_non_edges(&released, 200, &targets, 5);
+        let outcome = evaluate_attack(
+            &released,
+            &targets,
+            &negatives,
+            Attacker::Index(SimilarityIndex::CommonNeighbors),
+        );
+        assert!(outcome.auc > 0.8, "CN attack should work, auc = {}", outcome.auc);
+        assert!(outcome.mean_target_score > 0.5);
+    }
+
+    #[test]
+    fn full_protection_defeats_triangle_attackers() {
+        let (_, protected, targets) = scenario();
+        let negatives = sample_non_edges(&protected, 200, &targets, 5);
+        for idx in SimilarityIndex::TRIANGLE_BASED {
+            let outcome = evaluate_attack(&protected, &targets, &negatives, Attacker::Index(idx));
+            assert!(
+                outcome.targets_fully_hidden(),
+                "{idx}: target scores {:?}",
+                outcome.target_scores
+            );
+            assert!(outcome.auc <= 0.55, "{idx}: auc = {}", outcome.auc);
+        }
+    }
+
+    #[test]
+    fn motif_attacker_matches_similarity_semantics() {
+        let (released, _, targets) = scenario();
+        let attacker = Attacker::MotifCount(Motif::Triangle);
+        let t = targets[0];
+        let score = attacker.score(&released, t.u(), t.v());
+        assert_eq!(
+            score,
+            released.common_neighbor_count(t.u(), t.v()) as f64,
+            "triangle motif count == common neighbor count"
+        );
+    }
+
+    #[test]
+    fn sample_non_edges_respects_constraints() {
+        let g = holme_kim(100, 3, 0.2, 2);
+        let exclude = vec![Edge::new(0, 99)];
+        let sampled = sample_non_edges(&g, 50, &exclude, 7);
+        assert_eq!(sampled.len(), 50);
+        for e in &sampled {
+            assert!(!g.contains(*e), "sampled an existing edge {e}");
+            assert_ne!(*e, exclude[0], "sampled an excluded pair");
+        }
+        // distinct
+        let set: std::collections::HashSet<_> = sampled.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn precision_tie_break_is_pessimistic() {
+        // All scores zero: precision must be 0, not a lucky 50%.
+        let g = Graph::new(10);
+        let targets = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        let negatives = vec![Edge::new(4, 5), Edge::new(6, 7)];
+        let outcome = evaluate_attack(
+            &g,
+            &targets,
+            &negatives,
+            Attacker::Index(SimilarityIndex::CommonNeighbors),
+        );
+        assert_eq!(outcome.precision_at_t, 0.0);
+        assert_eq!(outcome.auc, 0.5);
+        assert!(outcome.targets_fully_hidden());
+    }
+
+    #[test]
+    fn katz_attacker_sees_longer_paths() {
+        // Path 0-2-3-1: no common neighbors but a 3-walk connects 0 and 1.
+        let g = Graph::from_edges([(0u32, 2u32), (2, 3), (3, 1)]);
+        let cn = Attacker::Index(SimilarityIndex::CommonNeighbors).score(&g, 0, 1);
+        let katz = Attacker::Katz(0.1, 4).score(&g, 0, 1);
+        assert_eq!(cn, 0.0);
+        assert!(katz > 0.0, "katz should see the 3-hop path");
+    }
+
+    use tpp_graph::Graph;
+}

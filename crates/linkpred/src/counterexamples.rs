@@ -1,0 +1,300 @@
+//! Executable reproductions of the paper's §VI-D negative results: why the
+//! classic similarity indices cannot back a greedy TPP dissimilarity
+//! (monotonicity fails), why Resource Allocation additionally fails
+//! submodularity (Fig. 8), and why link *addition* and link *switching*
+//! break monotonicity of the motif dissimilarity.
+//!
+//! These are not just tests — the functions return the witness values so the
+//! `extended_discussion` experiment binary can print the paper's case tables.
+
+use crate::scores::SimilarityIndex;
+use serde::{Deserialize, Serialize};
+use tpp_graph::{Edge, Graph};
+use tpp_motif::{count_target_subgraphs, Motif};
+
+/// The Fig. 7 fixture: target pair `(0, 1)` (link removed), common neighbors
+/// `2` (deg 3) and `3` (deg 4), plus the labelled protector edges:
+/// `p1 = (2, 7)`, `p2 = (0, 2)`, `p3 = (0, 4)`, `p4 = (1, 5)`.
+#[must_use]
+pub fn fig7_graph() -> Graph {
+    Graph::from_edges([
+        (0u32, 2u32), // p2
+        (2, 1),
+        (0, 3),
+        (3, 1),
+        (0, 4), // p3
+        (1, 5), // p4
+        (1, 6),
+        (2, 7), // p1
+        (3, 8),
+        (3, 9),
+    ])
+}
+
+/// Labelled protectors of the Fig. 7 fixture.
+#[must_use]
+pub fn fig7_protectors() -> [(&'static str, Edge); 4] {
+    [
+        ("p1", Edge::new(2, 7)),
+        ("p2", Edge::new(0, 2)),
+        ("p3", Edge::new(0, 4)),
+        ("p4", Edge::new(1, 5)),
+    ]
+}
+
+/// One deletion case of the §VI-D tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonotonicityCase {
+    /// Protector label (`p1`..`p4`).
+    pub protector: String,
+    /// Dissimilarity `1 − sim` (or `C − sim` normalized to `−sim` deltas)
+    /// before the deletion.
+    pub dissimilarity_before: f64,
+    /// Dissimilarity after deleting the protector.
+    pub dissimilarity_after: f64,
+}
+
+impl MonotonicityCase {
+    /// `true` when this single deletion *decreased* the dissimilarity,
+    /// i.e. witnessed a monotonicity violation.
+    #[must_use]
+    pub fn violates_monotonicity(&self) -> bool {
+        self.dissimilarity_after < self.dissimilarity_before - 1e-12
+    }
+}
+
+/// Evaluates the Fig. 7 deletion cases for `index`, using the dissimilarity
+/// `f = −sim(0, 1)` (any constant offset cancels in comparisons).
+#[must_use]
+pub fn fig7_cases(index: SimilarityIndex) -> Vec<MonotonicityCase> {
+    let g = fig7_graph();
+    let before = -index.score(&g, 0, 1);
+    fig7_protectors()
+        .iter()
+        .map(|(label, p)| {
+            let mut g2 = g.clone();
+            g2.remove_edge(p.u(), p.v());
+            MonotonicityCase {
+                protector: (*label).to_string(),
+                dissimilarity_before: before,
+                dissimilarity_after: -index.score(&g2, 0, 1),
+            }
+        })
+        .collect()
+}
+
+/// Returns `true` if some single protector deletion in the Fig. 7 fixture
+/// decreases the `index`-based dissimilarity — the paper's claim for all
+/// eight §VI-D indices.
+#[must_use]
+pub fn index_fails_monotonicity(index: SimilarityIndex) -> bool {
+    fig7_cases(index).iter().any(MonotonicityCase::violates_monotonicity)
+}
+
+/// A submodularity-violation witness for a similarity-based dissimilarity:
+/// sets `A = ∅ ⊆ B = {p1}` and an edge `p` with
+/// `Δf(A) < Δf(B)` (marginal gains *increase*, violating diminishing
+/// returns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmodularityWitness {
+    /// The first deleted edge (member of `B`).
+    pub p1: Edge,
+    /// The probe edge deleted on top of `A` and `B`.
+    pub p: Edge,
+    /// Marginal gain on the smaller set `A = ∅`.
+    pub gain_on_empty: f64,
+    /// Marginal gain on the larger set `B = {p1}`.
+    pub gain_on_b: f64,
+}
+
+/// Searches a graph for a Resource-Allocation submodularity violation on
+/// target `(u, v)` by trying ordered pairs of edge deletions (the paper's
+/// Fig. 8 construction generalized to a search). Returns the first witness.
+#[must_use]
+pub fn find_ra_submodularity_violation(g: &Graph, u: u32, v: u32) -> Option<SubmodularityWitness> {
+    let index = SimilarityIndex::ResourceAllocation;
+    let f0 = -index.score(g, u, v);
+    let edges = g.edge_vec();
+    for &p1 in &edges {
+        let mut gb = g.clone();
+        gb.remove_edge(p1.u(), p1.v());
+        let fb = -index.score(&gb, u, v);
+        for &p in &edges {
+            if p == p1 {
+                continue;
+            }
+            let mut ga = g.clone();
+            ga.remove_edge(p.u(), p.v());
+            let gain_on_empty = -index.score(&ga, u, v) - f0;
+            let mut gbp = gb.clone();
+            gbp.remove_edge(p.u(), p.v());
+            let gain_on_b = -index.score(&gbp, u, v) - fb;
+            if gain_on_empty + 1e-12 < gain_on_b {
+                return Some(SubmodularityWitness {
+                    p1,
+                    p,
+                    gain_on_empty,
+                    gain_on_b,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The Fig. 8-style fixture on which RA submodularity demonstrably fails:
+/// target `(0, 1)` with common neighbors 2 and 3 whose degrees are coupled
+/// through shared protector edges.
+#[must_use]
+pub fn fig8_graph() -> Graph {
+    Graph::from_edges([
+        (0u32, 2u32),
+        (2, 1),
+        (0, 3),
+        (3, 1),
+        (2, 3),
+        (2, 4),
+        (2, 5),
+        (3, 4),
+    ])
+}
+
+/// Link addition can only *create* motif evidence, never destroy it, so the
+/// addition-based dissimilarity is non-increasing: returns the similarity
+/// before and after adding edge `added` for target `(u, v)`.
+#[must_use]
+pub fn addition_similarity_delta(
+    g: &Graph,
+    u: u32,
+    v: u32,
+    added: Edge,
+    motif: Motif,
+) -> (usize, usize) {
+    let before = count_target_subgraphs(g, u, v, motif);
+    let mut g2 = g.clone();
+    g2.ensure_node(added.v());
+    g2.add_edge(added.u(), added.v());
+    let after = count_target_subgraphs(&g2, u, v, motif);
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §VI-D tables: each of the eight indices has a protector
+    /// whose deletion *lowers* dissimilarity in the Fig. 7 fixture.
+    #[test]
+    fn all_eight_indices_fail_monotonicity() {
+        for idx in [
+            SimilarityIndex::Jaccard,
+            SimilarityIndex::Salton,
+            SimilarityIndex::Sorensen,
+            SimilarityIndex::HubPromoted,
+            SimilarityIndex::HubDepressed,
+            SimilarityIndex::LeichtHolmeNewman,
+            SimilarityIndex::AdamicAdar,
+            SimilarityIndex::ResourceAllocation,
+        ] {
+            assert!(
+                index_fails_monotonicity(idx),
+                "{idx}: expected a monotonicity violation in Fig. 7"
+            );
+        }
+    }
+
+    /// Spot-check the exact Jaccard case values of §VI-D (1):
+    /// a) delete p1: unchanged; b) delete p2: dissimilarity up;
+    /// c) delete p3: dissimilarity DOWN (the violation).
+    #[test]
+    fn jaccard_case_values_match_paper() {
+        let cases = fig7_cases(SimilarityIndex::Jaccard);
+        let by_label = |l: &str| {
+            cases
+                .iter()
+                .find(|c| c.protector == l)
+                .expect("label exists")
+                .clone()
+        };
+        let base = -(2.0 / 5.0);
+        let p1 = by_label("p1");
+        assert!((p1.dissimilarity_after - base).abs() < 1e-12, "p1 unchanged");
+        let p2 = by_label("p2");
+        assert!((p2.dissimilarity_after - -(1.0 / 5.0)).abs() < 1e-12);
+        assert!(p2.dissimilarity_after > base);
+        let p3 = by_label("p3");
+        assert!((p3.dissimilarity_after - -(2.0 / 4.0)).abs() < 1e-12);
+        assert!(p3.violates_monotonicity());
+    }
+
+    /// §VI-D (7): Adamic–Adar — deleting p1 (an edge of a common neighbor
+    /// going *outside* the pattern) lowers dissimilarity.
+    #[test]
+    fn adamic_adar_p1_violation() {
+        let cases = fig7_cases(SimilarityIndex::AdamicAdar);
+        let p1 = cases.iter().find(|c| c.protector == "p1").unwrap();
+        // deleting (2,7) drops deg(2) 3 -> 2, raising 1/ln(2) > 1/ln(3).
+        assert!(p1.violates_monotonicity());
+    }
+
+    /// §VI-D (8): Resource Allocation shows the same p1 violation.
+    #[test]
+    fn resource_allocation_p1_violation() {
+        let cases = fig7_cases(SimilarityIndex::ResourceAllocation);
+        let p1 = cases.iter().find(|c| c.protector == "p1").unwrap();
+        assert!(p1.violates_monotonicity());
+        let expected_after = -(1.0 / 2.0 + 1.0 / 4.0);
+        assert!((p1.dissimilarity_after - expected_after).abs() < 1e-12);
+    }
+
+    /// Fig. 8: RA dissimilarity is not submodular — a witness exists.
+    #[test]
+    fn ra_submodularity_violation_exists() {
+        let g = fig8_graph();
+        let witness =
+            find_ra_submodularity_violation(&g, 0, 1).expect("Fig. 8 fixture yields a witness");
+        assert!(witness.gain_on_empty < witness.gain_on_b);
+    }
+
+    /// Common neighbors (= triangle motif counting) never violates
+    /// monotonicity in the same fixture: deletions cannot raise the count.
+    #[test]
+    fn motif_dissimilarity_is_monotone_here() {
+        assert!(!index_fails_monotonicity(SimilarityIndex::CommonNeighbors));
+    }
+
+    /// §VI-D "Illustrations for Link Additions": adding a protector edge
+    /// never decreases similarity, so the addition dissimilarity cannot be
+    /// an increasing function.
+    #[test]
+    fn link_addition_never_helps() {
+        let g = fig7_graph();
+        for motif in Motif::ALL {
+            // add an edge that closes another triangle over (0, 1)
+            let (before, after) =
+                addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), motif);
+            assert!(after >= before, "{motif}: addition destroyed evidence?");
+        }
+        // Triangle case concretely: node 4 becomes a new common neighbor.
+        let (before, after) =
+            addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), Motif::Triangle);
+        assert_eq!(before, 2);
+        assert_eq!(after, 3);
+    }
+
+    /// Link switching = deletion + addition; the addition half can decrease
+    /// dissimilarity, so switching lacks monotonicity too.
+    #[test]
+    fn link_switching_can_backfire() {
+        let g = fig7_graph();
+        // switch: delete (3, 8) [beyond evidence for nothing relevant? it
+        // lowers deg(3), which actually helps]; instead delete (8, 3) and
+        // add (4, 1) — net effect on triangle evidence is +1.
+        let mut g2 = g.clone();
+        g2.remove_edge(3, 8);
+        g2.add_edge(4, 1);
+        let before = count_target_subgraphs(&g, 0, 1, Motif::Triangle);
+        let after = count_target_subgraphs(&g2, 0, 1, Motif::Triangle);
+        assert!(after > before, "switch increased evidence: {before} -> {after}");
+    }
+}

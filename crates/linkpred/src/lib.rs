@@ -1,0 +1,37 @@
+//! # tpp-linkpred
+//!
+//! The adversary substrate for Target Privacy Preserving: classic
+//! link-prediction similarity indices (Jaccard, Salton, Sørensen, Hub
+//! Promoted/Depressed, Leicht–Holme–Newman, Adamic–Adar, Resource
+//! Allocation, preferential attachment), truncated Katz, attack simulation
+//! with AUC / precision@k, and the executable §VI-D counterexamples showing
+//! why those indices cannot replace the motif dissimilarity inside the
+//! greedy TPP framework.
+//!
+//! ```
+//! use tpp_graph::Graph;
+//! use tpp_linkpred::SimilarityIndex;
+//!
+//! let g = Graph::from_edges([(0u32, 2u32), (2, 1), (0, 3), (3, 1)]);
+//! // Two common neighbors make the hidden pair (0, 1) easy to infer.
+//! assert_eq!(SimilarityIndex::CommonNeighbors.score(&g, 0, 1), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod attack;
+pub mod counterexamples;
+pub mod katz;
+pub mod ranking;
+pub mod scores;
+
+pub use attack::{evaluate_attack, sample_non_edges, AttackOutcome, Attacker};
+pub use counterexamples::{
+    addition_similarity_delta, fig7_cases, fig7_graph, fig7_protectors, fig8_graph,
+    find_ra_submodularity_violation, index_fails_monotonicity, MonotonicityCase,
+    SubmodularityWitness,
+};
+pub use katz::{katz_row, katz_score};
+pub use ranking::{average_precision, roc_auc, roc_curve, RocPoint};
+pub use scores::SimilarityIndex;

@@ -1,0 +1,151 @@
+//! Ranking diagnostics for attack evaluation: ROC curves, precision–recall
+//! curves, and average precision over (target, non-edge) score pools.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate (recall).
+    pub tpr: f64,
+}
+
+/// Computes the ROC curve of positive vs. negative scores (descending
+/// threshold sweep). Ties are swept together, which matches the standard
+/// trapezoidal AUC treatment.
+#[must_use]
+pub fn roc_curve(positives: &[f64], negatives: &[f64]) -> Vec<RocPoint> {
+    let mut pool: Vec<(f64, bool)> = positives
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negatives.iter().map(|&s| (s, false)))
+        .collect();
+    pool.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let p = positives.len() as f64;
+    let n = negatives.len() as f64;
+    let mut out = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < pool.len() {
+        // advance over a tie group
+        let score = pool[i].0;
+        while i < pool.len() && pool[i].0 == score {
+            if pool[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        out.push(RocPoint {
+            fpr: if n > 0.0 { fp as f64 / n } else { 0.0 },
+            tpr: if p > 0.0 { tp as f64 / p } else { 0.0 },
+        });
+    }
+    out
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+#[must_use]
+pub fn roc_auc(positives: &[f64], negatives: &[f64]) -> f64 {
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let curve = roc_curve(positives, negatives);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+/// Average precision (area under the precision–recall curve by the
+/// step-wise interpolation used in information retrieval).
+#[must_use]
+pub fn average_precision(positives: &[f64], negatives: &[f64]) -> f64 {
+    if positives.is_empty() {
+        return 0.0;
+    }
+    let mut pool: Vec<(f64, bool)> = positives
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negatives.iter().map(|&s| (s, false)))
+        .collect();
+    // Pessimistic tie-break (negatives first) keeps zero-evidence releases
+    // from scoring lucky precision.
+    pool.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0;
+    for (rank, &(_, is_pos)) in pool.iter().enumerate() {
+        if is_pos {
+            hits += 1;
+            sum_precision += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum_precision / positives.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let pos = [3.0, 2.5, 2.0];
+        let neg = [1.0, 0.5, 0.0];
+        assert!((roc_auc(&pos, &neg) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&pos, &neg) - 1.0).abs() < 1e-12);
+        let curve = roc_curve(&pos, &neg);
+        assert_eq!(curve.first().unwrap(), &RocPoint { fpr: 0.0, tpr: 0.0 });
+        assert_eq!(curve.last().unwrap(), &RocPoint { fpr: 1.0, tpr: 1.0 });
+    }
+
+    #[test]
+    fn reversed_separation() {
+        let pos = [0.0, 0.1];
+        let neg = [1.0, 2.0];
+        assert!(roc_auc(&pos, &neg) < 0.01);
+        assert!(average_precision(&pos, &neg) < 0.5);
+    }
+
+    #[test]
+    fn all_ties_are_chance() {
+        let pos = [1.0; 5];
+        let neg = [1.0; 20];
+        assert!((roc_auc(&pos, &neg) - 0.5).abs() < 1e-12);
+        // AP at chance ~ positive prevalence
+        let ap = average_precision(&pos, &neg);
+        assert!(ap <= 5.0 / 25.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(roc_auc(&[], &[1.0]), 0.5);
+        assert_eq!(average_precision(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn auc_matches_pairwise_count() {
+        // trapezoidal AUC == win-fraction definition
+        let pos: [f64; 4] = [0.9, 0.4, 0.4, 0.2];
+        let neg: [f64; 3] = [0.8, 0.4, 0.1];
+        let mut wins = 0.0;
+        for &p in &pos {
+            for &n in &neg {
+                if p > n {
+                    wins += 1.0;
+                } else if (p - n).abs() < 1e-15 {
+                    wins += 0.5;
+                }
+            }
+        }
+        let pairwise = wins / (pos.len() * neg.len()) as f64;
+        assert!((roc_auc(&pos, &neg) - pairwise).abs() < 1e-12);
+    }
+}

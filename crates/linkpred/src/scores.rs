@@ -1,0 +1,242 @@
+//! Neighborhood-based link-prediction similarity indices.
+//!
+//! These are the adversary's scoring functions: given the released graph,
+//! a high score on a hidden pair `(u, v)` means the adversary infers the
+//! link. The paper's §VI-D enumerates exactly these indices and proves that
+//! a *fully protected* graph (zero triangle evidence) drives all of the
+//! common-neighbor family to zero on every target.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpp_graph::{Graph, NodeId};
+
+/// The classic similarity indices of the paper's §VI-D plus preferential
+/// attachment (a common-neighbor-free baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimilarityIndex {
+    /// Raw number of common neighbors (basis of the Triangle motif).
+    CommonNeighbors,
+    /// Jaccard: `|Γu ∩ Γv| / |Γu ∪ Γv|`.
+    Jaccard,
+    /// Salton (cosine): `|Γu ∩ Γv| / sqrt(du · dv)`.
+    Salton,
+    /// Sørensen: `2 |Γu ∩ Γv| / (du + dv)`.
+    Sorensen,
+    /// Hub Promoted: `|Γu ∩ Γv| / min(du, dv)`.
+    HubPromoted,
+    /// Hub Depressed: `|Γu ∩ Γv| / max(du, dv)`.
+    HubDepressed,
+    /// Leicht–Holme–Newman: `|Γu ∩ Γv| / (du · dv)`.
+    LeichtHolmeNewman,
+    /// Adamic–Adar: `Σ_{w ∈ Γu ∩ Γv} 1 / ln(dw)`.
+    AdamicAdar,
+    /// Resource Allocation: `Σ_{w ∈ Γu ∩ Γv} 1 / dw`.
+    ResourceAllocation,
+    /// Preferential Attachment: `du · dv` (no common-neighbor term).
+    PreferentialAttachment,
+}
+
+impl SimilarityIndex {
+    /// Every index, in the paper's presentation order.
+    pub const ALL: [SimilarityIndex; 10] = [
+        SimilarityIndex::CommonNeighbors,
+        SimilarityIndex::Jaccard,
+        SimilarityIndex::Salton,
+        SimilarityIndex::Sorensen,
+        SimilarityIndex::HubPromoted,
+        SimilarityIndex::HubDepressed,
+        SimilarityIndex::LeichtHolmeNewman,
+        SimilarityIndex::AdamicAdar,
+        SimilarityIndex::ResourceAllocation,
+        SimilarityIndex::PreferentialAttachment,
+    ];
+
+    /// The triangle-evidence family: every index that is identically zero
+    /// whenever `|Γu ∩ Γv| = 0` (paper §VI-D: "the prediction probability
+    /// for every target is 0" after full protection).
+    pub const TRIANGLE_BASED: [SimilarityIndex; 9] = [
+        SimilarityIndex::CommonNeighbors,
+        SimilarityIndex::Jaccard,
+        SimilarityIndex::Salton,
+        SimilarityIndex::Sorensen,
+        SimilarityIndex::HubPromoted,
+        SimilarityIndex::HubDepressed,
+        SimilarityIndex::LeichtHolmeNewman,
+        SimilarityIndex::AdamicAdar,
+        SimilarityIndex::ResourceAllocation,
+    ];
+
+    /// Stable lowercase name for CSV/CLI use.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityIndex::CommonNeighbors => "cn",
+            SimilarityIndex::Jaccard => "jaccard",
+            SimilarityIndex::Salton => "salton",
+            SimilarityIndex::Sorensen => "sorensen",
+            SimilarityIndex::HubPromoted => "hub-promoted",
+            SimilarityIndex::HubDepressed => "hub-depressed",
+            SimilarityIndex::LeichtHolmeNewman => "lhn",
+            SimilarityIndex::AdamicAdar => "adamic-adar",
+            SimilarityIndex::ResourceAllocation => "resource-allocation",
+            SimilarityIndex::PreferentialAttachment => "preferential-attachment",
+        }
+    }
+
+    /// Scores the (assumed missing) pair `(u, v)` on graph `g`.
+    ///
+    /// Degenerate denominators (isolated endpoints) score 0.
+    #[must_use]
+    pub fn score(self, g: &Graph, u: NodeId, v: NodeId) -> f64 {
+        let du = g.degree(u) as f64;
+        let dv = g.degree(v) as f64;
+        match self {
+            SimilarityIndex::PreferentialAttachment => return du * dv,
+            SimilarityIndex::AdamicAdar => {
+                let mut s = 0.0;
+                g.for_each_common_neighbor(u, v, |w| {
+                    let dw = g.degree(w) as f64;
+                    // A common neighbor always has degree >= 2, so ln(dw) > 0.
+                    s += 1.0 / dw.ln();
+                });
+                return s;
+            }
+            SimilarityIndex::ResourceAllocation => {
+                let mut s = 0.0;
+                g.for_each_common_neighbor(u, v, |w| {
+                    s += 1.0 / g.degree(w) as f64;
+                });
+                return s;
+            }
+            _ => {}
+        }
+        let cn = g.common_neighbor_count(u, v) as f64;
+        match self {
+            SimilarityIndex::CommonNeighbors => cn,
+            SimilarityIndex::Jaccard => {
+                let union = du + dv - cn;
+                if union > 0.0 {
+                    cn / union
+                } else {
+                    0.0
+                }
+            }
+            SimilarityIndex::Salton => {
+                let den = (du * dv).sqrt();
+                if den > 0.0 {
+                    cn / den
+                } else {
+                    0.0
+                }
+            }
+            SimilarityIndex::Sorensen => {
+                let den = du + dv;
+                if den > 0.0 {
+                    2.0 * cn / den
+                } else {
+                    0.0
+                }
+            }
+            SimilarityIndex::HubPromoted => {
+                let den = du.min(dv);
+                if den > 0.0 {
+                    cn / den
+                } else {
+                    0.0
+                }
+            }
+            SimilarityIndex::HubDepressed => {
+                let den = du.max(dv);
+                if den > 0.0 {
+                    cn / den
+                } else {
+                    0.0
+                }
+            }
+            SimilarityIndex::LeichtHolmeNewman => {
+                let den = du * dv;
+                if den > 0.0 {
+                    cn / den
+                } else {
+                    0.0
+                }
+            }
+            _ => unreachable!("handled above"),
+        }
+    }
+}
+
+impl fmt::Display for SimilarityIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::Graph;
+
+    /// u = 0 and v = 1 share common neighbors {2, 3}; deg(0) = 3 (2,3,4),
+    /// deg(1) = 4 (2,3,5,6); deg(2) = 3 (0,1,7); deg(3) = 4 (0,1,8,9).
+    /// This is the Fig. 7 fixture of the paper.
+    pub(crate) fn fig7_graph() -> Graph {
+        Graph::from_edges([
+            (0u32, 2u32),
+            (2, 1),
+            (0, 3),
+            (3, 1),
+            (0, 4),
+            (1, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (3, 9),
+        ])
+    }
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn paper_fig7_initial_values() {
+        let g = fig7_graph();
+        let s = |idx: SimilarityIndex| idx.score(&g, 0, 1);
+        assert!((s(SimilarityIndex::CommonNeighbors) - 2.0).abs() < EPS);
+        assert!((s(SimilarityIndex::Jaccard) - 2.0 / 5.0).abs() < EPS);
+        assert!((s(SimilarityIndex::Salton) - 2.0 / 12f64.sqrt()).abs() < EPS);
+        assert!((s(SimilarityIndex::Sorensen) - 4.0 / 7.0).abs() < EPS);
+        assert!((s(SimilarityIndex::HubPromoted) - 2.0 / 3.0).abs() < EPS);
+        assert!((s(SimilarityIndex::HubDepressed) - 2.0 / 4.0).abs() < EPS);
+        assert!((s(SimilarityIndex::LeichtHolmeNewman) - 2.0 / 12.0).abs() < EPS);
+        assert!(
+            (s(SimilarityIndex::AdamicAdar) - (1.0 / 3f64.ln() + 1.0 / 4f64.ln())).abs() < EPS
+        );
+        assert!((s(SimilarityIndex::ResourceAllocation) - (1.0 / 3.0 + 1.0 / 4.0)).abs() < EPS);
+        assert!((s(SimilarityIndex::PreferentialAttachment) - 12.0).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_when_no_common_neighbors() {
+        let g = Graph::from_edges([(0u32, 2u32), (1, 3)]);
+        for idx in SimilarityIndex::TRIANGLE_BASED {
+            assert_eq!(idx.score(&g, 0, 1), 0.0, "{idx} must be 0 without CN");
+        }
+        // PA is the exception.
+        assert!(SimilarityIndex::PreferentialAttachment.score(&g, 0, 1) > 0.0);
+    }
+
+    #[test]
+    fn isolated_endpoints_score_zero() {
+        let g = Graph::new(3);
+        for idx in SimilarityIndex::ALL {
+            assert_eq!(idx.score(&g, 0, 1), 0.0, "{idx} on isolated nodes");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            SimilarityIndex::ALL.iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), SimilarityIndex::ALL.len());
+    }
+}

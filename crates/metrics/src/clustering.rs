@@ -1,0 +1,91 @@
+//! Clustering coefficients (Table II metric `clust`).
+
+use tpp_graph::{Graph, NodeId};
+
+/// Local clustering coefficient of node `v`:
+/// `|{(a, b) ∈ E : a, b ∈ Γ(v)}| / (d_v (d_v − 1) / 2)`.
+/// Nodes with degree < 2 have coefficient 0 by convention.
+#[must_use]
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let links = triangles_through(g, v);
+    links as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Number of edges among the neighbors of `v` (= triangles through `v`).
+#[must_use]
+pub fn triangles_through(g: &Graph, v: NodeId) -> usize {
+    let nbrs = g.neighbors(v);
+    let mut count = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Average clustering coefficient `clust = Σ_v clust_v / N` over **all**
+/// nodes, exactly as defined in the paper (§VI, metric 2).
+#[must_use]
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.nodes().map(|v| local_clustering(g, v)).sum();
+    sum / n as f64
+}
+
+/// Total number of triangles in the graph (each counted once).
+#[must_use]
+pub fn triangle_count(g: &Graph) -> usize {
+    // Each triangle is seen through all 3 of its corners.
+    let through: usize = g.nodes().map(|v| triangles_through(g, v)).sum();
+    through / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = complete_graph(5);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 10); // C(5,3)
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(average_clustering(&path_graph(6)), 0.0);
+        assert_eq!(average_clustering(&cycle_graph(6)), 0.0);
+        assert_eq!(average_clustering(&star_graph(5)), 0.0);
+        assert_eq!(triangle_count(&cycle_graph(6)), 0);
+    }
+
+    #[test]
+    fn single_triangle_with_tail() {
+        // triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = tpp_graph::Graph::from_edges([(0u32, 1u32), (1, 2), (0, 2), (0, 3)]);
+        assert_eq!(triangles_through(&g, 0), 1);
+        assert!((local_clustering(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+        // average: (1/3 + 1 + 1 + 0) / 4
+        assert!((average_clustering(&g) - (1.0 / 3.0 + 2.0) / 4.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        assert_eq!(average_clustering(&tpp_graph::Graph::new(0)), 0.0);
+        assert_eq!(average_clustering(&tpp_graph::Graph::new(3)), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Degree-distribution statistics: summaries used to validate the dataset
+//! substitutes against the real networks' published properties (heavy
+//! tails, mean degree) and to report release-vs-original drift.
+
+use tpp_graph::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// Variance of the degree sequence.
+    pub variance: f64,
+    /// Gini coefficient of the degree sequence (0 = perfectly even,
+    /// → 1 = one hub holds everything).
+    pub gini: f64,
+}
+
+/// Computes [`DegreeStats`] for `g`. Empty graphs return all-zero stats.
+#[must_use]
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let mut degrees = g.degrees();
+    let n = degrees.len();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0.0,
+            variance: 0.0,
+            gini: 0.0,
+        };
+    }
+    degrees.sort_unstable();
+    let sum: usize = degrees.iter().sum();
+    let mean = sum as f64 / n as f64;
+    let median = if n % 2 == 1 {
+        degrees[n / 2] as f64
+    } else {
+        (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+    };
+    let variance = degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n as f64;
+    // Gini over the sorted sequence: (2 Σ i·x_i / (n Σ x_i)) − (n + 1)/n.
+    let gini = if sum == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i + 1) as f64 * d as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * sum as f64) - (n as f64 + 1.0) / n as f64
+    };
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median,
+        variance,
+        gini,
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes of degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Maximum-likelihood power-law exponent estimate (Clauset–Shalizi–Newman
+/// continuous approximation) over degrees `>= d_min`:
+/// `α = 1 + n / Σ ln(d_i / (d_min − ½))`.
+///
+/// Returns `None` when fewer than 10 nodes reach `d_min` (too little tail
+/// to fit).
+#[must_use]
+pub fn power_law_alpha(g: &Graph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let tail: Vec<f64> = g
+        .degrees()
+        .into_iter()
+        .filter(|&d| d >= d_min)
+        .map(|d| d as f64)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let x_min = d_min as f64 - 0.5;
+    let log_sum: f64 = tail.iter().map(|&d| (d / x_min).ln()).sum();
+    Some(1.0 + tail.len() as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::{barabasi_albert, complete_graph, erdos_renyi_gnp, star_graph};
+    use tpp_graph::Graph;
+
+    #[test]
+    fn regular_graph_stats() {
+        let g = complete_graph(6);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 5.0).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+        assert!(s.gini.abs() < 1e-12, "regular graph is perfectly even");
+    }
+
+    #[test]
+    fn star_is_maximally_uneven() {
+        let g = star_graph(50);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 50);
+        assert_eq!(s.min, 1);
+        assert!(s.gini > 0.4, "hub dominance should show: gini = {}", s.gini);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = erdos_renyi_gnp(100, 0.05, 3);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        // consistency with stats
+        let s = degree_stats(&g);
+        assert_eq!(hist.len(), s.max + 1);
+    }
+
+    #[test]
+    fn ba_alpha_near_three() {
+        // Barabási–Albert's theoretical exponent is 3; the MLE on a finite
+        // sample lands in a broad band around it.
+        let g = barabasi_albert(5000, 4, 9);
+        let alpha = power_law_alpha(&g, 6).expect("enough tail");
+        assert!(
+            (2.0..4.5).contains(&alpha),
+            "BA exponent estimate {alpha} out of band"
+        );
+    }
+
+    #[test]
+    fn alpha_needs_tail_mass() {
+        let g = complete_graph(5);
+        assert_eq!(power_law_alpha(&g, 50), None);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = degree_stats(&Graph::new(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.gini, 0.0);
+        let s = degree_stats(&Graph::new(4));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.gini, 0.0, "all-zero degrees are even");
+    }
+}

@@ -1,0 +1,199 @@
+//! Distance distributions and effective diameter — finer-grained views of
+//! the paper's `l` metric, used to report release-vs-original drift beyond
+//! a single mean.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tpp_graph::traversal::{bfs_distances, UNREACHABLE};
+use tpp_graph::{Graph, NodeId};
+
+/// Histogram of shortest-path lengths: `counts[d]` = number of (unordered)
+/// reachable pairs at distance `d` (index 0 unused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceDistribution {
+    /// Pair counts per distance.
+    pub counts: Vec<u64>,
+    /// Unordered pairs that were unreachable.
+    pub unreachable_pairs: u64,
+}
+
+impl DistanceDistribution {
+    /// Total reachable pairs.
+    #[must_use]
+    pub fn reachable_pairs(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean distance over reachable pairs (0 when none).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.reachable_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Effective diameter: the smallest distance `d` such that at least
+    /// `quantile` (e.g. 0.9) of reachable pairs are within `d` hops.
+    /// Returns 0 for empty distributions.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < quantile <= 1.0`.
+    #[must_use]
+    pub fn effective_diameter(&self, quantile: f64) -> u32 {
+        assert!(
+            quantile > 0.0 && quantile <= 1.0,
+            "quantile must be in (0, 1], got {quantile}"
+        );
+        let total = self.reachable_pairs();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (quantile * total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (d, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                return d as u32;
+            }
+        }
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Maximum observed distance (the exact diameter when the distribution
+    /// was computed exactly).
+    #[must_use]
+    pub fn max_distance(&self) -> u32 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |d| d as u32)
+    }
+}
+
+/// Exact distance distribution: all-pairs BFS, `O(V (V + E))`.
+#[must_use]
+pub fn distance_distribution(g: &Graph) -> DistanceDistribution {
+    accumulate(g, g.nodes().collect(), true)
+}
+
+/// Sampled distance distribution from `sources` random BFS roots. Counts
+/// ordered pairs from each root (still unbiased for quantiles/means).
+#[must_use]
+pub fn sampled_distance_distribution(
+    g: &Graph,
+    sources: usize,
+    seed: u64,
+) -> DistanceDistribution {
+    let mut roots: Vec<NodeId> = g.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    roots.shuffle(&mut rng);
+    roots.truncate(sources.min(roots.len()));
+    accumulate(g, roots, false)
+}
+
+fn accumulate(g: &Graph, roots: Vec<NodeId>, unordered: bool) -> DistanceDistribution {
+    let mut counts = vec![0u64; 2];
+    let mut unreachable = 0u64;
+    for &src in &roots {
+        let dist = bfs_distances(g, src);
+        for (v, &d) in dist.iter().enumerate() {
+            if unordered && (v as NodeId) <= src {
+                continue; // count each unordered pair once
+            }
+            if !unordered && v as NodeId == src {
+                continue;
+            }
+            if d == UNREACHABLE {
+                unreachable += 1;
+            } else {
+                let d = d as usize;
+                if counts.len() <= d {
+                    counts.resize(d + 1, 0);
+                }
+                counts[d] += 1;
+            }
+        }
+    }
+    DistanceDistribution {
+        counts,
+        unreachable_pairs: unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::{complete_graph, path_graph};
+
+    #[test]
+    fn complete_graph_all_distance_one() {
+        let d = distance_distribution(&complete_graph(5));
+        assert_eq!(d.counts[1], 10);
+        assert_eq!(d.reachable_pairs(), 10);
+        assert_eq!(d.max_distance(), 1);
+        assert_eq!(d.effective_diameter(0.9), 1);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_graph_distribution() {
+        // P_4 pair distances: 1 x3, 2 x2, 3 x1
+        let d = distance_distribution(&path_graph(4));
+        assert_eq!(&d.counts[1..=3], &[3, 2, 1]);
+        assert_eq!(d.max_distance(), 3);
+        assert_eq!(d.effective_diameter(1.0), 3);
+        assert_eq!(d.effective_diameter(0.5), 1);
+        assert!((d.mean() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_pairs_counted() {
+        let mut g = path_graph(3);
+        g.ensure_node(3);
+        let d = distance_distribution(&g);
+        assert_eq!(d.unreachable_pairs, 3);
+        assert_eq!(d.reachable_pairs(), 3);
+    }
+
+    #[test]
+    fn empty_distribution_is_sane() {
+        let d = distance_distribution(&tpp_graph::Graph::new(1));
+        assert_eq!(d.reachable_pairs(), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.effective_diameter(0.9), 0);
+        assert_eq!(d.max_distance(), 0);
+    }
+
+    #[test]
+    fn sampled_mean_tracks_exact() {
+        let g = tpp_graph::generators::erdos_renyi_gnp(250, 0.05, 5);
+        let exact = distance_distribution(&g);
+        let sampled = sampled_distance_distribution(&g, 80, 3);
+        assert!(
+            (exact.mean() - sampled.mean()).abs() < 0.1 * exact.mean(),
+            "sampled {} vs exact {}",
+            sampled.mean(),
+            exact.mean()
+        );
+        // effective diameter within 1 hop
+        let de = exact.effective_diameter(0.9);
+        let ds = sampled.effective_diameter(0.9);
+        assert!(de.abs_diff(ds) <= 1, "eff diameter {de} vs {ds}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_validated() {
+        let d = distance_distribution(&path_graph(3));
+        let _ = d.effective_diameter(0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Graph-utility measurement and utility-loss-ratio reports (paper §VI,
+//! Table II and the `ulr` definition).
+
+use crate::{
+    assortativity::assortativity,
+    clustering::average_clustering,
+    community::louvain_modularity,
+    core_number::average_core_number,
+    paths::{average_path_length, sampled_path_length},
+    spectral::second_largest_laplacian_eigenvalue,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpp_graph::Graph;
+
+/// The six utility metrics of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilityMetric {
+    /// `l`: average shortest-path length.
+    AvgPathLength,
+    /// `clust`: average clustering coefficient.
+    Clustering,
+    /// `r`: degree assortativity.
+    Assortativity,
+    /// `cn`: average core number (k-shell).
+    CoreNumber,
+    /// `µ`: second-largest Laplacian eigenvalue.
+    SecondEigenvalue,
+    /// `Mod`: Newman modularity of detected communities.
+    Modularity,
+}
+
+impl UtilityMetric {
+    /// All metrics in Table II order.
+    pub const ALL: [UtilityMetric; 6] = [
+        UtilityMetric::AvgPathLength,
+        UtilityMetric::Clustering,
+        UtilityMetric::Assortativity,
+        UtilityMetric::CoreNumber,
+        UtilityMetric::SecondEigenvalue,
+        UtilityMetric::Modularity,
+    ];
+
+    /// The paper's notation for the metric.
+    #[must_use]
+    pub fn notation(self) -> &'static str {
+        match self {
+            UtilityMetric::AvgPathLength => "l",
+            UtilityMetric::Clustering => "clust",
+            UtilityMetric::Assortativity => "r",
+            UtilityMetric::CoreNumber => "cn",
+            UtilityMetric::SecondEigenvalue => "mu",
+            UtilityMetric::Modularity => "Mod",
+        }
+    }
+}
+
+impl fmt::Display for UtilityMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.notation())
+    }
+}
+
+/// What to measure and how hard to work at it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityConfig {
+    /// Metrics to evaluate.
+    pub metrics: Vec<UtilityMetric>,
+    /// `None` = exact all-pairs path length; `Some(s)` = sample `s` BFS
+    /// roots (for DBLP-scale graphs).
+    pub path_sources: Option<usize>,
+    /// Seed for the randomized components (sampling, eigensolver start
+    /// vector, Louvain ordering).
+    pub seed: u64,
+}
+
+impl UtilityConfig {
+    /// All six metrics, exact computations — the Arenas-email protocol of
+    /// Tables III and IV.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        UtilityConfig {
+            metrics: UtilityMetric::ALL.to_vec(),
+            path_sources: None,
+            seed,
+        }
+    }
+
+    /// Clustering + core number only — the DBLP protocol of Table V
+    /// ("many utility metrics such as the average path length and eigenvalue
+    /// can't be efficiently computed on a general server").
+    #[must_use]
+    pub fn large_graph(seed: u64) -> Self {
+        UtilityConfig {
+            metrics: vec![UtilityMetric::Clustering, UtilityMetric::CoreNumber],
+            path_sources: Some(64),
+            seed,
+        }
+    }
+}
+
+/// Measured metric values for one graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityValues {
+    /// `(metric, value)` pairs in the order of the config.
+    pub values: Vec<(UtilityMetric, f64)>,
+}
+
+impl UtilityValues {
+    /// Looks up a metric's value.
+    #[must_use]
+    pub fn get(&self, metric: UtilityMetric) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(m, _)| *m == metric)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Evaluates the configured metrics on `g`.
+#[must_use]
+pub fn compute_utility(g: &Graph, config: &UtilityConfig) -> UtilityValues {
+    let values = config
+        .metrics
+        .iter()
+        .map(|&m| {
+            let v = match m {
+                UtilityMetric::AvgPathLength => match config.path_sources {
+                    None => average_path_length(g).mean,
+                    Some(s) => sampled_path_length(g, s, config.seed).mean,
+                },
+                UtilityMetric::Clustering => average_clustering(g),
+                UtilityMetric::Assortativity => assortativity(g).unwrap_or(0.0),
+                UtilityMetric::CoreNumber => average_core_number(g),
+                UtilityMetric::SecondEigenvalue => {
+                    second_largest_laplacian_eigenvalue(g, config.seed)
+                }
+                UtilityMetric::Modularity => louvain_modularity(g, config.seed),
+            };
+            (m, v)
+        })
+        .collect();
+    UtilityValues { values }
+}
+
+/// The paper's utility loss ratio for one metric:
+/// `ulr(z, G, G') = |z(G) − z(G')| / |z(G)|`.
+///
+/// When `z(G) = 0` the ratio is defined as the absolute difference (so a
+/// perturbation of an already-zero metric is still reported rather than
+/// producing a division by zero).
+#[must_use]
+pub fn loss_ratio(original: f64, perturbed: f64) -> f64 {
+    let diff = (original - perturbed).abs();
+    if original.abs() < 1e-12 {
+        diff
+    } else {
+        diff / original.abs()
+    }
+}
+
+/// Per-metric and average utility loss between an original and a released
+/// graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityLossReport {
+    /// `(metric, ulr)` pairs.
+    pub per_metric: Vec<(UtilityMetric, f64)>,
+    /// `ulr(G, G')`: mean loss ratio over all measured metrics.
+    pub average: f64,
+}
+
+impl UtilityLossReport {
+    /// Average loss formatted as a percentage string like `1.95%`.
+    #[must_use]
+    pub fn average_percent(&self) -> String {
+        format!("{:.2}%", self.average * 100.0)
+    }
+}
+
+/// Measures both graphs under `config` and reports the loss ratios.
+#[must_use]
+pub fn utility_loss(original: &Graph, released: &Graph, config: &UtilityConfig) -> UtilityLossReport {
+    let before = compute_utility(original, config);
+    let after = compute_utility(released, config);
+    let per_metric: Vec<(UtilityMetric, f64)> = before
+        .values
+        .iter()
+        .zip(&after.values)
+        .map(|(&(m, a), &(_, b))| (m, loss_ratio(a, b)))
+        .collect();
+    let average = if per_metric.is_empty() {
+        0.0
+    } else {
+        per_metric.iter().map(|&(_, v)| v).sum::<f64>() / per_metric.len() as f64
+    };
+    UtilityLossReport {
+        per_metric,
+        average,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::generators::holme_kim;
+
+    #[test]
+    fn loss_ratio_definition() {
+        assert!((loss_ratio(2.0, 1.5) - 0.25).abs() < 1e-12);
+        assert!((loss_ratio(-2.0, -1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(loss_ratio(0.0, 0.0), 0.0);
+        assert!((loss_ratio(0.0, 0.3) - 0.3).abs() < 1e-12, "zero-base fallback");
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_loss() {
+        let g = holme_kim(120, 3, 0.4, 2);
+        let report = utility_loss(&g, &g, &UtilityConfig::full(7));
+        assert_eq!(report.per_metric.len(), 6);
+        for &(m, v) in &report.per_metric {
+            assert!(v.abs() < 1e-9, "metric {m} loss {v} should be 0");
+        }
+        assert!(report.average.abs() < 1e-9);
+    }
+
+    #[test]
+    fn deleting_edges_costs_utility() {
+        let g = holme_kim(150, 4, 0.5, 3);
+        let mut g2 = g.clone();
+        let edges = g2.edge_vec();
+        // Delete 20% of edges.
+        for e in edges.iter().take(edges.len() / 5) {
+            g2.remove_edge(e.u(), e.v());
+        }
+        let report = utility_loss(&g, &g2, &UtilityConfig::full(7));
+        assert!(
+            report.average > 0.01,
+            "heavy deletion should show loss, got {}",
+            report.average_percent()
+        );
+    }
+
+    #[test]
+    fn config_presets() {
+        let full = UtilityConfig::full(0);
+        assert_eq!(full.metrics.len(), 6);
+        assert!(full.path_sources.is_none());
+        let big = UtilityConfig::large_graph(0);
+        assert_eq!(big.metrics.len(), 2);
+    }
+
+    #[test]
+    fn values_lookup() {
+        let g = tpp_graph::generators::complete_graph(5);
+        let vals = compute_utility(&g, &UtilityConfig::full(1));
+        assert!((vals.get(UtilityMetric::Clustering).unwrap() - 1.0).abs() < 1e-12);
+        assert!((vals.get(UtilityMetric::AvgPathLength).unwrap() - 1.0).abs() < 1e-12);
+        assert!((vals.get(UtilityMetric::CoreNumber).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let report = UtilityLossReport {
+            per_metric: vec![(UtilityMetric::Clustering, 0.0195)],
+            average: 0.0195,
+        };
+        assert_eq!(report.average_percent(), "1.95%");
+    }
+}

@@ -1,0 +1,338 @@
+//! The coverage index: the incidence structure between candidate protector
+//! edges and alive target subgraphs.
+//!
+//! This is the data structure behind every greedy algorithm in the paper:
+//! the dissimilarity gain of deleting edge `p` is exactly the number of
+//! alive instances containing `p` (`Δ_p`), and deleting `p` kills those
+//! instances. Because phase 1 fixes the instance universe (edge deletions
+//! never *create* instances), the index is built once and only ever shrinks —
+//! which is also the combinatorial heart of the monotonicity and
+//! submodularity proofs (Lemmas 1–4).
+
+use crate::enumerate::enumerate_target_subgraphs;
+use crate::instance::MotifInstance;
+use crate::pattern::Motif;
+use tpp_graph::{Edge, FastMap, Graph};
+
+/// Index id of a motif instance inside a [`CoverageIndex`].
+pub type InstanceId = u32;
+
+/// Incidence index between edges and alive motif instances for a fixed
+/// (graph, target set, motif) triple.
+#[derive(Debug, Clone)]
+pub struct CoverageIndex {
+    motif: Motif,
+    targets: Vec<Edge>,
+    instances: Vec<MotifInstance>,
+    alive: Vec<bool>,
+    /// Edge -> ids of instances containing it (alive or dead; filtered on
+    /// read — instances die at most once so amortized cost is bounded).
+    edge_to_instances: FastMap<Edge, Vec<InstanceId>>,
+    /// Alive-instance count per target index: the similarity `s(P, t)`.
+    per_target_alive: Vec<usize>,
+    alive_total: usize,
+}
+
+impl CoverageIndex {
+    /// Builds the index by enumerating every target subgraph of every target.
+    ///
+    /// `g` must already have all targets removed (phase 1); building against
+    /// a graph that still contains target edges would let instances lean on
+    /// links the adversary cannot see.
+    ///
+    /// # Panics
+    /// Panics if any target edge is still present in `g`.
+    #[must_use]
+    pub fn build(g: &Graph, targets: &[Edge], motif: Motif) -> Self {
+        for t in targets {
+            assert!(
+                !g.contains(*t),
+                "target {t} still present: run phase 1 (delete targets) before indexing"
+            );
+        }
+        let mut instances = Vec::new();
+        let mut per_target_alive = vec![0usize; targets.len()];
+        for (idx, t) in targets.iter().enumerate() {
+            let mut found = enumerate_target_subgraphs(g, t.u(), t.v(), motif, idx);
+            per_target_alive[idx] = found.len();
+            instances.append(&mut found);
+        }
+        let mut edge_to_instances: FastMap<Edge, Vec<InstanceId>> =
+            tpp_graph::hash::fast_map_with_capacity(instances.len() * 2);
+        for (id, inst) in instances.iter().enumerate() {
+            for &e in inst.edges() {
+                edge_to_instances
+                    .entry(e)
+                    .or_default()
+                    .push(id as InstanceId);
+            }
+        }
+        let alive_total = instances.len();
+        CoverageIndex {
+            motif,
+            targets: targets.to_vec(),
+            alive: vec![true; instances.len()],
+            instances,
+            edge_to_instances,
+            per_target_alive,
+            alive_total,
+        }
+    }
+
+    /// The motif this index was built for.
+    #[must_use]
+    pub fn motif(&self) -> Motif {
+        self.motif
+    }
+
+    /// The target set, in index order.
+    #[must_use]
+    pub fn targets(&self) -> &[Edge] {
+        &self.targets
+    }
+
+    /// Total similarity `s(P, T)`: alive instances across all targets.
+    #[must_use]
+    pub fn total_similarity(&self) -> usize {
+        self.alive_total
+    }
+
+    /// Similarity of a single target: `s(P, t) = |W_t alive|`.
+    #[must_use]
+    pub fn target_similarity(&self, target_idx: usize) -> usize {
+        self.per_target_alive[target_idx]
+    }
+
+    /// Per-target similarity vector.
+    #[must_use]
+    pub fn similarities(&self) -> &[usize] {
+        &self.per_target_alive
+    }
+
+    /// Initial total similarity `s(∅, T)` (instances ever indexed).
+    #[must_use]
+    pub fn initial_similarity(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Dissimilarity gain `Δ_p` of deleting `p`: alive instances containing
+    /// `p` across **all** targets (the SGB-Greedy score).
+    #[must_use]
+    pub fn gain(&self, p: Edge) -> usize {
+        self.edge_to_instances.get(&p).map_or(0, |ids| {
+            ids.iter().filter(|&&id| self.alive[id as usize]).count()
+        })
+    }
+
+    /// Split gain for CT/WT-Greedy: `(own, cross)` where `own` counts alive
+    /// instances of `target_idx` containing `p` and `cross` counts alive
+    /// instances of every other target containing `p`. The paper's score is
+    /// `Δ_t^p = own + cross / C`, i.e. lexicographic `(own, cross)`.
+    #[must_use]
+    pub fn gain_split(&self, p: Edge, target_idx: usize) -> (usize, usize) {
+        let (mut own, mut cross) = (0usize, 0usize);
+        if let Some(ids) = self.edge_to_instances.get(&p) {
+            for &id in ids {
+                if self.alive[id as usize] {
+                    if self.instances[id as usize].target_idx == target_idx {
+                        own += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        (own, cross)
+    }
+
+    /// Per-target gain vector: entry `t` counts the alive instances of
+    /// target `t` containing `p`. One pass over `p`'s instance list.
+    #[must_use]
+    pub fn gain_vector(&self, p: Edge) -> Vec<usize> {
+        let mut v = vec![0usize; self.targets.len()];
+        if let Some(ids) = self.edge_to_instances.get(&p) {
+            for &id in ids {
+                if self.alive[id as usize] {
+                    v[self.instances[id as usize].target_idx] += 1;
+                }
+            }
+        }
+        v
+    }
+
+    /// Deletes edge `p`, killing every alive instance containing it.
+    /// Returns the number of instances broken (= the realized `Δ_p`).
+    pub fn delete_edge(&mut self, p: Edge) -> usize {
+        let Some(ids) = self.edge_to_instances.get(&p) else {
+            return 0;
+        };
+        let mut broken = 0usize;
+        // `ids` can't be borrowed while mutating `alive`; clone the short id
+        // list (instances per edge are few) rather than fighting the borrow.
+        let ids: Vec<InstanceId> = ids.clone();
+        for id in ids {
+            let idx = id as usize;
+            if self.alive[idx] {
+                self.alive[idx] = false;
+                self.per_target_alive[self.instances[idx].target_idx] -= 1;
+                self.alive_total -= 1;
+                broken += 1;
+            }
+        }
+        broken
+    }
+
+    /// Edges that participate in at least one **alive** instance — the
+    /// restricted candidate set of the scalable `-R` algorithms (Lemma 5).
+    /// Sorted canonically for deterministic iteration.
+    #[must_use]
+    pub fn alive_candidate_edges(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .edge_to_instances
+            .iter()
+            .filter(|(_, ids)| ids.iter().any(|&id| self.alive[id as usize]))
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All edges that ever participated in an instance (alive or dead),
+    /// sorted. This is the static candidate superset `edges(W)`.
+    #[must_use]
+    pub fn all_candidate_edges(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self.edge_to_instances.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates alive instances (for reporting / verification).
+    pub fn alive_instances(&self) -> impl Iterator<Item = &MotifInstance> + '_ {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| self.alive[id])
+            .map(|(_, inst)| inst)
+    }
+
+    /// Verifies internal consistency (counters vs alive flags). Test helper.
+    pub fn check_invariants(&self) {
+        let alive_count = self.alive.iter().filter(|&&a| a).count();
+        assert_eq!(alive_count, self.alive_total, "alive_total out of sync");
+        let mut per_target = vec![0usize; self.targets.len()];
+        for (id, inst) in self.instances.iter().enumerate() {
+            if self.alive[id] {
+                per_target[inst.target_idx] += 1;
+            }
+        }
+        assert_eq!(per_target, self.per_target_alive, "per-target out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::Graph;
+
+    /// Fig. 2(a)-style shared-protector fixture for triangles:
+    /// targets (0,1) and (0,2); node 3 adjacent to 0, 1, 2 so protector
+    /// (0,3) participates in instances of both targets.
+    fn shared_protector_graph() -> (Graph, Vec<Edge>) {
+        let mut g = Graph::from_edges([(0u32, 3u32), (3, 1), (3, 2)]);
+        g.ensure_node(3);
+        (g, vec![Edge::new(0, 1), Edge::new(0, 2)])
+    }
+
+    #[test]
+    fn build_counts_instances() {
+        let (g, targets) = shared_protector_graph();
+        let idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        assert_eq!(idx.total_similarity(), 2);
+        assert_eq!(idx.target_similarity(0), 1);
+        assert_eq!(idx.target_similarity(1), 1);
+        assert_eq!(idx.initial_similarity(), 2);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn gain_counts_cross_target_coverage() {
+        let (g, targets) = shared_protector_graph();
+        let idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        // (0,3) covers one instance of each target.
+        assert_eq!(idx.gain(Edge::new(0, 3)), 2);
+        assert_eq!(idx.gain(Edge::new(1, 3)), 1);
+        assert_eq!(idx.gain(Edge::new(5, 6)), 0);
+        assert_eq!(idx.gain_split(Edge::new(0, 3), 0), (1, 1));
+        assert_eq!(idx.gain_split(Edge::new(1, 3), 0), (1, 0));
+        assert_eq!(idx.gain_split(Edge::new(1, 3), 1), (0, 1));
+    }
+
+    #[test]
+    fn delete_kills_instances_once() {
+        let (g, targets) = shared_protector_graph();
+        let mut idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        assert_eq!(idx.delete_edge(Edge::new(0, 3)), 2);
+        assert_eq!(idx.total_similarity(), 0);
+        assert_eq!(idx.delete_edge(Edge::new(1, 3)), 0, "already dead");
+        assert_eq!(idx.gain(Edge::new(1, 3)), 0);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn candidates_shrink_as_instances_die() {
+        let (g, targets) = shared_protector_graph();
+        let mut idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        assert_eq!(
+            idx.all_candidate_edges(),
+            vec![Edge::new(0, 3), Edge::new(1, 3), Edge::new(2, 3)]
+        );
+        idx.delete_edge(Edge::new(1, 3)); // kills target-0 instance
+        assert_eq!(
+            idx.alive_candidate_edges(),
+            vec![Edge::new(0, 3), Edge::new(2, 3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phase 1")]
+    fn build_rejects_unremoved_targets() {
+        let g = Graph::from_edges([(0u32, 1u32), (0, 2), (2, 1)]);
+        let _ = CoverageIndex::build(&g, &[Edge::new(0, 1)], Motif::Triangle);
+    }
+
+    #[test]
+    fn deletion_gain_matches_recount() {
+        // Property-style check on a random graph: Δ_p from the index equals
+        // the recount difference from the graph.
+        let mut g = tpp_graph::generators::erdos_renyi_gnp(30, 0.2, 99);
+        let targets = vec![Edge::new(0, 1), Edge::new(2, 3), Edge::new(4, 5)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        for motif in Motif::ALL {
+            let idx = CoverageIndex::build(&g, &targets, motif);
+            let before: usize = crate::enumerate::count_all_targets(&g, &targets, motif)
+                .iter()
+                .sum();
+            assert_eq!(idx.total_similarity(), before);
+            for p in idx.all_candidate_edges() {
+                let mut g2 = g.clone();
+                g2.remove_edge(p.u(), p.v());
+                let after: usize = crate::enumerate::count_all_targets(&g2, &targets, motif)
+                    .iter()
+                    .sum();
+                assert_eq!(idx.gain(p), before - after, "motif {motif} edge {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn alive_instances_iterator() {
+        let (g, targets) = shared_protector_graph();
+        let mut idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        assert_eq!(idx.alive_instances().count(), 2);
+        idx.delete_edge(Edge::new(2, 3));
+        assert_eq!(idx.alive_instances().count(), 1);
+        assert_eq!(idx.alive_instances().next().unwrap().target_idx, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! A single target subgraph (motif instance) and its edge set.
+
+use crate::pattern::Motif;
+use serde::{Deserialize, Serialize};
+use tpp_graph::Edge;
+
+/// One target subgraph `w_t`: the surviving edges that, together with the
+/// (already removed) target link, complete a motif instance.
+///
+/// Instances store between 2 and 4 edges depending on the motif; edges are
+/// kept sorted so instances compare structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MotifInstance {
+    /// Index of the owning target in the instance's `TargetSet`. The paper
+    /// notes `W_t ∩ W_t' = ∅`: after phase 1 each instance belongs to
+    /// exactly one target.
+    pub target_idx: usize,
+    /// The protector edges of this instance, sorted canonically.
+    edges: Vec<Edge>,
+}
+
+impl MotifInstance {
+    /// Creates an instance, normalizing edge order.
+    ///
+    /// # Panics
+    /// Panics if `edges` contains duplicates (a motif instance has distinct
+    /// edges by construction).
+    #[must_use]
+    pub fn new(target_idx: usize, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        assert!(
+            edges.windows(2).all(|w| w[0] != w[1]),
+            "motif instance has duplicate edges: {edges:?}"
+        );
+        MotifInstance { target_idx, edges }
+    }
+
+    /// The protector edges of this instance (sorted).
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns `true` if `e` is one of the instance's edges.
+    #[must_use]
+    pub fn contains(&self, e: Edge) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Sanity check against the motif's expected arity.
+    #[must_use]
+    pub fn matches_arity(&self, motif: Motif) -> bool {
+        self.edges.len() == motif.edges_per_instance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_edge_order() {
+        let a = MotifInstance::new(0, vec![Edge::new(3, 1), Edge::new(0, 2)]);
+        let b = MotifInstance::new(0, vec![Edge::new(0, 2), Edge::new(1, 3)]);
+        assert_eq!(a, b);
+        assert!(a.contains(Edge::new(1, 3)));
+        assert!(!a.contains(Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn arity_check() {
+        let tri = MotifInstance::new(0, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+        assert!(tri.matches_arity(Motif::Triangle));
+        assert!(!tri.matches_arity(Motif::Rectangle));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_edges() {
+        let _ = MotifInstance::new(0, vec![Edge::new(0, 1), Edge::new(1, 0)]);
+    }
+}

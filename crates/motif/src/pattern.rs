@@ -1,0 +1,137 @@
+//! The subgraph patterns (motifs) of the paper's Fig. 1.
+//!
+//! A *target subgraph* for a removed target link `t = (u, v)` is a set of
+//! surviving edges that, together with `t`, would form one instance of the
+//! focused motif. The adversary's evidence for `t` is the number of such
+//! instances (`s(P, t) = |W_t|`), so destroying instances destroys evidence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three motif instances used throughout the paper (Fig. 1). The TPP
+/// machinery is generic over the pattern; these are the concrete instances
+/// evaluated in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Motif {
+    /// 2-length path between the endpoints (common neighbor). Basis of all
+    /// common-neighbor link predictors (Jaccard, Adamic–Adar, ...).
+    Triangle,
+    /// 3-length path between the endpoints (friend-of-friend closure).
+    Rectangle,
+    /// A 2-length path plus a 3-length path sharing one intermediate node
+    /// with it — the paper's representative of complex patterns.
+    RecTri,
+    /// Generalized simple-path motif: a `k`-length path between the target
+    /// endpoints (`k ∈ 2..=5`). `KPath(2)` coincides with [`Motif::Triangle`]
+    /// evidence and `KPath(3)` with [`Motif::Rectangle`] — this realizes the
+    /// paper's remark that "it is general to use any motif as link
+    /// prediction basis in TPP".
+    KPath(u8),
+}
+
+impl Motif {
+    /// All supported motifs, in the paper's presentation order.
+    pub const ALL: [Motif; 3] = [Motif::Triangle, Motif::Rectangle, Motif::RecTri];
+
+    /// Valid `k` range for [`Motif::KPath`].
+    pub const KPATH_RANGE: std::ops::RangeInclusive<u8> = 2..=5;
+
+    /// Constructs a validated k-path motif.
+    ///
+    /// # Panics
+    /// Panics when `k` is outside [`Motif::KPATH_RANGE`] (longer paths carry
+    /// negligible prediction signal and explode combinatorially).
+    #[must_use]
+    pub fn k_path(k: u8) -> Motif {
+        assert!(
+            Motif::KPATH_RANGE.contains(&k),
+            "k-path motif requires k in 2..=5, got {k}"
+        );
+        Motif::KPath(k)
+    }
+
+    /// Number of *protector* edges per instance (the target link itself is
+    /// already deleted in phase 1 and not counted).
+    #[must_use]
+    pub fn edges_per_instance(self) -> usize {
+        match self {
+            Motif::Triangle => 2,
+            Motif::Rectangle => 3,
+            Motif::RecTri => 4,
+            Motif::KPath(k) => k as usize,
+        }
+    }
+
+    /// Stable lowercase name used in CSV output and CLI arguments.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Motif::Triangle => "triangle",
+            Motif::Rectangle => "rectangle",
+            Motif::RecTri => "rectri",
+            Motif::KPath(2) => "kpath2",
+            Motif::KPath(3) => "kpath3",
+            Motif::KPath(4) => "kpath4",
+            Motif::KPath(5) => "kpath5",
+            Motif::KPath(k) => panic!("unsupported k-path length {k}"),
+        }
+    }
+
+    /// Parses a motif from its [`name`](Motif::name) (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Motif> {
+        match name.to_ascii_lowercase().as_str() {
+            "triangle" | "tri" => Some(Motif::Triangle),
+            "rectangle" | "rect" => Some(Motif::Rectangle),
+            "rectri" | "rec-tri" | "rectangle-triangle" => Some(Motif::RecTri),
+            "kpath2" => Some(Motif::KPath(2)),
+            "kpath3" => Some(Motif::KPath(3)),
+            "kpath4" => Some(Motif::KPath(4)),
+            "kpath5" => Some(Motif::KPath(5)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_sizes_match_fig1() {
+        assert_eq!(Motif::Triangle.edges_per_instance(), 2);
+        assert_eq!(Motif::Rectangle.edges_per_instance(), 3);
+        assert_eq!(Motif::RecTri.edges_per_instance(), 4);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for m in Motif::ALL {
+            assert_eq!(Motif::from_name(m.name()), Some(m));
+            assert_eq!(Motif::from_name(&m.name().to_uppercase()), Some(m));
+        }
+        for k in 2..=5u8 {
+            let m = Motif::k_path(k);
+            assert_eq!(Motif::from_name(m.name()), Some(m));
+            assert_eq!(m.edges_per_instance(), k as usize);
+        }
+        assert_eq!(Motif::from_name("pentagon"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k in 2..=5")]
+    fn k_path_rejects_out_of_range() {
+        let _ = Motif::k_path(9);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Motif::RecTri.to_string(), "rectri");
+    }
+}

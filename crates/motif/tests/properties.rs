@@ -1,0 +1,173 @@
+//! Property-based tests for the motif machinery: the paper's Lemmas 1–4
+//! (monotonicity and submodularity of the dissimilarity) checked on random
+//! graphs, plus index/recount equivalence under arbitrary deletion orders.
+
+use proptest::prelude::*;
+use tpp_graph::{Edge, Graph};
+use tpp_motif::{count_all_targets, CoverageIndex, Motif};
+
+/// Strategy: a random simple graph with `n in 8..=24` nodes and edge
+/// probability `p in 0.1..0.4`, plus 2 target pairs removed up front.
+fn instance_strategy() -> impl Strategy<Value = (Graph, Vec<Edge>)> {
+    (8usize..=24, 0u64..=5_000, 1usize..=3).prop_map(|(n, seed, tcount)| {
+        let p = 0.1 + (seed % 30) as f64 / 100.0;
+        let mut g = tpp_graph::generators::erdos_renyi_gnp(n, p, seed);
+        // Deterministically derived target pairs (removed if present).
+        let mut targets = Vec::new();
+        let mut a = 0u32;
+        while targets.len() < tcount {
+            let b = a + 1 + (seed % 3) as u32;
+            if (b as usize) < n {
+                let e = Edge::new(a, b);
+                if !targets.contains(&e) {
+                    targets.push(e);
+                }
+            }
+            a += 2;
+            if a as usize >= n {
+                break;
+            }
+        }
+        prop_assume_holds(&targets);
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        (g, targets)
+    })
+}
+
+fn prop_assume_holds(targets: &[Edge]) {
+    assert!(!targets.is_empty());
+}
+
+fn total_similarity(g: &Graph, targets: &[Edge], motif: Motif) -> usize {
+    count_all_targets(g, targets, motif).iter().sum()
+}
+
+/// The paper's three motifs plus a generalized-path representative, so the
+/// Lemma 1-4 properties are exercised on the extension too.
+const MOTIFS: [Motif; 4] = [
+    Motif::Triangle,
+    Motif::Rectangle,
+    Motif::RecTri,
+    Motif::KPath(4),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1 / 3: deleting more edges never increases similarity.
+    #[test]
+    fn dissimilarity_is_monotone((g, targets) in instance_strategy(), pick in 0usize..1000) {
+        for motif in MOTIFS {
+            let edges = g.edge_vec();
+            if edges.is_empty() { continue; }
+            let before = total_similarity(&g, &targets, motif);
+            // Delete a growing prefix of a deterministic edge permutation:
+            // every prefix is a superset of the previous one.
+            let mut g2 = g.clone();
+            let mut last = before;
+            for (i, e) in edges.iter().enumerate().take(1 + pick % edges.len()) {
+                g2.remove_edge(e.u(), e.v());
+                let now = total_similarity(&g2, &targets, motif);
+                prop_assert!(now <= last, "motif {motif}: similarity rose at step {i}");
+                last = now;
+            }
+        }
+    }
+
+    /// Lemma 2 / 4: marginal gains shrink as the deleted set grows
+    /// (submodularity): for A ⊆ B and any p ∉ B,
+    /// gain_A(p) >= gain_B(p).
+    #[test]
+    fn dissimilarity_is_submodular((g, targets) in instance_strategy(), split in 0usize..1000, probe in 0usize..1000) {
+        for motif in MOTIFS {
+            let edges = g.edge_vec();
+            if edges.len() < 3 { continue; }
+            let cut = 1 + split % (edges.len() - 2);
+            let (a_set, rest) = edges.split_at(cut / 2);
+            let b_extra = &rest[..(cut - cut / 2)];
+            let p = rest[(cut - cut / 2) + probe % (rest.len() - (cut - cut / 2))];
+
+            // Graph minus A.
+            let mut ga = g.clone();
+            for e in a_set { ga.remove_edge(e.u(), e.v()); }
+            // Graph minus B = A ∪ extra.
+            let mut gb = ga.clone();
+            for e in b_extra { gb.remove_edge(e.u(), e.v()); }
+
+            let gain = |base: &Graph| {
+                let before = total_similarity(base, &targets, motif);
+                let mut after_g = base.clone();
+                after_g.remove_edge(p.u(), p.v());
+                before - total_similarity(&after_g, &targets, motif)
+            };
+            prop_assert!(
+                gain(&ga) >= gain(&gb),
+                "motif {motif}: submodularity violated at p = {p}"
+            );
+        }
+    }
+
+    /// The incremental coverage index agrees with fresh recounts after any
+    /// deletion sequence.
+    #[test]
+    fn index_matches_recount_after_deletions((g, targets) in instance_strategy(), order in 0usize..1000) {
+        for motif in MOTIFS {
+            let mut index = CoverageIndex::build(&g, &targets, motif);
+            let mut g2 = g.clone();
+            let mut edges = g.edge_vec();
+            if edges.is_empty() { continue; }
+            let rot = order % edges.len();
+            edges.rotate_left(rot);
+            for e in edges.iter().take(6) {
+                index.delete_edge(*e);
+                g2.remove_edge(e.u(), e.v());
+                prop_assert_eq!(
+                    index.total_similarity(),
+                    total_similarity(&g2, &targets, motif),
+                    "motif {} diverged after deleting {}", motif, e
+                );
+                index.check_invariants();
+            }
+        }
+    }
+
+    /// Instance gains reported by the index equal physical recount deltas.
+    #[test]
+    fn index_gain_equals_recount_delta((g, targets) in instance_strategy()) {
+        for motif in MOTIFS {
+            let index = CoverageIndex::build(&g, &targets, motif);
+            let before = total_similarity(&g, &targets, motif);
+            prop_assert_eq!(index.total_similarity(), before);
+            for p in index.all_candidate_edges().into_iter().take(10) {
+                let mut g2 = g.clone();
+                g2.remove_edge(p.u(), p.v());
+                let after = total_similarity(&g2, &targets, motif);
+                prop_assert_eq!(index.gain(p), before - after);
+                // gain vector consistency
+                let v = index.gain_vector(p);
+                prop_assert_eq!(v.iter().sum::<usize>(), index.gain(p));
+            }
+        }
+    }
+
+    /// Every enumerated instance has the right arity and all its edges
+    /// really exist; and no instance contains a target link.
+    #[test]
+    fn instances_are_well_formed((g, targets) in instance_strategy()) {
+        for motif in MOTIFS {
+            for (idx, t) in targets.iter().enumerate() {
+                let instances =
+                    tpp_motif::enumerate_target_subgraphs(&g, t.u(), t.v(), motif, idx);
+                for inst in &instances {
+                    prop_assert!(inst.matches_arity(motif));
+                    for e in inst.edges() {
+                        prop_assert!(g.contains(*e), "instance edge {e} missing");
+                        prop_assert!(!targets.contains(e), "instance uses target {e}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Security audit: quantify how well a TPP release resists the full
+//! arsenal of link-prediction attackers (the paper's threat model, §III-B,
+//! plus the Katz attacker named as future work).
+//!
+//! Run with: `cargo run --release --example attack_defense_audit`
+
+use tpp::prelude::*;
+
+fn main() {
+    let g = tpp::datasets::arenas_email_like(7);
+    let instance = TppInstance::with_random_targets(g, 15, 7);
+    let motif = Motif::Triangle;
+
+    // Full protection via the critical budget k*.
+    let (k_star, plan) = critical_budget(&instance, motif);
+    let protected = instance.apply_protectors(&plan.protectors);
+    println!(
+        "full protection of {} targets costs k* = {k_star} deletions",
+        instance.target_count()
+    );
+
+    let negatives = sample_non_edges(instance.released(), 1000, instance.targets(), 99);
+    println!("\n{:<26} {:>8} {:>8}", "attacker", "AUC-pre", "AUC-post");
+    let attackers = [
+        Attacker::Index(SimilarityIndex::CommonNeighbors),
+        Attacker::Index(SimilarityIndex::AdamicAdar),
+        Attacker::Index(SimilarityIndex::ResourceAllocation),
+        Attacker::Index(SimilarityIndex::Jaccard),
+        Attacker::MotifCount(Motif::Rectangle),
+        Attacker::Katz(0.05, 4),
+    ];
+    for attacker in attackers {
+        let pre = evaluate_attack(instance.released(), instance.targets(), &negatives, attacker);
+        let post = evaluate_attack(&protected, instance.targets(), &negatives, attacker);
+        println!(
+            "{:<26} {:>8.3} {:>8.3}{}",
+            pre.attacker,
+            pre.auc,
+            post.auc,
+            if post.targets_fully_hidden() { "   (zero evidence)" } else { "" }
+        );
+    }
+
+    // The price: utility loss of the released graph.
+    let report = utility_loss(
+        instance.original(),
+        &protected,
+        &UtilityConfig::full(1),
+    );
+    println!("\nutility loss per metric:");
+    for (metric, loss) in &report.per_metric {
+        println!("  {:<6} {:>6.2}%", metric.to_string(), loss * 100.0);
+    }
+    println!("average: {}", report.average_percent());
+}

@@ -1,0 +1,60 @@
+//! Domain scenario from the paper's introduction: a patient's link to a
+//! specialist doctor must not be inferable from the released contact graph,
+//! while each patient cares about *their own* link the most — the
+//! Multi-Local-Budget problem with TBD/DBD budget division.
+//!
+//! Run with: `cargo run --release --example hide_sensitive_ties`
+
+use tpp::prelude::*;
+
+fn main() {
+    // A mid-sized social graph standing in for a hospital contact network.
+    let g = tpp::graph::generators::holme_kim(800, 5, 0.5, 42);
+
+    // Five patient-doctor links, sampled among well-embedded edges so the
+    // adversary would genuinely infer them from motif evidence.
+    let mut targets = Vec::new();
+    for e in g.edge_vec() {
+        if g.common_neighbor_count(e.u(), e.v()) >= 3 {
+            targets.push(e);
+            if targets.len() == 5 {
+                break;
+            }
+        }
+    }
+    let instance = TppInstance::new(g, targets).expect("valid targets");
+    let motif = Motif::Triangle;
+
+    println!("patient-doctor links to protect: {}", instance.target_count());
+    let index = instance.build_index(motif);
+    for (i, t) in instance.targets().iter().enumerate() {
+        println!("  target {t}: {} triangle witnesses", index.target_similarity(i));
+    }
+
+    // Every patient gets a personal budget, proportional to how exposed
+    // they are (TBD), then protectors are picked cross-target (CT-Greedy).
+    let total_budget = 20;
+    for division in [BudgetDivision::Tbd, BudgetDivision::Dbd] {
+        let budgets = divide_budget(division, total_budget, &instance, motif);
+        let plan = ct_greedy(&instance, &budgets, &GreedyConfig::scalable(motif))
+            .expect("budget vector matches targets");
+        println!(
+            "\nCT-Greedy with {division} division: budgets {budgets:?} -> similarity {} -> {}",
+            plan.initial_similarity, plan.final_similarity
+        );
+        for (i, pt) in plan.per_target.iter().enumerate() {
+            println!("  target {} protected by {} deletions", i, pt.len());
+        }
+    }
+
+    // Compare the within-target discipline on the same budgets.
+    let budgets = divide_budget(BudgetDivision::Tbd, total_budget, &instance, motif);
+    let wt = wt_greedy(&instance, &budgets, &GreedyConfig::scalable(motif)).unwrap();
+    println!(
+        "\nWT-Greedy (TBD): similarity {} -> {} with {} deletions",
+        wt.initial_similarity,
+        wt.final_similarity,
+        wt.deletions()
+    );
+    println!("(CT >= WT in dissimilarity gain, as Theorem 4 vs 5 predicts)");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: hide two sensitive friendships in Zachary's karate club.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tpp::prelude::*;
+
+fn main() {
+    // The club's two leaders secretly coordinate; they want the link between
+    // them (and one lieutenant link) hidden from the released graph.
+    let g = tpp::datasets::karate_club();
+    let targets = vec![Edge::new(32, 33), Edge::new(0, 1)];
+    println!("karate club: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    // Phase 1 happens inside TppInstance::new: targets leave the edge list.
+    let instance = TppInstance::new(g, targets).expect("targets are real edges");
+    let motif = Motif::Triangle;
+    println!(
+        "after phase 1 the adversary still sees {} triangle witnesses",
+        instance.initial_similarity(motif)
+    );
+
+    // Phase 2: delete protectors under a global budget (SGB-Greedy, 1-1/e).
+    let budget = 12;
+    let plan = sgb_greedy(&instance, budget, &GreedyConfig::scalable(motif));
+    println!(
+        "SGB-Greedy deleted {} protectors; similarity {} -> {}",
+        plan.deletions(),
+        plan.initial_similarity,
+        plan.final_similarity
+    );
+    for step in &plan.steps {
+        println!(
+            "  round {:>2}: delete {:<7} breaking {} witnesses (remaining {})",
+            step.round, step.protector.to_string(), step.total_broken, step.similarity_after
+        );
+    }
+
+    // What the world gets to see:
+    let released = instance.apply_protectors(&plan.protectors);
+    println!(
+        "released graph: {} edges ({} deleted in total, targets included)",
+        released.edge_count(),
+        instance.original().edge_count() - released.edge_count()
+    );
+
+    // And what the strongest common-neighbor attacker now scores:
+    for t in instance.targets() {
+        let score = SimilarityIndex::CommonNeighbors.score(&released, t.u(), t.v());
+        println!("  attacker score for hidden link {t}: {score}");
+    }
+    if plan.is_full_protection() {
+        println!("all targets fully protected — no triangle evidence remains");
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's §VI-D headline claim as an integration test: a fully
+//! protected graph defends *all* triangle-based link predictions — Jaccard,
+//! Salton, Sørensen, Hub Promoted, Hub Depressed, Leicht–Holme–Newman,
+//! Adamic–Adar, Resource Allocation — "in which the prediction probability
+//! for every target is 0".
+
+use tpp::prelude::*;
+
+#[test]
+fn triangle_full_protection_zeroes_every_cn_family_attacker() {
+    let g = tpp::datasets::arenas_email_like(21);
+    let inst = TppInstance::with_random_targets(g, 12, 21);
+    let (_, plan) = critical_budget(&inst, Motif::Triangle);
+    let protected = inst.apply_protectors(&plan.protectors);
+
+    for idx in SimilarityIndex::TRIANGLE_BASED {
+        for t in inst.targets() {
+            let score = idx.score(&protected, t.u(), t.v());
+            assert_eq!(score, 0.0, "{idx} still scores target {t}");
+        }
+    }
+}
+
+#[test]
+fn attack_auc_collapses_to_chance_after_protection() {
+    // Use well-embedded targets (>= 2 common neighbors) — links the threat
+    // model says an adversary would genuinely infer.
+    let g = tpp::datasets::arenas_email_like(22);
+    let mut targets = Vec::new();
+    for e in g.edge_vec() {
+        if g.common_neighbor_count(e.u(), e.v()) >= 2 {
+            targets.push(e);
+            if targets.len() == 12 {
+                break;
+            }
+        }
+    }
+    let inst = TppInstance::new(g, targets).unwrap();
+    let negatives = sample_non_edges(inst.released(), 600, inst.targets(), 1);
+
+    // Before: the CN attacker genuinely works on the phase-1 graph.
+    let before = evaluate_attack(
+        inst.released(),
+        inst.targets(),
+        &negatives,
+        Attacker::Index(SimilarityIndex::CommonNeighbors),
+    );
+    assert!(before.auc > 0.65, "attack should work pre-protection: {}", before.auc);
+
+    // After: full protection collapses it to (below) chance.
+    let (_, plan) = critical_budget(&inst, Motif::Triangle);
+    let protected = inst.apply_protectors(&plan.protectors);
+    let after = evaluate_attack(
+        &protected,
+        inst.targets(),
+        &negatives,
+        Attacker::Index(SimilarityIndex::CommonNeighbors),
+    );
+    assert!(after.targets_fully_hidden());
+    assert!(after.auc <= 0.5 + 1e-9, "post-protection AUC {}", after.auc);
+    assert_eq!(after.precision_at_t, 0.0);
+}
+
+#[test]
+fn rectangle_protection_defeats_the_motif_attacker_it_targets() {
+    let g = tpp::datasets::arenas_email_like(23);
+    let inst = TppInstance::with_random_targets(g, 8, 23);
+    let (_, plan) = critical_budget(&inst, Motif::Rectangle);
+    let protected = inst.apply_protectors(&plan.protectors);
+    for t in inst.targets() {
+        assert_eq!(
+            Attacker::MotifCount(Motif::Rectangle).score(&protected, t.u(), t.v()),
+            0.0
+        );
+    }
+}
+
+#[test]
+fn protection_is_motif_specific() {
+    // Protecting against triangles does NOT automatically zero rectangle
+    // evidence — the paper's protections are per-pattern, which is why the
+    // experiments sweep all three motifs.
+    let g = tpp::datasets::arenas_email_like(24);
+    let inst = TppInstance::with_random_targets(g, 12, 24);
+    let (_, plan) = critical_budget(&inst, Motif::Triangle);
+    let protected = inst.apply_protectors(&plan.protectors);
+    let leftover: usize = inst
+        .targets()
+        .iter()
+        .map(|t| tpp::motif::count_target_subgraphs(&protected, t.u(), t.v(), Motif::Rectangle))
+        .sum();
+    assert!(
+        leftover > 0,
+        "expected residual rectangle evidence after triangle-only protection"
+    );
+}

@@ -1,0 +1,139 @@
+//! The qualitative *shapes* of the paper's evaluation encoded as tests:
+//! who wins, in what order, and where the hard cases are. These are the
+//! claims EXPERIMENTS.md tracks quantitatively.
+
+use tpp::prelude::*;
+
+fn arenas_instance(seed: u64, targets: usize) -> TppInstance {
+    TppInstance::with_random_targets(tpp::datasets::arenas_email_like(seed), targets, seed)
+}
+
+/// Fig. 3 ordering at a mid-range budget: SGB <= CT <= WT <= RDT <= RD in
+/// surviving similarity (averaged over samples — individual samples can tie).
+#[test]
+fn fig3_method_ordering_holds_on_average() {
+    let motif = Motif::Rectangle;
+    let samples = 3;
+    let mut sums = [0f64; 5]; // sgb, ct, wt, rdt, rd
+    for s in 0..samples {
+        let inst = arenas_instance(100 + s, 20);
+        let k = 30;
+        let cfg = GreedyConfig::scalable(motif);
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &inst, motif);
+        sums[0] += sgb_greedy(&inst, k, &cfg).final_similarity as f64;
+        sums[1] += ct_greedy(&inst, &budgets, &cfg).unwrap().final_similarity as f64;
+        sums[2] += wt_greedy(&inst, &budgets, &cfg).unwrap().final_similarity as f64;
+        sums[3] += random_deletion_from_subgraphs(&inst, k, motif, s).final_similarity as f64;
+        sums[4] += random_deletion(&inst, k, motif, s).final_similarity as f64;
+    }
+    assert!(sums[0] <= sums[1] + 1e-9, "SGB {} vs CT {}", sums[0], sums[1]);
+    assert!(sums[1] <= sums[2] + 1e-9, "CT {} vs WT {}", sums[1], sums[2]);
+    assert!(sums[2] <= sums[3] + 1e-9, "WT {} vs RDT {}", sums[2], sums[3]);
+    assert!(sums[3] <= sums[4] + 1e-9, "RDT {} vs RD {}", sums[3], sums[4]);
+}
+
+/// Fig. 3: the Rectangle motif is the most challenging — highest initial
+/// similarity and highest critical budget k* of the three motifs.
+#[test]
+fn rectangle_is_the_hardest_motif() {
+    let mut s0 = [0usize; 3];
+    let mut kstar = [0usize; 3];
+    for seed in 0..3u64 {
+        let inst = arenas_instance(200 + seed, 20);
+        for (i, motif) in [Motif::Triangle, Motif::Rectangle, Motif::RecTri]
+            .into_iter()
+            .enumerate()
+        {
+            let (ks, plan) = critical_budget(&inst, motif);
+            s0[i] += plan.initial_similarity;
+            kstar[i] += ks;
+        }
+    }
+    assert!(s0[1] > s0[0], "rectangle evidence {} vs triangle {}", s0[1], s0[0]);
+    assert!(s0[1] > s0[2], "rectangle evidence {} vs rectri {}", s0[1], s0[2]);
+    assert!(kstar[1] > kstar[0], "rectangle k* {} vs triangle {}", kstar[1], kstar[0]);
+    assert!(kstar[1] > kstar[2], "rectangle k* {} vs rectri {}", kstar[1], kstar[2]);
+}
+
+/// Fig. 3 (Triangle panel): RDT is close to the greedy algorithms for the
+/// Triangle motif because shared protectors are rare when targets are
+/// random — "it is very rare that one protector participates in multiple
+/// target triangles".
+#[test]
+fn rdt_is_competitive_on_triangles_but_not_rectangles() {
+    let inst = arenas_instance(300, 20);
+    let cfg = GreedyConfig::scalable(Motif::Triangle);
+
+    // Triangle: RDT within 2x of SGB's deletions-for-half-protection.
+    let (k_star_tri, _) = critical_budget(&inst, Motif::Triangle);
+    let k = (k_star_tri / 2).max(1);
+    let sgb = sgb_greedy(&inst, k, &cfg).final_similarity as f64;
+    let rdt: f64 = (0..5)
+        .map(|s| {
+            random_deletion_from_subgraphs(&inst, k, Motif::Triangle, s).final_similarity as f64
+        })
+        .sum::<f64>()
+        / 5.0;
+    let initial = sgb_greedy(&inst, 0, &cfg).initial_similarity as f64;
+    let sgb_frac = sgb / initial;
+    let rdt_frac = rdt / initial;
+    assert!(
+        rdt_frac - sgb_frac < 0.45,
+        "triangle: RDT ({rdt_frac:.2}) should be within reach of SGB ({sgb_frac:.2})"
+    );
+
+    // Rectangle: the gap is clearly wider at the same relative budget.
+    let (k_star_rect, rect_plan) = critical_budget(&inst, Motif::Rectangle);
+    let k = (k_star_rect / 2).max(1);
+    let cfg_r = GreedyConfig::scalable(Motif::Rectangle);
+    let sgb_r = sgb_greedy(&inst, k, &cfg_r).final_similarity as f64;
+    let rdt_r: f64 = (0..5)
+        .map(|s| {
+            random_deletion_from_subgraphs(&inst, k, Motif::Rectangle, s).final_similarity as f64
+        })
+        .sum::<f64>()
+        / 5.0;
+    let initial_r = rect_plan.initial_similarity as f64;
+    assert!(
+        rdt_r / initial_r > sgb_r / initial_r,
+        "rectangle: greedy must clearly beat RDT"
+    );
+}
+
+/// Tables III vs IV: more targets -> more deletions -> more utility loss
+/// (monotone in |T|), and both stay small.
+#[test]
+fn utility_loss_grows_with_target_count_but_stays_small() {
+    let motif = Motif::Triangle;
+    let cfg = UtilityConfig::large_graph(1);
+    let mut losses = Vec::new();
+    for &t in &[10usize, 40] {
+        let inst = arenas_instance(400, t);
+        let (_, plan) = critical_budget(&inst, motif);
+        let released = inst.apply_protectors(&plan.protectors);
+        let report = utility_loss(inst.original(), &released, &cfg);
+        losses.push(report.average);
+    }
+    assert!(losses[1] > losses[0], "more targets should cost more: {losses:?}");
+    assert!(losses[1] < 0.15, "still small: {losses:?}");
+}
+
+/// Fig. 5's core contrast: the scalable `-R` implementation is much faster
+/// than the plain recount implementation at identical output.
+#[test]
+fn scalable_variant_is_faster_and_identical() {
+    let inst = arenas_instance(500, 10);
+    let motif = Motif::Triangle;
+    let k = 5;
+    let t0 = std::time::Instant::now();
+    let plain = sgb_greedy(&inst, k, &GreedyConfig::plain(motif));
+    let plain_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let scalable = sgb_greedy(&inst, k, &GreedyConfig::scalable(motif));
+    let scalable_time = t1.elapsed();
+    assert_eq!(plain.protectors, scalable.protectors, "identical output");
+    assert!(
+        plain_time > scalable_time,
+        "plain {plain_time:?} should exceed -R {scalable_time:?}"
+    );
+}
