@@ -19,7 +19,13 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| black_box(sgb_greedy(&instance, k, &GreedyConfig::plain(motif))));
     });
     group.bench_function(BenchmarkId::new("sgb", "indexed_all_edges"), |b| {
-        b.iter(|| black_box(sgb_greedy(&instance, k, &GreedyConfig::indexed_all_edges(motif))));
+        b.iter(|| {
+            black_box(sgb_greedy(
+                &instance,
+                k,
+                &GreedyConfig::indexed_all_edges(motif),
+            ))
+        });
     });
     group.bench_function(BenchmarkId::new("sgb", "scalable_r"), |b| {
         b.iter(|| black_box(sgb_greedy(&instance, k, &GreedyConfig::scalable(motif))));

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tpp_core::{ct_greedy, divide_budget, sgb_greedy, wt_greedy, BudgetDivision, GreedyConfig, TppInstance};
+use tpp_core::{
+    ct_greedy, divide_budget, sgb_greedy, wt_greedy, BudgetDivision, GreedyConfig, TppInstance,
+};
 use tpp_datasets::arenas_email_like;
 use tpp_motif::Motif;
 
@@ -19,12 +21,20 @@ fn bench_greedy(c: &mut Criterion) {
             b.iter(|| black_box(sgb_greedy(&instance, k, &cfg)));
         });
         let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
-        group.bench_with_input(BenchmarkId::new("ct_r_tbd", motif.name()), &motif, |b, _| {
-            b.iter(|| black_box(ct_greedy(&instance, &budgets, &cfg).unwrap()));
-        });
-        group.bench_with_input(BenchmarkId::new("wt_r_tbd", motif.name()), &motif, |b, _| {
-            b.iter(|| black_box(wt_greedy(&instance, &budgets, &cfg).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ct_r_tbd", motif.name()),
+            &motif,
+            |b, _| {
+                b.iter(|| black_box(ct_greedy(&instance, &budgets, &cfg).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wt_r_tbd", motif.name()),
+            &motif,
+            |b, _| {
+                b.iter(|| black_box(wt_greedy(&instance, &budgets, &cfg).unwrap()));
+            },
+        );
     }
     group.finish();
 }

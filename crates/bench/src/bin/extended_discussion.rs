@@ -5,8 +5,8 @@
 //! subgraph-pattern dissimilarity.
 
 use tpp_linkpred::{
-    addition_similarity_delta, fig7_cases, fig7_graph, fig8_graph,
-    find_ra_submodularity_violation, SimilarityIndex,
+    addition_similarity_delta, fig7_cases, fig7_graph, fig8_graph, find_ra_submodularity_violation,
+    SimilarityIndex,
 };
 use tpp_motif::Motif;
 
@@ -55,7 +55,10 @@ fn main() {
     for motif in Motif::ALL {
         let (before, after) =
             addition_similarity_delta(&g, 0, 1, tpp_graph::Edge::new(4, 1), motif);
-        println!("  motif {:<10} s before add = {before}, after = {after}", motif.name());
+        println!(
+            "  motif {:<10} s before add = {before}, after = {after}",
+            motif.name()
+        );
     }
     println!("\n(The motif dissimilarity used by TPP is monotone + submodular — see");
     println!(" the property-test suite `cargo test -p tpp-motif --test properties`.)");

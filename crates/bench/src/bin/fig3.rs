@@ -13,7 +13,10 @@ use tpp_motif::Motif;
 fn main() {
     let args = ExpArgs::parse(10);
     let targets = 20;
-    println!("Fig. 3 — Arenas-email substitute, |T| = {targets}, {} samples", args.samples);
+    println!(
+        "Fig. 3 — Arenas-email substitute, |T| = {targets}, {} samples",
+        args.samples
+    );
 
     for motif in Motif::ALL {
         let config = EvolutionConfig {

@@ -16,9 +16,7 @@ fn main() {
         args.scale, args.samples
     );
 
-    let grid: Vec<usize> = (1..=k_max)
-        .step_by(5)
-        .collect();
+    let grid: Vec<usize> = (1..=k_max).step_by(5).collect();
     for motif in Motif::ALL {
         let config = EvolutionConfig {
             motif,
@@ -28,7 +26,10 @@ fn main() {
             scalable: true,
             k_grid: Some(grid.clone()),
         };
-        let result = run_evolution(|i| dblp_like(args.scale, args.seed + 77 * i as u64), &config);
+        let result = run_evolution(
+            |i| dblp_like(args.scale, args.seed + 77 * i as u64),
+            &config,
+        );
         println!(
             "motif {:<10} s(∅,T) = {:>10.1}   k* = {}",
             result.motif, result.initial_similarity, result.k_star

@@ -13,9 +13,7 @@ fn main() {
     } else {
         vec![5, 10, 15, 20, 25]
     };
-    println!(
-        "Fig. 5 — Arenas-email substitute, |T| = 20, running time over k = {k_grid:?}"
-    );
+    println!("Fig. 5 — Arenas-email substitute, |T| = 20, running time over k = {k_grid:?}");
 
     for motif in Motif::ALL {
         let config = TimingConfig {

@@ -27,6 +27,9 @@ fn main() {
             )
         })
         .collect();
-    print!("{}", utility_table_text("Table III (ulr, all greedy, -R)", &rows));
+    print!(
+        "{}",
+        utility_table_text("Table III (ulr, all greedy, -R)", &rows)
+    );
     tpp_bench::write_result_file(&args.out_dir, "table3.csv", &utility_csv(&rows));
 }

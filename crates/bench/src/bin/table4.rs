@@ -26,6 +26,9 @@ fn main() {
             )
         })
         .collect();
-    print!("{}", utility_table_text("Table IV (ulr, all greedy, -R)", &rows));
+    print!(
+        "{}",
+        utility_table_text("Table IV (ulr, all greedy, -R)", &rows)
+    );
     tpp_bench::write_result_file(&args.out_dir, "table4.csv", &utility_csv(&rows));
 }

@@ -30,6 +30,9 @@ fn main() {
             )
         })
         .collect();
-    print!("{}", utility_table_text("Table V (ulr, all greedy, -R)", &rows));
+    print!(
+        "{}",
+        utility_table_text("Table V (ulr, all greedy, -R)", &rows)
+    );
     tpp_bench::write_result_file(&args.out_dir, "table5.csv", &utility_csv(&rows));
 }

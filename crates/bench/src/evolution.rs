@@ -103,7 +103,13 @@ where
                 .enumerate()
                 .map(|(i, inst)| {
                     method
-                        .run(inst, k_max, config.motif, config.scalable, config.seed + i as u64)
+                        .run(
+                            inst,
+                            k_max,
+                            config.motif,
+                            config.scalable,
+                            config.seed + i as u64,
+                        )
                         .similarity_trajectory()
                 })
                 .collect();
@@ -123,7 +129,13 @@ where
                     .enumerate()
                     .map(|(i, inst)| {
                         method
-                            .run(inst, k, config.motif, config.scalable, config.seed + i as u64)
+                            .run(
+                                inst,
+                                k,
+                                config.motif,
+                                config.scalable,
+                                config.seed + i as u64,
+                            )
                             .final_similarity as f64
                     })
                     .sum::<f64>()
@@ -172,7 +184,10 @@ mod tests {
 
     #[test]
     fn evolution_series_are_complete_and_ordered() {
-        let result = run_evolution(|i| holme_kim(120, 4, 0.4, i as u64), &quick_config(Motif::Triangle));
+        let result = run_evolution(
+            |i| holme_kim(120, 4, 0.4, i as u64),
+            &quick_config(Motif::Triangle),
+        );
         assert_eq!(result.series.len(), 7);
         assert!(result.k_star > 0);
         for s in &result.series {
@@ -186,7 +201,10 @@ mod tests {
 
     #[test]
     fn sgb_reaches_zero_at_k_star() {
-        let result = run_evolution(|i| holme_kim(100, 4, 0.5, 10 + i as u64), &quick_config(Motif::Triangle));
+        let result = run_evolution(
+            |i| holme_kim(100, 4, 0.5, 10 + i as u64),
+            &quick_config(Motif::Triangle),
+        );
         let sgb = result
             .series
             .iter()
@@ -199,7 +217,10 @@ mod tests {
 
     #[test]
     fn greedy_dominates_rd_pointwise_on_average() {
-        let result = run_evolution(|i| holme_kim(120, 4, 0.4, 20 + i as u64), &quick_config(Motif::Triangle));
+        let result = run_evolution(
+            |i| holme_kim(120, 4, 0.4, 20 + i as u64),
+            &quick_config(Motif::Triangle),
+        );
         let get = |label: &str| {
             result
                 .series

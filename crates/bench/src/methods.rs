@@ -140,7 +140,11 @@ mod tests {
         let inst = TppInstance::with_random_targets(complete_graph(9), 3, 2);
         let k = 4;
         let rd: usize = (0..10)
-            .map(|s| Method::Rd.run(&inst, k, Motif::Triangle, true, s).dissimilarity_gain())
+            .map(|s| {
+                Method::Rd
+                    .run(&inst, k, Motif::Triangle, true, s)
+                    .dissimilarity_gain()
+            })
             .sum();
         let sgb = Method::Sgb
             .run(&inst, k, Motif::Triangle, true, 0)

@@ -54,11 +54,7 @@ where
 {
     let instances: Vec<TppInstance> = (0..config.samples)
         .map(|i| {
-            TppInstance::with_random_targets(
-                make_graph(i),
-                config.targets,
-                config.seed + i as u64,
-            )
+            TppInstance::with_random_targets(make_graph(i), config.targets, config.seed + i as u64)
         })
         .collect();
 
@@ -132,7 +128,11 @@ mod tests {
             utility: UtilityConfig::large_graph(2),
             budget_cap: None,
         };
-        let row = run_utility_row(|i| holme_kim(150, 4, 0.5, 50 + i as u64), Motif::Triangle, &cfg);
+        let row = run_utility_row(
+            |i| holme_kim(150, 4, 0.5, 50 + i as u64),
+            Motif::Triangle,
+            &cfg,
+        );
         let sgb = &row.cells[0];
         for other in &row.cells[1..] {
             assert!(

@@ -56,8 +56,7 @@ pub fn run_timing<F>(make_graph: F, k_grid: &[usize], config: &TimingConfig) -> 
 where
     F: Fn() -> Graph,
 {
-    let instance =
-        TppInstance::with_random_targets(make_graph(), config.targets, config.seed);
+    let instance = TppInstance::with_random_targets(make_graph(), config.targets, config.seed);
     let mut series = Vec::new();
     for method in TIMED {
         let mut variants: Vec<bool> = vec![true]; // scalable -R

@@ -90,7 +90,13 @@ mod tests {
     #[test]
     fn parses_command_positionals_and_flags() {
         let p = parse(&strs(&[
-            "protect", "graph.txt", "--budget", "10", "--motif", "triangle", "--quick",
+            "protect",
+            "graph.txt",
+            "--budget",
+            "10",
+            "--motif",
+            "triangle",
+            "--quick",
         ]))
         .unwrap();
         assert_eq!(p.command, "protect");

@@ -1,4 +1,5 @@
-//! The `tpp` subcommands: generate, stats, protect, attack, kstar.
+//! The `tpp` subcommands: generate, stats, protect, attack, kstar, utility,
+//! and the snapshot store (`store build|info|convert`).
 
 use crate::args::Parsed;
 use rand::rngs::StdRng;
@@ -24,6 +25,7 @@ pub fn dispatch(p: &Parsed) -> Result<(), String> {
         "attack" => attack(p),
         "kstar" => kstar(p),
         "utility" => utility(p),
+        "store" => store(p),
         "" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -47,6 +49,9 @@ USAGE:
                [--negatives N] [--seed S]
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
   tpp utility  <original> <released> [--full] [--seed S]
+  tpp store build   <edgelist> --out FILE.csr [--threads N]
+  tpp store info    <FILE.csr>
+  tpp store convert <FILE.csr> --out edgelist.txt
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
@@ -249,8 +254,14 @@ fn attack(p: &Parsed) -> Result<(), String> {
 }
 
 fn utility(p: &Parsed) -> Result<(), String> {
-    let original_path = p.positional.first().ok_or("expected <original> <released>")?;
-    let released_path = p.positional.get(1).ok_or("expected <original> <released>")?;
+    let original_path = p
+        .positional
+        .first()
+        .ok_or("expected <original> <released>")?;
+    let released_path = p
+        .positional
+        .get(1)
+        .ok_or("expected <original> <released>")?;
     let read = |path: &str| -> Result<Graph, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         parse_edge_list(&text).map_err(|e| e.to_string())
@@ -275,6 +286,80 @@ fn utility(p: &Parsed) -> Result<(), String> {
     }
     println!("average utility loss: {}", report.average_percent());
     Ok(())
+}
+
+/// `tpp store build|info|convert` — the binary snapshot store.
+fn store(p: &Parsed) -> Result<(), String> {
+    let sub = p
+        .positional
+        .first()
+        .ok_or("expected a store subcommand: build, info, or convert")?;
+    let path = p
+        .positional
+        .get(1)
+        .ok_or("expected a file argument after the store subcommand")?;
+    match sub.as_str() {
+        "build" => {
+            // Resolve every argument before the (potentially long) parse
+            // and build, so arg errors are instant.
+            let out = p.require("out")?;
+            let threads: usize = p.num_or("threads", 1usize)?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
+            let csr = tpp_store::CsrGraph::from_graph_parallel(&g, threads);
+            tpp_store::format::save(&csr, out).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "wrote {} ({} nodes, {} edges, {} bytes, format v{})",
+                out,
+                csr.node_count(),
+                csr.edge_count(),
+                bytes,
+                tpp_store::format::VERSION,
+            );
+            Ok(())
+        }
+        "info" => {
+            let (csr, version) =
+                tpp_store::format::load_with_version(path).map_err(|e| e.to_string())?;
+            println!("file:    {path}");
+            println!("format:  TPPCSR v{version}");
+            println!("nodes:   {}", csr.node_count());
+            println!("edges:   {}", csr.edge_count());
+            let degrees: Vec<usize> = (0..csr.node_count() as u32)
+                .map(|u| csr.degree(u))
+                .collect();
+            let max_degree = degrees.iter().copied().max().unwrap_or(0);
+            let isolated = degrees.iter().filter(|&&d| d == 0).count();
+            println!("max-degree: {max_degree}");
+            println!(
+                "mean-degree: {:.2}",
+                degrees.iter().sum::<usize>() as f64 / csr.node_count().max(1) as f64
+            );
+            println!("isolated-nodes: {isolated}");
+            println!("checksum: verified");
+            Ok(())
+        }
+        "convert" => {
+            let out = p.require("out")?;
+            let csr = tpp_store::format::load(path).map_err(|e| e.to_string())?;
+            let g = csr.to_graph();
+            std::fs::write(out, write_edge_list(&g)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} nodes, {} edges)",
+                out,
+                g.node_count(),
+                g.edge_count()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store subcommand {other:?} (expected build, info, or convert)"
+        )),
+    }
 }
 
 fn kstar(p: &Parsed) -> Result<(), String> {
@@ -417,8 +502,14 @@ mod tests {
         let orig = dir.join("orig.txt");
         let rel = dir.join("rel.txt");
         dispatch(
-            &parse(&strs(&["generate", "--model", "karate", "--out", orig.to_str().unwrap()]))
-                .unwrap(),
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                orig.to_str().unwrap(),
+            ]))
+            .unwrap(),
         )
         .unwrap();
         dispatch(
@@ -524,8 +615,79 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["generate", "stats", "protect", "attack", "kstar"] {
+        for cmd in ["generate", "stats", "protect", "attack", "kstar", "store"] {
             assert!(u.contains(cmd));
         }
+    }
+
+    #[test]
+    fn store_build_info_convert_round_trip() {
+        let dir = tmpdir();
+        let edges = dir.join("store-src.txt");
+        let snapshot = dir.join("store.csr");
+        let back = dir.join("store-back.txt");
+
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "200",
+                "--out",
+                edges.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "build",
+                edges.to_str().unwrap(),
+                "--out",
+                snapshot.to_str().unwrap(),
+                "--threads",
+                "2",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        dispatch(&parse(&strs(&["store", "info", snapshot.to_str().unwrap()])).unwrap()).unwrap();
+
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "convert",
+                snapshot.to_str().unwrap(),
+                "--out",
+                back.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // The snapshot round-trips the edge set exactly.
+        let original = parse_edge_list(&std::fs::read_to_string(&edges).unwrap()).unwrap();
+        let converted = parse_edge_list(&std::fs::read_to_string(&back).unwrap()).unwrap();
+        assert_eq!(original.edge_vec(), converted.edge_vec());
+    }
+
+    #[test]
+    fn store_error_paths() {
+        let dir = tmpdir();
+        // unknown subcommand / missing args
+        assert!(dispatch(&parse(&strs(&["store"])).unwrap()).is_err());
+        assert!(dispatch(&parse(&strs(&["store", "frobnicate", "x"])).unwrap()).is_err());
+        assert!(dispatch(&parse(&strs(&["store", "info", "/no/such/file.csr"])).unwrap()).is_err());
+        // info on a non-snapshot file reports a format error, not garbage
+        let not_snapshot = dir.join("not-a-snapshot.txt");
+        std::fs::write(&not_snapshot, "0 1\n1 2\n").unwrap();
+        let err =
+            dispatch(&parse(&strs(&["store", "info", not_snapshot.to_str().unwrap()])).unwrap())
+                .unwrap_err();
+        assert!(err.contains("not a TPP store file"), "got: {err}");
     }
 }

@@ -4,7 +4,7 @@
 
 use super::{EvaluatorKind, GreedyConfig};
 use crate::error::TppError;
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle};
+use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use crate::problem::TppInstance;
 use tpp_graph::Edge;
@@ -34,6 +34,11 @@ pub fn ct_greedy(
     Ok(match config.evaluator {
         EvaluatorKind::Index => run(
             IndexOracle::new(instance.released(), instance.targets(), config.motif),
+            budgets,
+            config,
+        ),
+        EvaluatorKind::DeltaRecount => run(
+            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
             budgets,
             config,
         ),
@@ -118,15 +123,7 @@ mod tests {
     fn fixture() -> TppInstance {
         // targets (0,1) and (0,2); node 3 adjacent to 0,1,2 (shared);
         // node 4 adjacent to 0,1 (private to target (0,1)).
-        let g = Graph::from_edges([
-            (0u32, 1u32),
-            (0, 2),
-            (0, 3),
-            (3, 1),
-            (3, 2),
-            (0, 4),
-            (4, 1),
-        ]);
+        let g = Graph::from_edges([(0u32, 1u32), (0, 2), (0, 3), (3, 1), (3, 2), (0, 4), (4, 1)]);
         TppInstance::new(g, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap()
     }
 
@@ -212,8 +209,7 @@ mod tests {
     #[test]
     fn stops_at_zero_gain_even_with_budget_left() {
         let inst = fixture();
-        let plan =
-            ct_greedy(&inst, &[100, 100], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+        let plan = ct_greedy(&inst, &[100, 100], &GreedyConfig::scalable(Motif::Triangle)).unwrap();
         assert!(plan.is_full_protection());
         assert!(plan.deletions() < 200);
     }

@@ -39,6 +39,10 @@ pub enum EvaluatorKind {
     Index,
     /// Full motif recount per evaluation (the paper's plain algorithms).
     NaiveRecount,
+    /// Full motif recount over a `tpp_store::DeltaView` overlay: the plain
+    /// cost model with zero graph clones — the released graph is borrowed
+    /// immutably and candidate deletions are tentative overlay entries.
+    DeltaRecount,
 }
 
 /// Configuration shared by all greedy algorithms.
@@ -73,6 +77,19 @@ impl GreedyConfig {
             motif,
             candidates: CandidatePolicy::SubgraphEdges,
             evaluator: EvaluatorKind::Index,
+        }
+    }
+
+    /// The zero-clone recount path: restricted candidates evaluated by
+    /// recounting over a snapshot overlay (`tpp-store`'s `DeltaView`).
+    /// Same picks as [`GreedyConfig::plain`]/[`GreedyConfig::scalable`],
+    /// no per-candidate graph materialization, shareable immutable base.
+    #[must_use]
+    pub fn snapshot(motif: Motif) -> Self {
+        GreedyConfig {
+            motif,
+            candidates: CandidatePolicy::SubgraphEdges,
+            evaluator: EvaluatorKind::DeltaRecount,
         }
     }
 

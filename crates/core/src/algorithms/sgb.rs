@@ -4,7 +4,7 @@
 //! (Lemmas 1–2).
 
 use super::{EvaluatorKind, GreedyConfig};
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle};
+use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use crate::problem::TppInstance;
 use tpp_graph::Edge;
@@ -20,6 +20,11 @@ pub fn sgb_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> Pr
     match config.evaluator {
         EvaluatorKind::Index => run(
             IndexOracle::new(instance.released(), instance.targets(), config.motif),
+            k,
+            config,
+        ),
+        EvaluatorKind::DeltaRecount => run(
+            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
             k,
             config,
         ),
@@ -98,15 +103,7 @@ mod tests {
     fn greedy_picks_highest_coverage_first() {
         // Two targets (0,1) and (0,2); protector (0,3) covers one triangle
         // of each; all other protectors cover exactly one.
-        let g = Graph::from_edges([
-            (0u32, 1u32),
-            (0, 2),
-            (0, 3),
-            (3, 1),
-            (3, 2),
-            (4, 0),
-            (4, 1),
-        ]);
+        let g = Graph::from_edges([(0u32, 1u32), (0, 2), (0, 3), (3, 1), (3, 2), (4, 0), (4, 1)]);
         let inst = TppInstance::new(g, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap();
         let plan = sgb_greedy(&inst, 1, &GreedyConfig::scalable(Motif::Triangle));
         assert_eq!(plan.protectors, vec![Edge::new(0, 3)]);
@@ -138,11 +135,15 @@ mod tests {
             let a = sgb_greedy(&inst, 6, &GreedyConfig::plain(motif));
             let b = sgb_greedy(&inst, 6, &GreedyConfig::scalable(motif));
             let c = sgb_greedy(&inst, 6, &GreedyConfig::indexed_all_edges(motif));
+            let d = sgb_greedy(&inst, 6, &GreedyConfig::snapshot(motif));
             assert_eq!(a.protectors, b.protectors, "{motif}");
             assert_eq!(a.protectors, c.protectors, "{motif}");
+            assert_eq!(a.protectors, d.protectors, "{motif} snapshot path");
             assert_eq!(a.final_similarity, b.final_similarity);
+            assert_eq!(a.final_similarity, d.final_similarity);
             a.check_invariants();
             b.check_invariants();
+            d.check_invariants();
         }
     }
 
@@ -160,7 +161,10 @@ mod tests {
         let plan = sgb_greedy(&inst, 20, &GreedyConfig::scalable(Motif::Triangle));
         for p in &plan.protectors {
             assert!(!inst.targets().contains(p));
-            assert!(inst.released().contains(*p), "protector must be a real edge");
+            assert!(
+                inst.released().contains(*p),
+                "protector must be a real edge"
+            );
         }
     }
 

@@ -4,7 +4,7 @@
 
 use super::{EvaluatorKind, GreedyConfig};
 use crate::error::TppError;
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle};
+use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use crate::problem::TppInstance;
 use tpp_graph::Edge;
@@ -35,6 +35,11 @@ pub fn wt_greedy(
     Ok(match config.evaluator {
         EvaluatorKind::Index => run(
             IndexOracle::new(instance.released(), instance.targets(), config.motif),
+            budgets,
+            config,
+        ),
+        EvaluatorKind::DeltaRecount => run(
+            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
             budgets,
             config,
         ),
@@ -107,15 +112,7 @@ mod tests {
     use tpp_motif::Motif;
 
     fn fixture() -> TppInstance {
-        let g = Graph::from_edges([
-            (0u32, 1u32),
-            (0, 2),
-            (0, 3),
-            (3, 1),
-            (3, 2),
-            (0, 4),
-            (4, 1),
-        ]);
+        let g = Graph::from_edges([(0u32, 1u32), (0, 2), (0, 3), (3, 1), (3, 2), (0, 4), (4, 1)]);
         TppInstance::new(g, vec![Edge::new(0, 1), Edge::new(0, 2)]).unwrap()
     }
 

@@ -13,7 +13,12 @@ use tpp_motif::Motif;
 /// RD: deletes `k` links drawn uniformly at random from the released edge
 /// set. The weakest baseline — most deletions touch no target subgraph.
 #[must_use]
-pub fn random_deletion(instance: &TppInstance, k: usize, motif: Motif, seed: u64) -> ProtectionPlan {
+pub fn random_deletion(
+    instance: &TppInstance,
+    k: usize,
+    motif: Motif,
+    seed: u64,
+) -> ProtectionPlan {
     let mut pool = instance.released().edge_vec();
     let mut rng = StdRng::seed_from_u64(seed);
     pool.shuffle(&mut rng);

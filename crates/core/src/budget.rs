@@ -59,9 +59,7 @@ pub fn divide_budget(
         BudgetDivision::Dbd => instance
             .targets()
             .iter()
-            .map(|t| {
-                (instance.released().degree(t.u()) * instance.released().degree(t.v())) as f64
-            })
+            .map(|t| (instance.released().degree(t.u()) * instance.released().degree(t.v())) as f64)
             .collect(),
     };
     apportion(k, &weights, &subgraph_counts)
@@ -91,7 +89,11 @@ fn apportion(k: usize, weights: &[f64], caps: &[usize]) -> Vec<usize> {
         }
         out[i] = floor;
         assigned += floor;
-        let frac = if out[i] < caps[i] { exact - exact.floor() } else { -1.0 };
+        let frac = if out[i] < caps[i] {
+            exact - exact.floor()
+        } else {
+            -1.0
+        };
         remainders.push((frac, i));
     }
     // Hand out the rest by descending remainder (then descending weight,
@@ -174,7 +176,10 @@ mod tests {
         for k in 0..8 {
             for div in [BudgetDivision::Tbd, BudgetDivision::Dbd] {
                 let parts = divide_budget(div, k, &inst, Motif::Triangle);
-                assert!(parts.iter().sum::<usize>() <= k, "k = {k}, {div}: {parts:?}");
+                assert!(
+                    parts.iter().sum::<usize>() <= k,
+                    "k = {k}, {div}: {parts:?}"
+                );
             }
         }
     }

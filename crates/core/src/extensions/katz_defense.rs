@@ -12,8 +12,9 @@
 
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use crate::problem::TppInstance;
-use tpp_graph::{Edge, FastSet, Graph};
+use tpp_graph::{Edge, FastSet, NeighborAccess};
 use tpp_motif::Motif;
+use tpp_store::DeltaView;
 
 /// Parameters of the Katz attacker being defended against.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +37,12 @@ impl Default for KatzDefenseConfig {
 /// Truncated-Katz score of pair `(u, v)`: `Σ_{ℓ=1..L} β^ℓ · walks_ℓ(u,v)`,
 /// computed by propagating walk counts from `u`.
 #[must_use]
-pub fn katz_pair_score(g: &Graph, u: u32, v: u32, config: &KatzDefenseConfig) -> f64 {
+pub fn katz_pair_score<G: NeighborAccess>(
+    g: &G,
+    u: u32,
+    v: u32,
+    config: &KatzDefenseConfig,
+) -> f64 {
     let n = g.node_count();
     let mut walks = vec![0.0f64; n];
     let mut next = vec![0.0f64; n];
@@ -46,12 +52,12 @@ pub fn katz_pair_score(g: &Graph, u: u32, v: u32, config: &KatzDefenseConfig) ->
     for _ in 0..config.max_len {
         beta_pow *= config.beta;
         next.iter_mut().for_each(|x| *x = 0.0);
-        for a in g.nodes() {
+        for a in g.node_ids() {
             let w = walks[a as usize];
             if w == 0.0 {
                 continue;
             }
-            for &b in g.neighbors(a) {
+            for b in g.neighbors_iter(a) {
                 next[b as usize] += w;
             }
         }
@@ -64,7 +70,11 @@ pub fn katz_pair_score(g: &Graph, u: u32, v: u32, config: &KatzDefenseConfig) ->
 /// Summed Katz score over all targets — the quantity the heuristic drives
 /// down.
 #[must_use]
-pub fn total_katz_exposure(g: &Graph, targets: &[Edge], config: &KatzDefenseConfig) -> f64 {
+pub fn total_katz_exposure<G: NeighborAccess>(
+    g: &G,
+    targets: &[Edge],
+    config: &KatzDefenseConfig,
+) -> f64 {
     targets
         .iter()
         .map(|t| katz_pair_score(g, t.u(), t.v(), config))
@@ -87,7 +97,9 @@ pub fn katz_defense_greedy(
     k: usize,
     config: &KatzDefenseConfig,
 ) -> (ProtectionPlan, f64, f64) {
-    let mut g = instance.released().clone();
+    // Zero-clone evaluation: tentative deletions are overlay entries over
+    // the borrowed released graph; the base is never copied or mutated.
+    let mut g = DeltaView::new(instance.released());
     let initial_exposure = total_katz_exposure(&g, instance.targets(), config);
 
     // Candidate pool: edges of short-path instances between the endpoints.
@@ -115,12 +127,11 @@ pub fn katz_defense_greedy(
     for round in 0..k {
         let mut best: Option<(f64, Edge)> = None;
         for &p in &candidates {
-            if !g.contains(p) {
+            if !g.delete_edge(p) {
                 continue;
             }
-            g.remove_edge(p.u(), p.v());
             let after = total_katz_exposure(&g, instance.targets(), config);
-            g.add_edge(p.u(), p.v());
+            g.restore_edge(p);
             let reduction = exposure - after;
             if best.is_none_or(|(r, _)| reduction > r + 1e-15) {
                 best = Some((reduction, p));
@@ -130,7 +141,7 @@ pub fn katz_defense_greedy(
         if reduction <= 1e-15 {
             break;
         }
-        g.remove_edge(p.u(), p.v());
+        g.delete_edge(p);
         exposure -= reduction;
         let broken = motif_index.delete_edge(p);
         protectors.push(p);

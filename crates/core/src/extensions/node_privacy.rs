@@ -165,7 +165,11 @@ mod tests {
         // every motif instance before any protector is spent.
         let g = holme_kim(80, 3, 0.5, 9);
         for motif in Motif::ALL {
-            assert_eq!(full_isolation_is_self_protecting(&g, 5, motif), 0, "{motif}");
+            assert_eq!(
+                full_isolation_is_self_protecting(&g, 5, motif),
+                0,
+                "{motif}"
+            );
         }
         let protection = protect_node(g, 5, usize::MAX, Motif::Triangle).unwrap();
         assert!(protection.plan.is_full_protection());
@@ -180,7 +184,9 @@ mod tests {
         // evidence; protectors are genuinely needed.
         let g = holme_kim(120, 4, 0.6, 2);
         // pick a hub and hide links to its two highest-degree neighbors
-        let hub = (0..g.node_count() as u32).max_by_key(|&u| g.degree(u)).unwrap();
+        let hub = (0..g.node_count() as u32)
+            .max_by_key(|&u| g.degree(u))
+            .unwrap();
         let mut nbrs: Vec<u32> = g.neighbors(hub).to_vec();
         nbrs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
         let sensitive = &nbrs[..2];
@@ -192,7 +198,10 @@ mod tests {
         );
         let protection =
             protect_node_links(g, hub, sensitive, usize::MAX, Motif::Triangle).unwrap();
-        assert!(protection.plan.deletions() > 0, "protectors genuinely needed");
+        assert!(
+            protection.plan.deletions() > 0,
+            "protectors genuinely needed"
+        );
         assert!(protection.plan.is_full_protection());
         assert_eq!(node_exposure(&protection, Motif::Triangle), 0);
     }

@@ -2,12 +2,20 @@
 //! dissimilarity under random switching is **not monotone**: the addition
 //! half of a switch can mint fresh motif evidence for a hidden target.
 //! This module makes that failure executable and measurable.
+//!
+//! Perturbations are evaluated over a [`DeltaView`] overlay of the released
+//! graph: deletions/additions live in the overlay, motif recounts run over
+//! the view, and the released graph is never cloned or mutated during
+//! evaluation. The perturbed graph is materialized once, only for the
+//! returned [`SwitchOutcome`]; the trial loop of [`backfire_rate`] shares
+//! one immutable CSR snapshot across all trials and materializes nothing.
 
 use crate::problem::TppInstance;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tpp_graph::{Edge, Graph, NodeId};
+use tpp_graph::{Edge, Graph, NeighborAccess, NodeId};
 use tpp_motif::{count_all_targets, Motif};
+use tpp_store::{CsrGraph, DeltaView};
 
 /// Outcome of a random link-switching perturbation.
 #[derive(Debug, Clone)]
@@ -33,29 +41,27 @@ impl SwitchOutcome {
     }
 }
 
-/// Random link switching per the paper's two-step description: delete `k`
-/// random existing links, then add `k` random links between unconnected
-/// pairs. Target links are never re-added.
-#[must_use]
-pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) -> SwitchOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = instance.released().clone();
-    let similarity_before = count_all_targets(&g, instance.targets(), motif)
-        .iter()
-        .sum();
-
+/// Applies the two-step random switch to an overlay view: delete `k`
+/// random live links, then add `k` random links between unconnected pairs
+/// (never a target). Returns the `(deleted, added)` script.
+fn switch_on_view<B: NeighborAccess>(
+    view: &mut DeltaView<'_, B>,
+    targets: &[Edge],
+    k: usize,
+    rng: &mut StdRng,
+) -> (Vec<Edge>, Vec<Edge>) {
     // Step 1: delete k random existing links.
     let mut deleted = Vec::with_capacity(k);
-    let mut edges = g.edge_vec();
+    let mut edges = view.collect_edges();
     for _ in 0..k.min(edges.len()) {
         let i = rng.gen_range(0..edges.len());
         let e = edges.swap_remove(i);
-        g.remove_edge(e.u(), e.v());
+        view.delete_edge(e);
         deleted.push(e);
     }
 
-    // Step 2: add k random links between unconnected pairs (never a target).
-    let n = g.node_count();
+    // Step 2: add k random links between unconnected pairs.
+    let n = view.node_count();
     let mut added = Vec::with_capacity(k);
     let mut guard = 0usize;
     while added.len() < k && guard < 1000 * k.max(8) {
@@ -66,14 +72,30 @@ pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) 
             continue;
         }
         let e = Edge::new(a, b);
-        if g.contains(e) || instance.targets().contains(&e) {
+        if view.has_edge(a, b) || targets.contains(&e) {
             continue;
         }
-        g.add_edge(a, b);
+        view.add_edge(e);
         added.push(e);
     }
+    (deleted, added)
+}
 
-    let similarity_after = count_all_targets(&g, instance.targets(), motif)
+/// Random link switching per the paper's two-step description: delete `k`
+/// random existing links, then add `k` random links between unconnected
+/// pairs. Target links are never re-added.
+#[must_use]
+pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) -> SwitchOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = instance.released();
+    let similarity_before = count_all_targets(base, instance.targets(), motif)
+        .iter()
+        .sum();
+
+    let mut view = DeltaView::new(base);
+    let (deleted, added) = switch_on_view(&mut view, instance.targets(), k, &mut rng);
+
+    let similarity_after = count_all_targets(&view, instance.targets(), motif)
         .iter()
         .sum();
     SwitchOutcome {
@@ -81,16 +103,32 @@ pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) 
         added,
         similarity_before,
         similarity_after,
-        graph: g,
+        graph: view.to_graph(),
     }
 }
 
 /// Runs `trials` independent random switches and returns how many backfired
 /// (similarity increased) — an empirical estimate of the §VI-D failure rate.
+///
+/// All trials share one immutable [`CsrGraph`] snapshot of the released
+/// graph; each trial is an overlay that is dropped without ever
+/// materializing a perturbed graph.
 #[must_use]
 pub fn backfire_rate(instance: &TppInstance, k: usize, motif: Motif, trials: u64) -> f64 {
+    let snapshot = CsrGraph::from_graph(instance.released());
+    let before: usize = count_all_targets(&snapshot, instance.targets(), motif)
+        .iter()
+        .sum();
     let backfires = (0..trials)
-        .filter(|&seed| random_switch(instance, k, motif, seed).backfired())
+        .filter(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut view = DeltaView::new(&snapshot);
+            switch_on_view(&mut view, instance.targets(), k, &mut rng);
+            let after: usize = count_all_targets(&view, instance.targets(), motif)
+                .iter()
+                .sum();
+            after > before
+        })
         .count();
     backfires as f64 / trials as f64
 }
@@ -147,5 +185,33 @@ mod tests {
         let b = random_switch(&inst, 5, Motif::Triangle, 7);
         assert_eq!(a.deleted, b.deleted);
         assert_eq!(a.added, b.added);
+    }
+
+    #[test]
+    fn overlay_and_materialized_agree() {
+        // The outcome's similarity numbers, recomputed on the materialized
+        // graph, must equal the overlay recount used internally.
+        let inst = instance();
+        for seed in [0, 3, 9] {
+            let out = random_switch(&inst, 12, Motif::Triangle, seed);
+            let recount: usize = count_all_targets(&out.graph, inst.targets(), Motif::Triangle)
+                .iter()
+                .sum();
+            assert_eq!(recount, out.similarity_after, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn backfire_rate_matches_per_trial_outcomes() {
+        // The snapshot-sharing fast path must agree with running each
+        // trial through random_switch.
+        let inst = instance();
+        let trials = 12u64;
+        let slow = (0..trials)
+            .filter(|&s| random_switch(&inst, 8, Motif::Triangle, s).backfired())
+            .count() as f64
+            / trials as f64;
+        let fast = backfire_rate(&inst, 8, Motif::Triangle, trials);
+        assert!((slow - fast).abs() < 1e-12, "slow {slow} vs fast {fast}");
     }
 }

@@ -28,12 +28,12 @@
 #![warn(clippy::all)]
 
 pub mod algorithms;
-pub mod extensions;
 mod analysis;
 mod baselines;
 mod budget;
 mod critical;
 mod error;
+pub mod extensions;
 mod oracle;
 pub mod paper_example;
 mod plan;
@@ -45,6 +45,6 @@ pub use baselines::{random_deletion, random_deletion_from_subgraphs};
 pub use budget::{divide_budget, BudgetDivision};
 pub use critical::critical_budget;
 pub use error::TppError;
-pub use oracle::{CandidatePolicy, GainOracle, IndexOracle, NaiveOracle};
+pub use oracle::{CandidatePolicy, GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
 pub use plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 pub use problem::TppInstance;

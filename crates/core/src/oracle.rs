@@ -10,9 +10,15 @@
 //!   This is what makes the plain algorithms ~20× slower in Fig. 5 and
 //!   week-long on DBLP — we keep it both for fidelity and as an ablation
 //!   baseline.
+//! * [`SnapshotOracle`] — the recount cost model without any graph copy:
+//!   candidate evaluation layers a tentative deletion over a
+//!   [`tpp_store::DeltaView`] of the released graph (or any snapshot).
+//!   Setup is `O(1)` and the base is never cloned or mutated, so one
+//!   immutable snapshot can back many concurrent evaluations.
 
-use tpp_graph::{Edge, Graph};
+use tpp_graph::{Edge, Graph, NeighborAccess};
 use tpp_motif::{count_target_subgraphs, CoverageIndex, Motif};
+use tpp_store::DeltaView;
 
 /// Candidate-set policy (Lemma 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +39,15 @@ pub trait GainOracle {
     fn target_similarity(&self, target_idx: usize) -> usize;
     /// `Δ_p`: total instances a deletion of `p` would break right now.
     fn gain(&mut self, p: Edge) -> usize;
-    /// `(own, cross)` split of `Δ_p` relative to `target_idx`.
-    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize);
+    /// `(own, cross)` split of `Δ_p` relative to `target_idx`. The
+    /// default derives it from [`GainOracle::gain_vector`]; oracles with a
+    /// cheaper direct path (the coverage index) override it.
+    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize) {
+        let v = self.gain_vector(p);
+        let own = v[target_idx];
+        let cross = v.iter().sum::<usize>() - own;
+        (own, cross)
+    }
     /// Per-target broken-instance counts for deleting `p` (one entry per
     /// target). `gain(p) = gain_vector(p).sum()`.
     fn gain_vector(&mut self, p: Edge) -> Vec<usize>;
@@ -148,9 +161,7 @@ impl NaiveOracle {
 
 impl GainOracle for NaiveOracle {
     fn total_similarity(&self) -> usize {
-        (0..self.targets.len())
-            .map(|i| self.similarity_of(i))
-            .sum()
+        (0..self.targets.len()).map(|i| self.similarity_of(i)).sum()
     }
 
     fn target_similarity(&self, target_idx: usize) -> usize {
@@ -169,13 +180,6 @@ impl GainOracle for NaiveOracle {
         let after = self.total_similarity();
         self.graph.add_edge(p.u(), p.v());
         before - after
-    }
-
-    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize) {
-        let v = self.gain_vector(p);
-        let own = v[target_idx];
-        let cross = v.iter().sum::<usize>() - own;
-        (own, cross)
     }
 
     fn gain_vector(&mut self, p: Edge) -> Vec<usize> {
@@ -199,21 +203,7 @@ impl GainOracle for NaiveOracle {
             CandidatePolicy::SubgraphEdges => {
                 // Re-enumerate instances from scratch (the restricted variant
                 // without the incremental index).
-                let mut out: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
-                for (idx, t) in self.targets.iter().enumerate() {
-                    for inst in tpp_motif::enumerate_target_subgraphs(
-                        &self.graph,
-                        t.u(),
-                        t.v(),
-                        self.motif,
-                        idx,
-                    ) {
-                        out.extend(inst.edges().iter().copied());
-                    }
-                }
-                let mut v: Vec<Edge> = out.into_iter().collect();
-                v.sort_unstable();
-                v
+                subgraph_edge_candidates(&self.graph, &self.targets, self.motif)
             }
         }
     }
@@ -222,6 +212,132 @@ impl GainOracle for NaiveOracle {
         let before = self.total_similarity();
         self.graph.remove_edge(p.u(), p.v());
         before - self.total_similarity()
+    }
+
+    fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Recount oracle over a [`DeltaView`]: the same cost model as
+/// [`NaiveOracle`], but with **zero** graph clones — the base stays
+/// immutable and shared; committed deletions live in the overlay, and each
+/// candidate evaluation is a tentative overlay delete + recount + restore.
+///
+/// The base can be the released [`Graph`] itself or a `tpp_store::CsrGraph`
+/// snapshot (anything implementing [`NeighborAccess`]).
+pub struct SnapshotOracle<'a, B: NeighborAccess> {
+    view: DeltaView<'a, B>,
+    targets: Vec<Edge>,
+    motif: Motif,
+    /// Per-target similarities under the current committed overlay —
+    /// invariant between commits, so `gain`/`gain_vector` cost one
+    /// tentative recount instead of two.
+    current_per_target: Vec<usize>,
+    /// Sum of `current_per_target` (the total similarity).
+    current_total: usize,
+}
+
+impl<'a, B: NeighborAccess> SnapshotOracle<'a, B> {
+    /// Builds the oracle over an immutable base (no copy is taken).
+    #[must_use]
+    pub fn new(base: &'a B, targets: &[Edge], motif: Motif) -> Self {
+        let view = DeltaView::new(base);
+        let current_per_target = count_each(&view, targets, motif);
+        let current_total = current_per_target.iter().sum();
+        SnapshotOracle {
+            view,
+            targets: targets.to_vec(),
+            motif,
+            current_per_target,
+            current_total,
+        }
+    }
+
+    /// The overlay view with all committed deletions applied.
+    #[must_use]
+    pub fn view(&self) -> &DeltaView<'a, B> {
+        &self.view
+    }
+}
+
+fn count_each<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif) -> Vec<usize> {
+    targets
+        .iter()
+        .map(|t| count_target_subgraphs(g, t.u(), t.v(), motif))
+        .collect()
+}
+
+/// Re-enumerates the Lemma 5 restricted candidate set (edges of alive
+/// target subgraphs) from scratch on any readable representation — shared
+/// by the non-incremental oracles.
+fn subgraph_edge_candidates<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif) -> Vec<Edge> {
+    let mut out: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+    for (idx, t) in targets.iter().enumerate() {
+        for inst in tpp_motif::enumerate_target_subgraphs(g, t.u(), t.v(), motif, idx) {
+            out.extend(inst.edges().iter().copied());
+        }
+    }
+    let mut v: Vec<Edge> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+impl<B: NeighborAccess> GainOracle for SnapshotOracle<'_, B> {
+    fn total_similarity(&self) -> usize {
+        self.current_total
+    }
+
+    fn target_similarity(&self, target_idx: usize) -> usize {
+        self.current_per_target[target_idx]
+    }
+
+    fn gain(&mut self, p: Edge) -> usize {
+        if !self.view.delete_edge(p) {
+            return 0;
+        }
+        let after: usize = self
+            .targets
+            .iter()
+            .map(|t| count_target_subgraphs(&self.view, t.u(), t.v(), self.motif))
+            .sum();
+        self.view.restore_edge(p);
+        self.current_total - after
+    }
+
+    fn gain_vector(&mut self, p: Edge) -> Vec<usize> {
+        if !self.view.delete_edge(p) {
+            return vec![0; self.targets.len()];
+        }
+        // One tentative pass per target; "before" is the cached committed
+        // state, invariant between commits.
+        let after = count_each(&self.view, &self.targets, self.motif);
+        self.view.restore_edge(p);
+        self.current_per_target
+            .iter()
+            .zip(&after)
+            .map(|(&b, &a)| b - a)
+            .collect()
+    }
+
+    fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge> {
+        match policy {
+            CandidatePolicy::AllEdges => self.view.collect_edges(),
+            CandidatePolicy::SubgraphEdges => {
+                subgraph_edge_candidates(&self.view, &self.targets, self.motif)
+            }
+        }
+    }
+
+    fn commit(&mut self, p: Edge) -> usize {
+        if !self.view.delete_edge(p) {
+            return 0;
+        }
+        self.current_per_target = count_each(&self.view, &self.targets, self.motif);
+        let after: usize = self.current_per_target.iter().sum();
+        let broken = self.current_total - after;
+        self.current_total = after;
+        broken
     }
 
     fn target_count(&self) -> usize {
@@ -307,9 +423,58 @@ mod tests {
         let all_after = idx.candidates(CandidatePolicy::AllEdges);
         assert_eq!(all_after.len(), all_before - 1);
         assert!(!all_after.contains(&p));
-        assert!(!idx
-            .candidates(CandidatePolicy::SubgraphEdges)
-            .contains(&p));
+        assert!(!idx.candidates(CandidatePolicy::SubgraphEdges).contains(&p));
+    }
+
+    #[test]
+    fn snapshot_oracle_agrees_with_both_paths() {
+        for motif in Motif::ALL {
+            let (g, targets, mut idx, mut naive) = fixture(motif);
+            let csr = tpp_store::CsrGraph::from_graph(&g);
+            let mut snap_graph = SnapshotOracle::new(&g, &targets, motif);
+            let mut snap_csr = SnapshotOracle::new(&csr, &targets, motif);
+            assert_eq!(snap_graph.total_similarity(), idx.total_similarity());
+            assert_eq!(snap_csr.total_similarity(), idx.total_similarity());
+            let cands = idx.candidates(CandidatePolicy::SubgraphEdges);
+            assert_eq!(cands, snap_graph.candidates(CandidatePolicy::SubgraphEdges));
+            assert_eq!(cands, snap_csr.candidates(CandidatePolicy::SubgraphEdges));
+            assert_eq!(
+                snap_csr.candidates(CandidatePolicy::AllEdges),
+                naive.candidates(CandidatePolicy::AllEdges)
+            );
+            for &p in cands.iter().take(10) {
+                assert_eq!(idx.gain(p), snap_graph.gain(p), "{motif} gain({p})");
+                assert_eq!(idx.gain(p), snap_csr.gain(p), "{motif} csr gain({p})");
+                assert_eq!(idx.gain_vector(p), snap_csr.gain_vector(p));
+                for t in 0..targets.len() {
+                    assert_eq!(idx.gain_split(p, t), snap_csr.gain_split(p, t));
+                }
+            }
+            for &p in cands.iter().take(3) {
+                let broken = idx.commit(p);
+                assert_eq!(broken, naive.commit(p));
+                assert_eq!(broken, snap_graph.commit(p), "{motif} commit({p})");
+                assert_eq!(broken, snap_csr.commit(p));
+                assert_eq!(idx.total_similarity(), snap_csr.total_similarity());
+            }
+            // Tentative evaluation never dirtied the base beyond commits.
+            assert_eq!(snap_csr.view().deleted_count(), 3.min(cands.len()));
+        }
+    }
+
+    #[test]
+    fn snapshot_oracle_gain_on_missing_edge_is_zero() {
+        let (g, targets, _, _) = fixture(Motif::Triangle);
+        let csr = tpp_store::CsrGraph::from_graph(&g);
+        let mut snap = SnapshotOracle::new(&csr, &targets, Motif::Triangle);
+        // Find a guaranteed-absent pair so the assertions always execute.
+        let absent = (0..24u32)
+            .flat_map(|u| ((u + 1)..24).map(move |v| Edge::new(u, v)))
+            .find(|e| !csr.has_edge(e.u(), e.v()))
+            .expect("a 24-node graph with p = 0.25 always has non-edges");
+        assert_eq!(snap.gain(absent), 0);
+        assert_eq!(snap.gain_vector(absent), vec![0; targets.len()]);
+        assert_eq!(snap.commit(absent), 0);
     }
 
     #[test]

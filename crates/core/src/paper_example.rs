@@ -73,8 +73,7 @@ mod tests {
         let idx = inst.build_index(Motif::Triangle);
         assert_eq!(idx.total_similarity(), 7, "1+2+1+2+1 triangles");
         assert_eq!(idx.similarities(), &[1, 2, 1, 2, 1]);
-        let by_label: std::collections::HashMap<_, _> =
-            fig2_protectors().into_iter().collect();
+        let by_label: std::collections::HashMap<_, _> = fig2_protectors().into_iter().collect();
         assert_eq!(idx.gain(by_label["p1"]), 2);
         assert_eq!(idx.gain(by_label["p2"]), 3);
         assert_eq!(idx.gain(by_label["p3"]), 2);
@@ -126,8 +125,12 @@ mod tests {
         let inst = fig2_instance();
         let budgets = [1usize, 1, 0, 0, 0];
         let sgb = sgb_greedy(&inst, 2, &cfg()).dissimilarity_gain();
-        let ct = ct_greedy(&inst, &budgets, &cfg()).unwrap().dissimilarity_gain();
-        let wt = wt_greedy(&inst, &budgets, &cfg()).unwrap().dissimilarity_gain();
+        let ct = ct_greedy(&inst, &budgets, &cfg())
+            .unwrap()
+            .dissimilarity_gain();
+        let wt = wt_greedy(&inst, &budgets, &cfg())
+            .unwrap()
+            .dissimilarity_gain();
         assert_eq!((sgb, ct, wt), (5, 4, 3));
     }
 }

@@ -65,7 +65,10 @@ mod tests {
         let g = arenas_email_like(2);
         assert!(is_connected(&g));
         let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
-        assert!((mean - 9.6).abs() < 0.3, "mean degree ≈ 9.6 like the real net");
+        assert!(
+            (mean - 9.6).abs() < 0.3,
+            "mean degree ≈ 9.6 like the real net"
+        );
         assert!(
             g.max_degree() > 40,
             "expected hubs, max degree = {}",

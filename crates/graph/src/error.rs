@@ -30,7 +30,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range (graph has {nodes} nodes)")
@@ -50,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(GraphError::SelfLoop { node: 3 }.to_string().contains("node 3"));
+        assert!(GraphError::SelfLoop { node: 3 }
+            .to_string()
+            .contains("node 3"));
         assert!(GraphError::NodeOutOfRange { node: 9, nodes: 4 }
             .to_string()
             .contains("9"));

@@ -79,10 +79,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            watts_strogatz(60, 4, 0.2, 5),
-            watts_strogatz(60, 4, 0.2, 5)
-        );
+        assert_eq!(watts_strogatz(60, 4, 0.2, 5), watts_strogatz(60, 4, 0.2, 5));
     }
 
     #[test]

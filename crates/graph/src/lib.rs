@@ -23,15 +23,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod access;
 mod edge;
 mod edgelist;
 mod error;
-mod graph;
 pub mod generators;
+mod graph;
 pub mod hash;
 pub mod traversal;
 mod view;
 
+pub use access::NeighborAccess;
 pub use edge::{Edge, NodeId};
 pub use edgelist::{parse_edge_list, read_edge_list_file, write_edge_list, write_edge_list_file};
 pub use error::GraphError;

@@ -213,7 +213,11 @@ mod tests {
             &negatives,
             Attacker::Index(SimilarityIndex::CommonNeighbors),
         );
-        assert!(outcome.auc > 0.8, "CN attack should work, auc = {}", outcome.auc);
+        assert!(
+            outcome.auc > 0.8,
+            "CN attack should work, auc = {}",
+            outcome.auc
+        );
         assert!(outcome.mean_target_score > 0.5);
     }
 

@@ -88,7 +88,9 @@ pub fn fig7_cases(index: SimilarityIndex) -> Vec<MonotonicityCase> {
 /// eight §VI-D indices.
 #[must_use]
 pub fn index_fails_monotonicity(index: SimilarityIndex) -> bool {
-    fig7_cases(index).iter().any(MonotonicityCase::violates_monotonicity)
+    fig7_cases(index)
+        .iter()
+        .any(MonotonicityCase::violates_monotonicity)
 }
 
 /// A submodularity-violation witness for a similarity-based dissimilarity:
@@ -218,7 +220,10 @@ mod tests {
         };
         let base = -(2.0 / 5.0);
         let p1 = by_label("p1");
-        assert!((p1.dissimilarity_after - base).abs() < 1e-12, "p1 unchanged");
+        assert!(
+            (p1.dissimilarity_after - base).abs() < 1e-12,
+            "p1 unchanged"
+        );
         let p2 = by_label("p2");
         assert!((p2.dissimilarity_after - -(1.0 / 5.0)).abs() < 1e-12);
         assert!(p2.dissimilarity_after > base);
@@ -271,13 +276,11 @@ mod tests {
         let g = fig7_graph();
         for motif in Motif::ALL {
             // add an edge that closes another triangle over (0, 1)
-            let (before, after) =
-                addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), motif);
+            let (before, after) = addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), motif);
             assert!(after >= before, "{motif}: addition destroyed evidence?");
         }
         // Triangle case concretely: node 4 becomes a new common neighbor.
-        let (before, after) =
-            addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), Motif::Triangle);
+        let (before, after) = addition_similarity_delta(&g, 0, 1, Edge::new(4, 1), Motif::Triangle);
         assert_eq!(before, 2);
         assert_eq!(after, 3);
     }
@@ -295,6 +298,9 @@ mod tests {
         g2.add_edge(4, 1);
         let before = count_target_subgraphs(&g, 0, 1, Motif::Triangle);
         let after = count_target_subgraphs(&g2, 0, 1, Motif::Triangle);
-        assert!(after > before, "switch increased evidence: {before} -> {after}");
+        assert!(
+            after > before,
+            "switch increased evidence: {before} -> {after}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tpp_graph::{Graph, NodeId};
+use tpp_graph::{NeighborAccess, NodeId};
 
 /// The classic similarity indices of the paper's §VI-D plus preferential
 /// attachment (a common-neighbor-free baseline).
@@ -87,7 +87,7 @@ impl SimilarityIndex {
     ///
     /// Degenerate denominators (isolated endpoints) score 0.
     #[must_use]
-    pub fn score(self, g: &Graph, u: NodeId, v: NodeId) -> f64 {
+    pub fn score<G: NeighborAccess>(self, g: &G, u: NodeId, v: NodeId) -> f64 {
         let du = g.degree(u) as f64;
         let dv = g.degree(v) as f64;
         match self {
@@ -208,9 +208,7 @@ mod tests {
         assert!((s(SimilarityIndex::HubPromoted) - 2.0 / 3.0).abs() < EPS);
         assert!((s(SimilarityIndex::HubDepressed) - 2.0 / 4.0).abs() < EPS);
         assert!((s(SimilarityIndex::LeichtHolmeNewman) - 2.0 / 12.0).abs() < EPS);
-        assert!(
-            (s(SimilarityIndex::AdamicAdar) - (1.0 / 3f64.ln() + 1.0 / 4f64.ln())).abs() < EPS
-        );
+        assert!((s(SimilarityIndex::AdamicAdar) - (1.0 / 3f64.ln() + 1.0 / 4f64.ln())).abs() < EPS);
         assert!((s(SimilarityIndex::ResourceAllocation) - (1.0 / 3.0 + 1.0 / 4.0)).abs() < EPS);
         assert!((s(SimilarityIndex::PreferentialAttachment) - 12.0).abs() < EPS);
     }

@@ -11,11 +11,7 @@ use tpp_graph::{Graph, NodeId};
 /// degree of community `c`. Returns 0 for edgeless graphs.
 #[must_use]
 pub fn modularity(g: &Graph, labels: &[usize]) -> f64 {
-    assert_eq!(
-        labels.len(),
-        g.node_count(),
-        "labels must cover every node"
-    );
+    assert_eq!(labels.len(), g.node_count(), "labels must cover every node");
     let m = g.edge_count();
     if m == 0 {
         return 0.0;
@@ -117,10 +113,7 @@ pub fn louvain(g: &Graph, seed: u64) -> Vec<usize> {
         // stopping criterion is monotone modularity measured on `g`).
         let mut agg = Graph::new(ncomm);
         for e in work.edges() {
-            let (a, b) = (
-                level_labels[e.u() as usize],
-                level_labels[e.v() as usize],
-            );
+            let (a, b) = (level_labels[e.u() as usize], level_labels[e.v() as usize]);
             if a != b {
                 agg.add_edge(a as NodeId, b as NodeId);
             }
@@ -278,8 +271,20 @@ mod tests {
         }
         g.add_edge(0, 5);
         let labels = label_propagation(&g, 3, 50);
-        assert_eq!(labels[0..5].iter().collect::<std::collections::HashSet<_>>().len(), 1);
-        assert_eq!(labels[5..10].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(
+            labels[0..5]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(
+            labels[5..10]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
         assert_ne!(labels[0], labels[9]);
     }
 

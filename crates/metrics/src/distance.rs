@@ -88,11 +88,7 @@ pub fn distance_distribution(g: &Graph) -> DistanceDistribution {
 /// Sampled distance distribution from `sources` random BFS roots. Counts
 /// ordered pairs from each root (still unbiased for quantiles/means).
 #[must_use]
-pub fn sampled_distance_distribution(
-    g: &Graph,
-    sources: usize,
-    seed: u64,
-) -> DistanceDistribution {
+pub fn sampled_distance_distribution(g: &Graph, sources: usize, seed: u64) -> DistanceDistribution {
     let mut roots: Vec<NodeId> = g.nodes().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     roots.shuffle(&mut rng);

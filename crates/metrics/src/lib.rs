@@ -36,9 +36,7 @@ pub use clustering::{average_clustering, local_clustering, triangle_count};
 pub use community::{label_propagation, louvain, louvain_modularity, modularity};
 pub use core_number::{average_core_number, core_numbers, degeneracy};
 pub use degree::{degree_histogram, degree_stats, power_law_alpha, DegreeStats};
-pub use distance::{
-    distance_distribution, sampled_distance_distribution, DistanceDistribution,
-};
+pub use distance::{distance_distribution, sampled_distance_distribution, DistanceDistribution};
 pub use paths::{average_path_length, sampled_path_length, PathLengthStats};
 pub use spectral::{largest_laplacian_eigenvalue, second_largest_laplacian_eigenvalue};
 pub use utility::{

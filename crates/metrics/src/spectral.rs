@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn empty_and_tiny() {
-        assert_eq!(largest_laplacian_eigenvalue(&tpp_graph::Graph::new(0), 0), 0.0);
+        assert_eq!(
+            largest_laplacian_eigenvalue(&tpp_graph::Graph::new(0), 0),
+            0.0
+        );
         assert_eq!(
             second_largest_laplacian_eigenvalue(&tpp_graph::Graph::new(1), 0),
             0.0

@@ -179,7 +179,11 @@ impl UtilityLossReport {
 
 /// Measures both graphs under `config` and reports the loss ratios.
 #[must_use]
-pub fn utility_loss(original: &Graph, released: &Graph, config: &UtilityConfig) -> UtilityLossReport {
+pub fn utility_loss(
+    original: &Graph,
+    released: &Graph,
+    config: &UtilityConfig,
+) -> UtilityLossReport {
     let before = compute_utility(original, config);
     let after = compute_utility(released, config);
     let per_metric: Vec<(UtilityMetric, f64)> = before
@@ -209,7 +213,10 @@ mod tests {
         assert!((loss_ratio(2.0, 1.5) - 0.25).abs() < 1e-12);
         assert!((loss_ratio(-2.0, -1.0) - 0.5).abs() < 1e-12);
         assert_eq!(loss_ratio(0.0, 0.0), 0.0);
-        assert!((loss_ratio(0.0, 0.3) - 0.3).abs() < 1e-12, "zero-base fallback");
+        assert!(
+            (loss_ratio(0.0, 0.3) - 0.3).abs() < 1e-12,
+            "zero-base fallback"
+        );
     }
 
     #[test]

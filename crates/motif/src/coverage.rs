@@ -12,7 +12,7 @@
 use crate::enumerate::enumerate_target_subgraphs;
 use crate::instance::MotifInstance;
 use crate::pattern::Motif;
-use tpp_graph::{Edge, FastMap, Graph};
+use tpp_graph::{Edge, FastMap, NeighborAccess};
 
 /// Index id of a motif instance inside a [`CoverageIndex`].
 pub type InstanceId = u32;
@@ -43,10 +43,10 @@ impl CoverageIndex {
     /// # Panics
     /// Panics if any target edge is still present in `g`.
     #[must_use]
-    pub fn build(g: &Graph, targets: &[Edge], motif: Motif) -> Self {
+    pub fn build<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif) -> Self {
         for t in targets {
             assert!(
-                !g.contains(*t),
+                !g.has_edge(t.u(), t.v()),
                 "target {t} still present: run phase 1 (delete targets) before indexing"
             );
         }

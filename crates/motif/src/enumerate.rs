@@ -10,15 +10,15 @@
 
 use crate::instance::MotifInstance;
 use crate::pattern::Motif;
-use tpp_graph::{Edge, Graph, NodeId};
+use tpp_graph::{Edge, NeighborAccess, NodeId};
 
 /// Enumerates all target subgraphs of `motif` for target `(u, v)`.
 ///
 /// `target_idx` is threaded through to the produced instances so callers
 /// building a multi-target index keep ownership information.
 #[must_use]
-pub fn enumerate_target_subgraphs(
-    g: &Graph,
+pub fn enumerate_target_subgraphs<G: NeighborAccess>(
+    g: &G,
     u: NodeId,
     v: NodeId,
     motif: Motif,
@@ -46,7 +46,12 @@ pub fn enumerate_target_subgraphs(
 ///
 /// This is the similarity `s(∅, t)` of the paper for a single target.
 #[must_use]
-pub fn count_target_subgraphs(g: &Graph, u: NodeId, v: NodeId, motif: Motif) -> usize {
+pub fn count_target_subgraphs<G: NeighborAccess>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    motif: Motif,
+) -> usize {
     let mut n = 0usize;
     match motif {
         Motif::Triangle => {
@@ -63,8 +68,8 @@ pub fn count_target_subgraphs(g: &Graph, u: NodeId, v: NodeId, motif: Motif) -> 
 /// (depth-first with a visited set): each emitted edge vector is one path
 /// of exactly `k` edges whose interior nodes avoid `u`, `v`, and each
 /// other. `k = 2` reproduces Triangle evidence, `k = 3` Rectangle evidence.
-fn enumerate_k_paths<F: FnMut(Vec<Edge>)>(
-    g: &Graph,
+fn enumerate_k_paths<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
     u: NodeId,
     v: NodeId,
     k: usize,
@@ -82,8 +87,8 @@ fn enumerate_k_paths<F: FnMut(Vec<Edge>)>(
     dfs_k_path(g, u, v, k, &mut visited, &mut edges, emit);
 }
 
-fn dfs_k_path<F: FnMut(Vec<Edge>)>(
-    g: &Graph,
+fn dfs_k_path<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
     current: NodeId,
     v: NodeId,
     remaining: usize,
@@ -99,7 +104,7 @@ fn dfs_k_path<F: FnMut(Vec<Edge>)>(
         }
         return;
     }
-    for &next in g.neighbors(current) {
+    for next in g.neighbors_iter(current) {
         if visited[next as usize] {
             continue; // interior nodes must be distinct and avoid u, v
         }
@@ -112,7 +117,12 @@ fn dfs_k_path<F: FnMut(Vec<Edge>)>(
 }
 
 /// Triangle instances: one per common neighbor `w`, edges `{(u,w), (w,v)}`.
-fn enumerate_triangles<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mut emit: F) {
+fn enumerate_triangles<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    mut emit: F,
+) {
     g.for_each_common_neighbor(u, v, |w| {
         emit(vec![Edge::new(u, w), Edge::new(w, v)]);
     });
@@ -123,12 +133,17 @@ fn enumerate_triangles<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mut
 ///
 /// Ordered pairs `(a, b)` and `(b, a)` describe different paths with
 /// different edge sets, so no deduplication is needed.
-fn enumerate_rectangles<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mut emit: F) {
-    for &a in g.neighbors(u) {
+fn enumerate_rectangles<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    mut emit: F,
+) {
+    for a in g.neighbors_iter(u) {
         if a == v {
             continue; // would require the deleted target edge's endpoint
         }
-        for &b in g.neighbors(a) {
+        for b in g.neighbors_iter(a) {
             if b == u || b == v || b == a {
                 continue;
             }
@@ -144,7 +159,12 @@ fn enumerate_rectangles<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mu
 /// either `u – x – w – v` (x adjacent to u and w) or `u – w – x – v`
 /// (x adjacent to w and v); the instance is the union of the two paths'
 /// edges: 4 edges total.
-fn enumerate_rectris<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mut emit: F) {
+fn enumerate_rectris<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    mut emit: F,
+) {
     let mut commons = Vec::new();
     g.for_each_common_neighbor(u, v, |w| commons.push(w));
     for &w in &commons {
@@ -167,7 +187,7 @@ fn enumerate_rectris<F: FnMut(Vec<Edge>)>(g: &Graph, u: NodeId, v: NodeId, mut e
 /// Counts instances of `motif` for every target, returning per-target counts.
 /// This is the vector of similarities `s(P, t)` evaluated on `g` as-is.
 #[must_use]
-pub fn count_all_targets(g: &Graph, targets: &[Edge], motif: Motif) -> Vec<usize> {
+pub fn count_all_targets<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif) -> Vec<usize> {
     targets
         .iter()
         .map(|t| count_target_subgraphs(g, t.u(), t.v(), motif))
@@ -177,6 +197,7 @@ pub fn count_all_targets(g: &Graph, targets: &[Edge], motif: Motif) -> Vec<usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_graph::Graph;
 
     /// Fig. 1(a)-style fixture: target (u, v) removed, two common neighbors.
     ///   u = 0, v = 1; w ∈ {2, 3} adjacent to both.
@@ -251,14 +272,7 @@ mod tests {
     fn rectri_both_orientations() {
         // w=2 common neighbor; x=3 adjacent to u and w (type A);
         // y=4 adjacent to w and v (type B).
-        let g = Graph::from_edges([
-            (0u32, 2u32),
-            (2, 1),
-            (0, 3),
-            (3, 2),
-            (2, 4),
-            (4, 1),
-        ]);
+        let g = Graph::from_edges([(0u32, 2u32), (2, 1), (0, 3), (3, 2), (2, 4), (4, 1)]);
         assert_eq!(count_target_subgraphs(&g, 0, 1, Motif::RecTri), 2);
     }
 

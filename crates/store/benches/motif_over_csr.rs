@@ -1,0 +1,73 @@
+//! Benchmark: motif counting generalized over `NeighborAccess` — the same
+//! counter running over the adjacency-list `Graph`, the packed `CsrGraph`
+//! snapshot, and a clean `DeltaView` overlay. Pins the abstraction cost of
+//! the trait (Graph vs CSR) and of overlay indirection (CSR vs DeltaView).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpp_motif::{count_target_subgraphs, Motif};
+use tpp_store::{CsrGraph, DeltaView};
+
+fn bench_motif_over_csr(c: &mut Criterion) {
+    let mut g = tpp_datasets::arenas_email_like(1);
+    // Hub-ish hidden pair: worst-case neighborhood work, matching the
+    // tpp-bench motif_counting benchmark's setup.
+    let target = g
+        .edge_vec()
+        .into_iter()
+        .max_by_key(|e| g.degree(e.u()) * g.degree(e.v()))
+        .unwrap();
+    g.remove_edge(target.u(), target.v());
+    let csr = CsrGraph::from_graph(&g);
+    let view = DeltaView::new(&csr);
+
+    let mut group = c.benchmark_group("motif_over_csr");
+    for motif in [Motif::Triangle, Motif::Rectangle, Motif::RecTri] {
+        group.bench_with_input(
+            BenchmarkId::new("graph", motif.name()),
+            &motif,
+            |b, &motif| {
+                b.iter(|| {
+                    black_box(count_target_subgraphs(
+                        black_box(&g),
+                        target.u(),
+                        target.v(),
+                        motif,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csr", motif.name()),
+            &motif,
+            |b, &motif| {
+                b.iter(|| {
+                    black_box(count_target_subgraphs(
+                        black_box(&csr),
+                        target.u(),
+                        target.v(),
+                        motif,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delta_view_clean", motif.name()),
+            &motif,
+            |b, &motif| {
+                b.iter(|| {
+                    black_box(count_target_subgraphs(
+                        black_box(&view),
+                        target.u(),
+                        target.v(),
+                        motif,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motif_over_csr);
+criterion_main!(benches);

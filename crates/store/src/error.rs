@@ -1,0 +1,76 @@
+//! Error type for snapshot construction and on-disk I/O.
+
+use std::fmt;
+use tpp_graph::NodeId;
+
+/// Everything that can go wrong building, saving, or loading a snapshot.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem / stream failure.
+    Io(std::io::Error),
+    /// The file does not start with the TPP store magic bytes.
+    BadMagic([u8; 8]),
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// Structural invariants of the decoded graph do not hold.
+    Corrupt(String),
+    /// An input edge references a node outside `0..nodes` or is a self-loop.
+    InvalidEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// Node-set size the edge was validated against.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic(m) => {
+                write!(f, "not a TPP store file (magic {m:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported store version {found} (this build reads <= {supported})"
+            ),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            StoreError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            StoreError::InvalidEdge { u, v, nodes } => {
+                write!(f, "invalid edge ({u}, {v}) for a {nodes}-node graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

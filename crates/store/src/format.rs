@@ -1,0 +1,413 @@
+//! The versioned, checksummed binary on-disk format for CSR snapshots.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic            b"TPPCSR\xF0\x01"
+//!      8     4  version          u32, currently 1
+//!     12     4  flags            u32, reserved (must be 0)
+//!     16     8  node_count       u64
+//!     24     8  edge_count       u64  (undirected edges)
+//!     32     8  payload checksum u64  (FNV-1a over both arrays' bytes)
+//!     40   8·(n+1)  offsets      u64 array, length node_count + 1
+//!      …   4·2m     neighbors    u32 array, length 2 · edge_count
+//! ```
+//!
+//! The checksum covers the two payload arrays; the counts in the header are
+//! additionally cross-checked against the decoded arrays, and the decoded
+//! structure is run through the full CSR invariant validator before a
+//! [`CsrGraph`] is handed back — a truncated, bit-flipped, or hand-edited
+//! file fails loudly instead of producing a silently wrong graph.
+
+use crate::csr::CsrGraph;
+use crate::error::StoreError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic: "TPPCSR" + 0xF0 sentinel + format generation.
+pub const MAGIC: [u8; 8] = *b"TPPCSR\xF0\x01";
+
+/// Newest format version this build writes and reads.
+pub const VERSION: u32 = 1;
+
+/// Streaming FNV-1a state — dependency-free integrity check. This guards
+/// against corruption, not adversaries; it is not a cryptographic digest.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Feeds bytes into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::default();
+    h.update(bytes);
+    h.finish()
+}
+
+fn payload_checksum(g: &CsrGraph) -> u64 {
+    // Stream both arrays through one FNV state without materializing a
+    // combined buffer.
+    let mut h = Fnv1a::default();
+    for &off in g.offsets() {
+        h.update(&off.to_le_bytes());
+    }
+    for &v in g.neighbor_array() {
+        h.update(&v.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Serializes a snapshot into `w`.
+///
+/// # Errors
+/// Returns [`StoreError::Io`] on write failure.
+pub fn write_snapshot<W: Write>(g: &CsrGraph, w: &mut W) -> Result<(), StoreError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?; // flags
+    w.write_all(&(g.node_count() as u64).to_le_bytes())?;
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    w.write_all(&payload_checksum(g).to_le_bytes())?;
+    // Payload. Buffered in chunks to keep syscall counts sane without
+    // doubling peak memory on million-edge graphs.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for &off in g.offsets() {
+        buf.extend_from_slice(&off.to_le_bytes());
+        if buf.len() >= 64 * 1024 - 8 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    for &v in g.neighbor_array() {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() >= 64 * 1024 - 8 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserializes a snapshot from `r`, verifying magic, version, checksum,
+/// and the full CSR structural invariants.
+///
+/// # Errors
+/// Returns the specific [`StoreError`] variant describing what failed.
+pub fn read_snapshot<R: Read>(r: &mut R) -> Result<CsrGraph, StoreError> {
+    read_snapshot_versioned(r).map(|(g, _)| g)
+}
+
+/// Like [`read_snapshot`], but also returns the file's header version
+/// (which may be older than [`VERSION`] once the format evolves).
+///
+/// # Errors
+/// Returns the specific [`StoreError`] variant describing what failed.
+pub fn read_snapshot_versioned<R: Read>(r: &mut R) -> Result<(CsrGraph, u32), StoreError> {
+    let mut magic = [0u8; 8];
+    read_exact(r, &mut magic)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+    let version = read_u32(r)?;
+    if version == 0 || version > VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let flags = read_u32(r)?;
+    if flags != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "reserved flags set: {flags:#010x}"
+        )));
+    }
+    let node_count = read_u64(r)?;
+    let edge_count = read_u64(r)?;
+    let stored_checksum = read_u64(r)?;
+
+    let offsets_len = usize::try_from(node_count)
+        .ok()
+        .and_then(|n| n.checked_add(1))
+        .ok_or_else(|| StoreError::Corrupt(format!("node count {node_count} overflows usize")))?;
+    let neighbor_len = edge_count
+        .checked_mul(2)
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| StoreError::Corrupt(format!("edge count {edge_count} overflows")))?;
+
+    // Decode in bounded 64 KiB chunks: bulk enough to run at I/O speed,
+    // but growing the buffers only as bytes actually arrive rather than
+    // trusting the header's counts with an upfront allocation — a tiny
+    // file claiming 2^40 nodes must fail with "file truncated", not
+    // abort on OOM.
+    let offsets = read_u64_array(r, offsets_len)?;
+    let neighbors = read_u32_array(r, neighbor_len)?;
+    // A well-formed file ends exactly here.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(StoreError::Corrupt("trailing bytes after payload".into()));
+    }
+
+    let g = CsrGraph::from_raw_parts(offsets, neighbors)?;
+    if g.edge_count() as u64 != edge_count {
+        return Err(StoreError::Corrupt(format!(
+            "header claims {edge_count} edges, payload holds {}",
+            g.edge_count()
+        )));
+    }
+    let computed = payload_checksum(&g);
+    if computed != stored_checksum {
+        return Err(StoreError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    Ok((g, version))
+}
+
+/// Saves a snapshot to `path` (buffered).
+///
+/// # Errors
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn save<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), StoreError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_snapshot(g, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads and fully validates a snapshot from `path`.
+///
+/// # Errors
+/// Returns the specific [`StoreError`] describing what failed.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph, StoreError> {
+    load_with_version(path).map(|(g, _)| g)
+}
+
+/// Like [`load`], but also returns the file's header version.
+///
+/// # Errors
+/// Returns the specific [`StoreError`] describing what failed.
+pub fn load_with_version<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, u32), StoreError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read_snapshot_versioned(&mut r)
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), StoreError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Corrupt("file truncated".into())
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Decode chunk size in bytes (shared by the array readers).
+const READ_CHUNK: usize = 64 * 1024;
+
+fn read_u64_array<R: Read>(r: &mut R, len: usize) -> Result<Vec<u64>, StoreError> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; READ_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK / 8);
+        let bytes = &mut buf[..take * 8];
+        read_exact(r, bytes)?;
+        out.reserve(take);
+        for w in bytes.chunks_exact(8) {
+            out.push(u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u32_array<R: Read>(r: &mut R, len: usize) -> Result<Vec<u32>, StoreError> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; READ_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK / 4);
+        let bytes = &mut buf[..take * 4];
+        read_exact(r, bytes)?;
+        out.reserve(take);
+        for w in bytes.chunks_exact(4) {
+            out.push(u32::from_le_bytes(w.try_into().expect("4-byte chunk")));
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpp_graph::Graph;
+
+    fn sample() -> CsrGraph {
+        let g = tpp_graph::generators::holme_kim(300, 3, 0.3, 21);
+        CsrGraph::from_graph(&g)
+    }
+
+    fn encode(g: &CsrGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        let g = sample();
+        let bytes = encode(&g);
+        let back = read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let g = sample();
+        let path = std::env::temp_dir().join(format!("tpp-store-{}.csr", std::process::id()));
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.to_graph(), back.to_graph());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = CsrGraph::from_graph(&Graph::new(0));
+        let back = read_snapshot(&mut encode(&g).as_slice()).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            read_snapshot(&mut bytes.as_slice()),
+            Err(StoreError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 99;
+        assert!(matches!(
+            read_snapshot(&mut bytes.as_slice()),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_payload_bitflips() {
+        let g = sample();
+        let bytes = encode(&g);
+        let mut flipped = 0usize;
+        // Flip one byte somewhere in the neighbor array region. Most flips
+        // break the structural validator; the rest must trip the checksum.
+        for pos in (48..bytes.len()).step_by(997) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            match read_snapshot(&mut bad.as_slice()) {
+                Err(_) => flipped += 1,
+                Ok(decoded) => {
+                    panic!("bitflip at {pos} went undetected: {decoded:?}")
+                }
+            }
+        }
+        assert!(flipped > 0, "no positions probed");
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let bytes = encode(&sample());
+        for cut in [0, 4, 12, 40, bytes.len() - 3] {
+            assert!(
+                read_snapshot(&mut bytes[..cut].as_ref()).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            read_snapshot(&mut padded.as_slice()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_header_counts_fail_fast_without_allocating() {
+        // A tiny file claiming 2^40 nodes must fail with "file truncated"
+        // as soon as the stream runs dry — not attempt a terabyte-scale
+        // upfront allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes()); // node_count
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // edge_count
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        bytes.extend_from_slice(&[0u8; 64]); // a few stray payload bytes
+        assert!(matches!(
+            read_snapshot(&mut bytes.as_slice()),
+            Err(StoreError::Corrupt(msg)) if msg.contains("truncated")
+        ));
+    }
+
+    #[test]
+    fn header_count_mismatch_detected() {
+        let mut bytes = encode(&sample());
+        // Inflate the edge count; payload length check must catch it.
+        bytes[24] = bytes[24].wrapping_add(1);
+        assert!(read_snapshot(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

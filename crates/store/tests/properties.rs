@@ -1,0 +1,169 @@
+//! Property-based correctness suite for the snapshot store: CSR round
+//! trips, on-disk format round trips, and `DeltaView` equivalence against
+//! a physically mutated `Graph` on random ER/BA graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpp_graph::{generators, Edge, Graph, NeighborAccess, NodeId};
+use tpp_motif::{count_target_subgraphs, Motif};
+use tpp_store::{format, CsrGraph, DeltaView};
+
+/// Strategy: a random simple graph (alternating ER and BA families).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (10usize..=60, 0u64..=5_000).prop_map(|(n, seed)| {
+        if seed % 2 == 0 {
+            generators::erdos_renyi_gnp(n, 0.12 + (seed % 10) as f64 / 50.0, seed)
+        } else {
+            generators::barabasi_albert(n, 3.min(n - 1).max(1), seed)
+        }
+    })
+}
+
+/// Every read the workspace performs must agree between two access paths.
+fn assert_reads_agree<A: NeighborAccess, B: NeighborAccess>(a: &A, b: &B) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for u in 0..a.node_count() as NodeId {
+        assert_eq!(a.degree(u), b.degree(u), "degree({u})");
+        assert_eq!(
+            a.neighbors_iter(u).collect::<Vec<_>>(),
+            b.neighbors_iter(u).collect::<Vec<_>>(),
+            "neighbors({u})"
+        );
+    }
+    assert_eq!(a.collect_edges(), b.collect_edges());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Graph → CsrGraph → Graph is the identity, for both build paths.
+    #[test]
+    fn csr_round_trips_graph(g in graph_strategy()) {
+        let csr = CsrGraph::from_graph(&g);
+        csr.check_invariants();
+        prop_assert_eq!(csr.to_graph(), g.clone());
+        let par = CsrGraph::from_graph_parallel(&g, 4);
+        prop_assert_eq!(&csr, &par);
+        assert_reads_agree(&csr, &g);
+    }
+
+    /// Building from a shuffled edge list matches building from the graph.
+    #[test]
+    fn csr_from_edges_matches(g in graph_strategy(), seed in 0u64..500) {
+        let mut edges = g.edge_vec();
+        // deterministic pseudo-shuffle
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..edges.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            edges.swap(i, j);
+        }
+        let csr = CsrGraph::from_edges(g.node_count(), &edges).unwrap();
+        prop_assert_eq!(csr, CsrGraph::from_graph(&g));
+    }
+
+    /// save → load round-trips bit-exactly through the binary format.
+    #[test]
+    fn format_round_trips(g in graph_strategy()) {
+        let csr = CsrGraph::from_graph(&g);
+        let mut bytes = Vec::new();
+        format::write_snapshot(&csr, &mut bytes).unwrap();
+        let back = format::read_snapshot(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(csr, back);
+    }
+
+    /// A DeltaView over a snapshot, driven by a random deletion/addition
+    /// script, agrees with a physically mutated Graph on every read and
+    /// on triangle counts for a probe pair.
+    #[test]
+    fn delta_view_matches_mutated_graph(
+        g in graph_strategy(),
+        seed in 0u64..2_000,
+        script_len in 1usize..40,
+    ) {
+        let csr = CsrGraph::from_graph(&g);
+        let mut view = DeltaView::new(&csr);
+        let mut oracle = g.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count() as NodeId;
+        prop_assume!(n >= 2);
+        for _ in 0..script_len {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if rng.gen_bool(0.6) {
+                prop_assert_eq!(view.delete_edge(e), oracle.remove_edge(e.u(), e.v()));
+            } else {
+                prop_assert_eq!(view.add_edge(e), oracle.add_edge(e.u(), e.v()));
+            }
+        }
+        oracle.check_invariants();
+        assert_reads_agree(&view, &oracle);
+        prop_assert_eq!(view.to_graph(), oracle.clone());
+        prop_assert_eq!(
+            view.deleted_count() as isize - view.added_count() as isize,
+            g.edge_count() as isize - oracle.edge_count() as isize
+        );
+
+        // Motif counters over the view equal counters over the mutation.
+        let (u, v) = (0, n - 1);
+        for motif in [Motif::Triangle, Motif::Rectangle, Motif::RecTri] {
+            prop_assert_eq!(
+                count_target_subgraphs(&view, u, v, motif),
+                count_target_subgraphs(&oracle, u, v, motif),
+                "motif {} at ({}, {})", motif, u, v
+            );
+        }
+    }
+
+    /// Deleting and restoring the same edges leaves the view exactly at
+    /// the base (the tentative-evaluation invariant the oracles rely on).
+    #[test]
+    fn tentative_evaluation_is_traceless(g in graph_strategy(), seed in 0u64..500) {
+        prop_assume!(g.edge_count() > 0);
+        let csr = CsrGraph::from_graph(&g);
+        let mut view = DeltaView::new(&csr);
+        let edges = g.edge_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let e = edges[rng.gen_range(0..edges.len())];
+            prop_assert!(view.delete_edge(e));
+            prop_assert!(view.restore_edge(e));
+        }
+        prop_assert!(!view.is_dirty());
+        assert_reads_agree(&view, &g);
+    }
+
+    /// Common-neighbor merges agree across Graph, CsrGraph, and DeltaView
+    /// (the hot operation of every motif counter).
+    #[test]
+    fn common_neighbors_agree(g in graph_strategy(), u in 0u32..60, v in 0u32..60) {
+        prop_assume!((u as usize) < g.node_count() && (v as usize) < g.node_count());
+        prop_assume!(u != v);
+        let csr = CsrGraph::from_graph(&g);
+        let view = DeltaView::new(&csr);
+        let expected = g.common_neighbors(u, v);
+        prop_assert_eq!(csr.common_neighbors_vec(u, v), expected.clone());
+        prop_assert_eq!(view.common_neighbors_vec(u, v), expected);
+    }
+}
+
+#[test]
+fn arenas_scale_round_trip_with_parallel_build() {
+    // One larger fixed case: the Arenas-email stand-in (1,133 nodes,
+    // 5,451 edges) through parallel build, disk format, and back.
+    let g = tpp_datasets::arenas_email_like(1);
+    let csr = CsrGraph::from_graph_parallel(&g, 8);
+    csr.check_invariants();
+    assert_eq!(csr.to_graph(), g);
+
+    let path = std::env::temp_dir().join(format!("tpp-store-prop-{}.csr", std::process::id()));
+    format::save(&csr, &path).unwrap();
+    let back = format::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(csr, back);
+}

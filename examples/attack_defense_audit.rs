@@ -30,23 +30,28 @@ fn main() {
         Attacker::Katz(0.05, 4),
     ];
     for attacker in attackers {
-        let pre = evaluate_attack(instance.released(), instance.targets(), &negatives, attacker);
+        let pre = evaluate_attack(
+            instance.released(),
+            instance.targets(),
+            &negatives,
+            attacker,
+        );
         let post = evaluate_attack(&protected, instance.targets(), &negatives, attacker);
         println!(
             "{:<26} {:>8.3} {:>8.3}{}",
             pre.attacker,
             pre.auc,
             post.auc,
-            if post.targets_fully_hidden() { "   (zero evidence)" } else { "" }
+            if post.targets_fully_hidden() {
+                "   (zero evidence)"
+            } else {
+                ""
+            }
         );
     }
 
     // The price: utility loss of the released graph.
-    let report = utility_loss(
-        instance.original(),
-        &protected,
-        &UtilityConfig::full(1),
-    );
+    let report = utility_loss(instance.original(), &protected, &UtilityConfig::full(1));
     println!("\nutility loss per metric:");
     for (metric, loss) in &report.per_metric {
         println!("  {:<6} {:>6.2}%", metric.to_string(), loss * 100.0);

@@ -25,10 +25,16 @@ fn main() {
     let instance = TppInstance::new(g, targets).expect("valid targets");
     let motif = Motif::Triangle;
 
-    println!("patient-doctor links to protect: {}", instance.target_count());
+    println!(
+        "patient-doctor links to protect: {}",
+        instance.target_count()
+    );
     let index = instance.build_index(motif);
     for (i, t) in instance.targets().iter().enumerate() {
-        println!("  target {t}: {} triangle witnesses", index.target_similarity(i));
+        println!(
+            "  target {t}: {} triangle witnesses",
+            index.target_similarity(i)
+        );
     }
 
     // Every patient gets a personal budget, proportional to how exposed

@@ -29,7 +29,10 @@ fn main() {
         node_exposure(&protection, Motif::Triangle)
     );
     // Fun structural fact: hiding *all* links needs zero protectors.
-    assert_eq!(full_isolation_is_self_protecting(&g, victim, Motif::Triangle), 0);
+    assert_eq!(
+        full_isolation_is_self_protecting(&g, victim, Motif::Triangle),
+        0
+    );
     println!("(hiding every link needs no protectors at all: isolation is self-protecting)");
 
     // --- Katz-aware defense (heuristic; no guarantee, per the paper). ---

@@ -9,7 +9,11 @@ fn main() {
     // them (and one lieutenant link) hidden from the released graph.
     let g = tpp::datasets::karate_club();
     let targets = vec![Edge::new(32, 33), Edge::new(0, 1)];
-    println!("karate club: {} nodes, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "karate club: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // Phase 1 happens inside TppInstance::new: targets leave the edge list.
     let instance = TppInstance::new(g, targets).expect("targets are real edges");
@@ -31,7 +35,10 @@ fn main() {
     for step in &plan.steps {
         println!(
             "  round {:>2}: delete {:<7} breaking {} witnesses (remaining {})",
-            step.round, step.protector.to_string(), step.total_broken, step.similarity_after
+            step.round,
+            step.protector.to_string(),
+            step.total_broken,
+            step.similarity_after
         );
     }
 

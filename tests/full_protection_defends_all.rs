@@ -45,7 +45,11 @@ fn attack_auc_collapses_to_chance_after_protection() {
         &negatives,
         Attacker::Index(SimilarityIndex::CommonNeighbors),
     );
-    assert!(before.auc > 0.65, "attack should work pre-protection: {}", before.auc);
+    assert!(
+        before.auc > 0.65,
+        "attack should work pre-protection: {}",
+        before.auc
+    );
 
     // After: full protection collapses it to (below) chance.
     let (_, plan) = critical_budget(&inst, Motif::Triangle);

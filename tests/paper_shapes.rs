@@ -26,10 +26,30 @@ fn fig3_method_ordering_holds_on_average() {
         sums[3] += random_deletion_from_subgraphs(&inst, k, motif, s).final_similarity as f64;
         sums[4] += random_deletion(&inst, k, motif, s).final_similarity as f64;
     }
-    assert!(sums[0] <= sums[1] + 1e-9, "SGB {} vs CT {}", sums[0], sums[1]);
-    assert!(sums[1] <= sums[2] + 1e-9, "CT {} vs WT {}", sums[1], sums[2]);
-    assert!(sums[2] <= sums[3] + 1e-9, "WT {} vs RDT {}", sums[2], sums[3]);
-    assert!(sums[3] <= sums[4] + 1e-9, "RDT {} vs RD {}", sums[3], sums[4]);
+    assert!(
+        sums[0] <= sums[1] + 1e-9,
+        "SGB {} vs CT {}",
+        sums[0],
+        sums[1]
+    );
+    assert!(
+        sums[1] <= sums[2] + 1e-9,
+        "CT {} vs WT {}",
+        sums[1],
+        sums[2]
+    );
+    assert!(
+        sums[2] <= sums[3] + 1e-9,
+        "WT {} vs RDT {}",
+        sums[2],
+        sums[3]
+    );
+    assert!(
+        sums[3] <= sums[4] + 1e-9,
+        "RDT {} vs RD {}",
+        sums[3],
+        sums[4]
+    );
 }
 
 /// Fig. 3: the Rectangle motif is the most challenging — highest initial
@@ -49,10 +69,30 @@ fn rectangle_is_the_hardest_motif() {
             kstar[i] += ks;
         }
     }
-    assert!(s0[1] > s0[0], "rectangle evidence {} vs triangle {}", s0[1], s0[0]);
-    assert!(s0[1] > s0[2], "rectangle evidence {} vs rectri {}", s0[1], s0[2]);
-    assert!(kstar[1] > kstar[0], "rectangle k* {} vs triangle {}", kstar[1], kstar[0]);
-    assert!(kstar[1] > kstar[2], "rectangle k* {} vs rectri {}", kstar[1], kstar[2]);
+    assert!(
+        s0[1] > s0[0],
+        "rectangle evidence {} vs triangle {}",
+        s0[1],
+        s0[0]
+    );
+    assert!(
+        s0[1] > s0[2],
+        "rectangle evidence {} vs rectri {}",
+        s0[1],
+        s0[2]
+    );
+    assert!(
+        kstar[1] > kstar[0],
+        "rectangle k* {} vs triangle {}",
+        kstar[1],
+        kstar[0]
+    );
+    assert!(
+        kstar[1] > kstar[2],
+        "rectangle k* {} vs rectri {}",
+        kstar[1],
+        kstar[2]
+    );
 }
 
 /// Fig. 3 (Triangle panel): RDT is close to the greedy algorithms for the
@@ -114,7 +154,10 @@ fn utility_loss_grows_with_target_count_but_stays_small() {
         let report = utility_loss(inst.original(), &released, &cfg);
         losses.push(report.average);
     }
-    assert!(losses[1] > losses[0], "more targets should cost more: {losses:?}");
+    assert!(
+        losses[1] > losses[0],
+        "more targets should cost more: {losses:?}"
+    );
     assert!(losses[1] < 0.15, "still small: {losses:?}");
 }
 

@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the call surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple but honest measurement loop:
+//! per sample, the closure body is repeated until a minimum window is
+//! filled, and the mean/median/min over samples are reported.
+//!
+//! Results are printed to stdout and, additionally, written as one JSON
+//! file per benchmark under `target/criterion-json/<group>/` (override the
+//! root with `CRITERION_JSON_DIR`), so runs can be diffed and archived
+//! without the real criterion's gnuplot machinery.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.name.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named benchmark group; sample size is configurable per group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_samples(self.sample_size, &mut |b| f(b));
+        report(&self.name, &id, &stats);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let stats = run_samples(self.sample_size, &mut |b| f(b, input));
+        report(&self.name, &id, &stats);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is incremental).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter component, e.g. `new("build", n)`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id for a parameterless benchmark.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured body.
+pub struct Bencher {
+    /// Iterations the measured closure should execute this sample.
+    iterations: u64,
+    /// Measured wall time of the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` executions of `f` (the sample's inner loop).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iterations_per_sample: u64,
+}
+
+/// Calibrates an iteration count so one sample takes ≳2 ms, then collects
+/// `sample_size` timed samples of the closure.
+fn run_samples(sample_size: usize, run: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    // Warm-up + calibration: grow iterations until the sample window fills.
+    let mut iterations = 1u64;
+    loop {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        run(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iterations >= (1 << 20) {
+            break;
+        }
+        iterations = iterations.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        run(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iterations as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    Stats {
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: per_iter_ns[0],
+        samples: per_iter_ns.len(),
+        iterations_per_sample: iterations,
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(group: &str, id: &BenchmarkId, stats: &Stats) {
+    let label = id.label();
+    println!(
+        "{group}/{label}: mean {} median {} min {} ({} samples x {} iters)",
+        human(stats.mean_ns),
+        human(stats.median_ns),
+        human(stats.min_ns),
+        stats.samples,
+        stats.iterations_per_sample,
+    );
+    if let Err(e) = write_json(group, &label, stats) {
+        eprintln!("criterion shim: could not write JSON result: {e}");
+    }
+}
+
+fn json_root() -> PathBuf {
+    std::env::var_os("CRITERION_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("criterion-json"))
+}
+
+fn write_json(group: &str, label: &str, stats: &Stats) -> std::io::Result<()> {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    };
+    let dir = json_root().join(sanitize(group));
+    std::fs::create_dir_all(&dir)?;
+    let body = format!(
+        "{{\n  \"group\": \"{group}\",\n  \"benchmark\": \"{label}\",\n  \
+         \"mean_ns\": {:.1},\n  \"median_ns\": {:.1},\n  \"min_ns\": {:.1},\n  \
+         \"samples\": {},\n  \"iterations_per_sample\": {}\n}}\n",
+        stats.mean_ns, stats.median_ns, stats.min_ns, stats.samples, stats.iterations_per_sample,
+    );
+    std::fs::write(dir.join(format!("{}.json", sanitize(label))), body)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let tmp = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::env::set_var("CRITERION_JSON_DIR", &tmp);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        let written = tmp.join("shim_selftest").join("sum.json");
+        let body = std::fs::read_to_string(&written).expect("json written");
+        assert!(body.contains("\"mean_ns\""));
+        assert!(tmp.join("shim_selftest").join("sum_n_50.json").exists());
+        std::env::remove_var("CRITERION_JSON_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+    }
+}

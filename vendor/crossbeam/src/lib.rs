@@ -1,0 +1,112 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — since Rust 1.63 the standard
+//! library's `std::thread::scope` offers the same soundness guarantees
+//! crossbeam pioneered, so this shim is a thin adapter reproducing the
+//! crossbeam call shape (`scope(|s| ...)` returning a `Result`, spawn
+//! closures receiving the scope handle for nested spawns).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; clonable/copyable so spawned closures can spawn too.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread; `join` returns the closure's result.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, propagating panics as `Err`.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the caller.
+    ///
+    /// All spawned threads are joined before `scope` returns. Unlike
+    /// crossbeam the error arm is unreachable when every handle is joined
+    /// explicitly (std re-raises stray child panics in the parent), but the
+    /// `Result` shape is preserved so call sites match crossbeam verbatim.
+    ///
+    /// # Errors
+    /// Never returns `Err` under the std-backed implementation; panics from
+    /// unjoined children propagate as panics instead.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let sums: Vec<u64> = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![6, 15, 15]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().map(|x| x * 2).unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn child_panic_surfaces_in_join() {
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

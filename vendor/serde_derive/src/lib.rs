@@ -1,0 +1,420 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; instead this macro walks the raw [`proc_macro::TokenStream`]
+//! of the item definition directly. Supported shapes cover everything the
+//! workspace derives on:
+//!
+//! * named-field structs (including lifetime-generic ones),
+//! * tuple structs,
+//! * unit structs,
+//! * enums with unit and tuple variants.
+//!
+//! Generated code targets the simplified `serde::Value` data model: structs
+//! become field maps, tuple structs become sequences, enums use external
+//! tagging (`"Variant"` or `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (renders the item into a `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (rebuilds the item from a `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { A, B(T), C(T, U) }` — (variant name, tuple-field count).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    /// Generics verbatim, e.g. `<'a>` (empty when non-generic). Only
+    /// lifetime parameters are supported — enough for the workspace.
+    generics: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if ser {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match ident_at(&tokens, pos) {
+        Some(k) if k == "struct" || k == "enum" => {
+            pos += 1;
+            k
+        }
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    let name = ident_at(&tokens, pos).ok_or("expected item name")?;
+    pos += 1;
+    let generics = parse_generics(&tokens, &mut pos)?;
+
+    let shape = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        }
+    };
+    Ok(Item {
+        name,
+        generics,
+        shape,
+    })
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // the bracket group that follows
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Captures a `<...>` generics list verbatim (lifetimes only in practice).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(String::new()),
+    }
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        out.push_str(&tok.to_string());
+        // No separator after a lifetime tick: `'` + `a` must render `'a`.
+        if !matches!(tok, TokenTree::Punct(p) if p.as_char() == '\'') {
+            out.push(' ');
+        }
+        *pos += 1;
+        if depth == 0 {
+            return Ok(out);
+        }
+    }
+    Err("unbalanced generics".to_string())
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, pos).ok_or_else(|| {
+            format!(
+                "expected field name, got {:?}",
+                tokens.get(pos).map(ToString::to_string)
+            )
+        })?;
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma. Groups are atomic
+        // token trees, so only `<...>` nesting needs tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated fields of a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// `(variant name, tuple-field count)` pairs; unit variants count 0 fields.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, pos).ok_or_else(|| {
+            format!(
+                "expected variant name, got {:?}",
+                tokens.get(pos).map(ToString::to_string)
+            )
+        })?;
+        pos += 1;
+        let arity = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("struct variant {name} {{ .. }} is not supported"));
+            }
+            _ => 0,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {
+                variants.push((name, arity));
+                break;
+            }
+            other => return Err(format!("expected `,` after variant {name}, got {other:?}")),
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let Item {
+        name,
+        generics,
+        shape,
+    } = item;
+    let body = match shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("serde::Value::Map(vec![{entries}])")
+        }
+        Shape::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("serde::Value::Seq(vec![{entries}])")
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(f0) => serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             serde::Value::Seq(vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl {generics} serde::Serialize for {name} {generics} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let Item {
+        name,
+        generics,
+        shape,
+    } = item;
+    let body = match shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                         serde::DeError::new(\"missing field {f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {entries} }})")
+        }
+        Shape::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Seq(items) if items.len() == {n} => \
+                 Ok({name}({entries})), \
+                 other => Err(serde::DeError::new(format!(\
+                 \"expected {n}-element seq for {name}, got {{other:?}}\"))) }}"
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let entries: String = (0..*arity)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match payload {{ \
+                             serde::Value::Seq(items) if items.len() == {arity} => \
+                             Ok({name}::{v}({entries})), \
+                             other => Err(serde::DeError::new(format!(\
+                             \"bad payload for {name}::{v}: {{other:?}}\"))) }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 serde::Value::Str(tag) => match tag.as_str() {{ {unit_arms} \
+                 other => Err(serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))) }},\n\
+                 serde::Value::Map(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 match tag.as_str() {{ {tagged_arms} \
+                 other => Err(serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))) }}\n\
+                 }},\n\
+                 other => Err(serde::DeError::new(format!(\"expected {name} value, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl {generics} serde::Deserialize for {name} {generics} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
