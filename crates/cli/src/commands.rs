@@ -43,19 +43,21 @@ USAGE:
   tpp generate --model <ba|er|ws|hk|arenas|dblp|karate> [--nodes N] [--seed S] --out FILE
   tpp stats    <edgelist> [--full]
   tpp protect  <edgelist> --budget K [--motif M] [--algorithm A] [--division D]
-               [--targets u-v,u-v | --random N] [--seed S]
+               [--targets u-v,u-v | --random N] [--seed S] [--threads T]
                [--out released.txt] [--plan plan.json]
   tpp attack   <edgelist> --targets u-v,... [--attacker cn|jaccard|...|katz]
                [--negatives N] [--seed S]
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
   tpp utility  <original> <released> [--full] [--seed S]
   tpp store build   <edgelist> --out FILE.csr [--threads N]
-  tpp store info    <FILE.csr>
+  tpp store info    <FILE.csr> [--shards N]
   tpp store convert <FILE.csr> --out edgelist.txt
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
-DIVISIONS:   tbd (default), dbd"
+DIVISIONS:   tbd (default), dbd
+THREADS:     --threads 0 (default) uses every available core; plans are
+             bit-identical for every thread count"
 }
 
 fn load_graph(p: &Parsed) -> Result<Graph, String> {
@@ -159,7 +161,10 @@ fn protect(p: &Parsed) -> Result<(), String> {
     let instance = TppInstance::new(g, targets).map_err(|e| e.to_string())?;
 
     let algorithm = p.get_or("algorithm", "sgb");
-    let cfg = GreedyConfig::scalable(motif);
+    // 0 = all available cores (the engine resolves it), which on the
+    // single-core CI container degenerates to the sequential scan.
+    let threads: usize = p.num_or("threads", 0usize)?;
+    let cfg = GreedyConfig::scalable(motif).with_threads(threads);
     let plan = match algorithm {
         "sgb" => sgb_greedy(&instance, budget, &cfg),
         "celf" => celf_greedy(&instance, budget, &cfg),
@@ -341,6 +346,21 @@ fn store(p: &Parsed) -> Result<(), String> {
             );
             println!("isolated-nodes: {isolated}");
             println!("checksum: verified");
+            let shards: usize = p.num_or("shards", 0usize)?;
+            if shards > 0 {
+                println!("shard plan ({shards} requested, degree-balanced):");
+                for (i, shard) in csr.shards(shards).iter().enumerate() {
+                    let r = shard.node_range();
+                    println!(
+                        "  shard {i}: nodes {}..{} ({} nodes, payload {} of {})",
+                        r.start,
+                        r.end,
+                        r.end - r.start,
+                        shard.payload_span(),
+                        csr.neighbor_array().len(),
+                    );
+                }
+            }
             Ok(())
         }
         "convert" => {
@@ -618,6 +638,94 @@ mod tests {
         for cmd in ["generate", "stats", "protect", "attack", "kstar", "store"] {
             assert!(u.contains(cmd));
         }
+        assert!(u.contains("--threads"));
+    }
+
+    #[test]
+    fn protect_threads_flag_keeps_plans_identical() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-threads.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "150",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // Same instance through 1, 4, and auto (0) threads: the plan files
+        // must be byte-identical — the engine's determinism contract,
+        // surfaced at the CLI level.
+        let mut plans = Vec::new();
+        for threads in ["1", "4", "0"] {
+            let plan_path = dir.join(format!("plan-t{threads}.json"));
+            dispatch(
+                &parse(&strs(&[
+                    "protect",
+                    graph_path.to_str().unwrap(),
+                    "--budget",
+                    "5",
+                    "--random",
+                    "4",
+                    "--threads",
+                    threads,
+                    "--plan",
+                    plan_path.to_str().unwrap(),
+                ]))
+                .unwrap(),
+            )
+            .unwrap();
+            plans.push(std::fs::read_to_string(&plan_path).unwrap());
+        }
+        assert_eq!(plans[0], plans[1], "1 vs 4 threads");
+        assert_eq!(plans[0], plans[2], "1 vs auto threads");
+    }
+
+    #[test]
+    fn store_info_shard_plan() {
+        let dir = tmpdir();
+        let edges = dir.join("shard-src.txt");
+        let snapshot = dir.join("shard.csr");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "ba",
+                "--nodes",
+                "300",
+                "--out",
+                edges.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "build",
+                edges.to_str().unwrap(),
+                "--out",
+                snapshot.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "info",
+                snapshot.to_str().unwrap(),
+                "--shards",
+                "4",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
     }
 
     #[test]

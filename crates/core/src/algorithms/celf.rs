@@ -5,74 +5,28 @@
 //! evaluations; the `ablation_evaluators` bench quantifies the speedup.
 
 use super::GreedyConfig;
-use crate::oracle::{GainOracle, IndexOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::engine::RoundEngine;
+use crate::oracle::AnyOracle;
+use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use tpp_graph::Edge;
 
 /// Runs the CELF lazy variant of SGB-Greedy with global budget `k`.
 ///
-/// Only the index evaluator makes sense here (lazy evaluation presumes
-/// cheap incremental gains), so `config.evaluator` is ignored; the
-/// candidate policy is honored.
+/// A strategy config on the [`RoundEngine`]'s lazy-queue mode: the initial
+/// bound sweep honors `config.threads`, refreshes are incremental, and the
+/// plan is bit-identical to [`sgb_greedy`](crate::sgb_greedy) under the
+/// same config. All evaluators are supported (lazy evaluation pays off
+/// most with the cheap incremental index, but the recount oracles benefit
+/// from skipped candidates just the same).
 #[must_use]
 pub fn celf_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let mut oracle = IndexOracle::new(instance.released(), instance.targets(), config.motif);
-    let initial = oracle.total_similarity();
-
-    // Max-heap of (cached_gain, Reverse(edge), round_evaluated). Ordering by
-    // Reverse(edge) second makes ties pop the canonically smallest edge —
-    // matching SGB's linear-scan tie-break exactly.
-    let mut heap: BinaryHeap<(usize, Reverse<Edge>, usize)> = oracle
-        .candidates(config.candidates)
-        .into_iter()
-        .map(|p| (oracle.gain(p), Reverse(p), 0usize))
-        .collect();
-
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-    let mut round = 0usize;
-
-    while protectors.len() < k {
-        let Some((cached, Reverse(p), evaluated_at)) = heap.pop() else {
-            break;
-        };
-        if cached == 0 {
-            break; // all remaining upper bounds are 0
-        }
-        if evaluated_at < round {
-            // Stale bound: refresh and reinsert. Submodularity guarantees
-            // fresh_gain <= cached, so the heap order stays sound.
-            let fresh = oracle.gain(p);
-            debug_assert!(fresh <= cached, "submodularity violated");
-            heap.push((fresh, Reverse(p), round));
-            continue;
-        }
-        // Fresh maximum: this is the greedy pick.
-        let broken = oracle.commit(p);
-        debug_assert_eq!(broken, cached);
-        round += 1;
-        protectors.push(p);
-        steps.push(StepRecord {
-            round: steps.len(),
-            protector: p,
-            charged_target: None,
-            own_broken: broken,
-            total_broken: broken,
-            similarity_after: oracle.total_similarity(),
-        });
-    }
-
-    ProtectionPlan {
-        algorithm: AlgorithmKind::CelfGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target: Vec::new(),
-    }
+    let mut engine = RoundEngine::new(
+        AnyOracle::for_instance(instance, config),
+        config.candidates,
+        config.threads,
+    );
+    engine.run_global_lazy(k);
+    engine.into_global_plan(AlgorithmKind::CelfGreedy)
 }
 
 #[cfg(test)]

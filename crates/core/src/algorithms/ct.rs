@@ -2,21 +2,22 @@
 //! Multi-Local-Budget problem. An instance of submodular maximization over a
 //! partition matroid, guaranteeing a `1/2` approximation (Theorem 4).
 
-use super::{EvaluatorKind, GreedyConfig};
+use super::GreedyConfig;
+use crate::engine::RoundEngine;
 use crate::error::TppError;
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::oracle::AnyOracle;
+use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
-use tpp_graph::Edge;
 
 /// Runs CT-Greedy with per-target budgets `budgets[t]`.
 ///
-/// Every round scores all `(target, protector)` pairs over targets with
-/// remaining budget by the paper's `Δ_t^p = own + cross / C`, realized here
-/// as the exact lexicographic order `(own, cross)` (equivalent for any
-/// `C > max cross`, and immune to floating-point rounding). The pick is
-/// charged to the chosen target's budget; the deletion itself helps every
-/// target globally.
+/// A strategy config on the [`RoundEngine`]: every round opens the targets
+/// with remaining budget and lets the engine maximize the paper's
+/// `Δ_t^p = own + cross / C` over all `(target, protector)` pairs —
+/// realized as the exact lexicographic order `(own, cross)` (equivalent
+/// for any `C > max cross`, and immune to floating-point rounding). The
+/// pick is charged to the chosen target's budget; the deletion itself
+/// helps every target globally.
 ///
 /// # Errors
 /// [`TppError::BudgetArityMismatch`] if `budgets.len() != |T|`.
@@ -31,90 +32,25 @@ pub fn ct_greedy(
             targets: instance.target_count(),
         });
     }
-    Ok(match config.evaluator {
-        EvaluatorKind::Index => run(
-            IndexOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-        EvaluatorKind::DeltaRecount => run(
-            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-        EvaluatorKind::NaiveRecount => run(
-            NaiveOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-    })
-}
-
-fn run<O: GainOracle>(mut oracle: O, budgets: &[usize], config: &GreedyConfig) -> ProtectionPlan {
     let n = budgets.len();
-    let initial = oracle.total_similarity();
-    let mut per_target: Vec<Vec<Edge>> = vec![Vec::new(); n];
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-
+    let mut engine = RoundEngine::new(
+        AnyOracle::for_instance(instance, config),
+        config.candidates,
+        config.threads,
+    );
     loop {
-        let open: Vec<usize> = (0..n)
-            .filter(|&t| per_target[t].len() < budgets[t])
-            .collect();
-        if open.is_empty() {
+        let open: Vec<usize> = (0..n).filter(|&t| engine.charged(t) < budgets[t]).collect();
+        if open.is_empty() || engine.select_for_targets(&open).is_none() {
             break;
         }
-        let candidates = oracle.candidates(config.candidates);
-        // best = (own, cross, target, edge); lexicographic (own, cross) with
-        // deterministic (target, edge) tie-break.
-        let mut best: Option<(usize, usize, usize, Edge)> = None;
-        for &p in &candidates {
-            let v = oracle.gain_vector(p);
-            let total: usize = v.iter().sum();
-            if total == 0 {
-                continue;
-            }
-            for &t in &open {
-                let own = v[t];
-                let cross = total - own;
-                if best.is_none_or(|(bo, bc, _, _)| (own, cross) > (bo, bc)) {
-                    best = Some((own, cross, t, p));
-                }
-            }
-        }
-        let Some((own, cross, t_star, p_star)) = best else {
-            break;
-        };
-        if own == 0 && cross == 0 {
-            break;
-        }
-        let broken = oracle.commit(p_star);
-        debug_assert_eq!(broken, own + cross);
-        per_target[t_star].push(p_star);
-        protectors.push(p_star);
-        steps.push(StepRecord {
-            round: steps.len(),
-            protector: p_star,
-            charged_target: Some(t_star),
-            own_broken: own,
-            total_broken: broken,
-            similarity_after: oracle.total_similarity(),
-        });
     }
-
-    ProtectionPlan {
-        algorithm: AlgorithmKind::CtGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target,
-    }
+    Ok(engine.into_targeted_plan(AlgorithmKind::CtGreedy))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_graph::Edge;
     use tpp_graph::Graph;
     use tpp_motif::Motif;
 

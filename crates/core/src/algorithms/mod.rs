@@ -2,6 +2,12 @@
 //! (SGB-Greedy, CT-Greedy, WT-Greedy), their scalable `-R` variants, and a
 //! CELF lazy-greedy ablation.
 //!
+//! All of them are thin strategy configs on the unified
+//! [`RoundEngine`](crate::engine::RoundEngine): the engine owns the
+//! per-round candidate scan (sequential or sharded across threads), the
+//! canonical tie-break, the CELF lazy queue, and the step recording; each
+//! algorithm only decides which rounds run and how candidates are scored.
+//!
 //! Every algorithm is parameterized by a [`GreedyConfig`]:
 //!
 //! * `evaluator` selects the gain oracle — [`EvaluatorKind::Index`] is the
@@ -9,7 +15,9 @@
 //!   motifs from adjacency on every evaluation (the paper's plain cost
 //!   model);
 //! * `candidates` selects the candidate policy — all edges (plain) or only
-//!   target-subgraph edges (`-R`, Lemma 5).
+//!   target-subgraph edges (`-R`, Lemma 5);
+//! * `threads` shards each round's scan across workers — plans are
+//!   bit-identical for every thread count and every evaluator.
 //!
 //! The paper's named variants map to:
 //!
@@ -54,6 +62,10 @@ pub struct GreedyConfig {
     pub candidates: CandidatePolicy,
     /// Gain oracle implementation.
     pub evaluator: EvaluatorKind,
+    /// Worker threads for the per-round candidate scan (`0` = all
+    /// available cores). Plans are bit-identical for every value — the
+    /// round engine reduces sharded chunks in candidate order.
+    pub threads: usize,
 }
 
 impl GreedyConfig {
@@ -66,6 +78,7 @@ impl GreedyConfig {
             motif,
             candidates: CandidatePolicy::AllEdges,
             evaluator: EvaluatorKind::NaiveRecount,
+            threads: 1,
         }
     }
 
@@ -77,6 +90,7 @@ impl GreedyConfig {
             motif,
             candidates: CandidatePolicy::SubgraphEdges,
             evaluator: EvaluatorKind::Index,
+            threads: 1,
         }
     }
 
@@ -90,6 +104,7 @@ impl GreedyConfig {
             motif,
             candidates: CandidatePolicy::SubgraphEdges,
             evaluator: EvaluatorKind::DeltaRecount,
+            threads: 1,
         }
     }
 
@@ -102,7 +117,17 @@ impl GreedyConfig {
             motif,
             candidates: CandidatePolicy::AllEdges,
             evaluator: EvaluatorKind::Index,
+            threads: 1,
         }
+    }
+
+    /// Returns the config with the per-round candidate scan split across
+    /// `threads` workers (`0` = all available cores). Purely a performance
+    /// knob: the plan stays bit-identical.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Suffix for report labels: `""` for plain, `"-R"` for scalable.

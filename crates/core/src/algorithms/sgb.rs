@@ -3,82 +3,34 @@
 //! set (Theorem 3) because the dissimilarity is monotone submodular
 //! (Lemmas 1–2).
 
-use super::{EvaluatorKind, GreedyConfig};
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use super::GreedyConfig;
+use crate::engine::RoundEngine;
+use crate::oracle::AnyOracle;
+use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
-use tpp_graph::Edge;
 
 /// Runs SGB-Greedy with global budget `k`.
 ///
-/// Each round evaluates every candidate edge's dissimilarity gain `Δ_p` and
-/// deletes the argmax (ties broken toward the canonically smallest edge, so
-/// runs are deterministic). Stops early when no candidate breaks any target
-/// subgraph (`Δ_{p*} = 0`).
+/// A pure strategy config on the [`RoundEngine`]: each round commits the
+/// candidate with the highest dissimilarity gain `Δ_p` (ties broken toward
+/// the canonically smallest edge) and stops early when no candidate breaks
+/// any target subgraph. `config.threads` shards the per-round scan without
+/// changing a single pick.
 #[must_use]
 pub fn sgb_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    match config.evaluator {
-        EvaluatorKind::Index => run(
-            IndexOracle::new(instance.released(), instance.targets(), config.motif),
-            k,
-            config,
-        ),
-        EvaluatorKind::DeltaRecount => run(
-            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
-            k,
-            config,
-        ),
-        EvaluatorKind::NaiveRecount => run(
-            NaiveOracle::new(instance.released(), instance.targets(), config.motif),
-            k,
-            config,
-        ),
-    }
-}
-
-fn run<O: GainOracle>(mut oracle: O, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let initial = oracle.total_similarity();
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-    while protectors.len() < k {
-        let candidates = oracle.candidates(config.candidates);
-        let mut best: Option<(usize, Edge)> = None;
-        for &p in &candidates {
-            let gain = oracle.gain(p);
-            // Strict `>` keeps the first (canonically smallest) maximizer.
-            if best.is_none_or(|(g, _)| gain > g) {
-                best = Some((gain, p));
-            }
-        }
-        let Some((gain, p)) = best else { break };
-        if gain == 0 {
-            break;
-        }
-        let broken = oracle.commit(p);
-        debug_assert_eq!(broken, gain, "oracle gain must match realized break");
-        protectors.push(p);
-        steps.push(StepRecord {
-            round: steps.len(),
-            protector: p,
-            charged_target: None,
-            own_broken: broken,
-            total_broken: broken,
-            similarity_after: oracle.total_similarity(),
-        });
-    }
-    ProtectionPlan {
-        algorithm: AlgorithmKind::SgbGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target: Vec::new(),
-    }
+    let mut engine = RoundEngine::new(
+        AnyOracle::for_instance(instance, config),
+        config.candidates,
+        config.threads,
+    );
+    engine.run_global(k);
+    engine.into_global_plan(AlgorithmKind::SgbGreedy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_graph::Edge;
     use tpp_graph::Graph;
     use tpp_motif::Motif;
 

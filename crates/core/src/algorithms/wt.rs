@@ -2,22 +2,22 @@
 //! the Multi-Local-Budget problem. Targets are satisfied one after another;
 //! the guarantee is `1 − e^{−(1−1/e)} ≈ 0.46` (Theorem 5).
 
-use super::{EvaluatorKind, GreedyConfig};
+use super::GreedyConfig;
+use crate::engine::RoundEngine;
 use crate::error::TppError;
-use crate::oracle::{GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::oracle::AnyOracle;
+use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
-use tpp_graph::Edge;
 
 /// Runs WT-Greedy with per-target budgets `budgets[t]`.
 ///
-/// Processes targets in declaration order; target `t` spends its whole
-/// sub-budget before target `t+1` starts. Each pick maximizes the paper's
-/// `Δ_t^p = own + cross / C` for the *current* target `t` (lexicographic
-/// `(own, cross)` — own-target instance breaks dominate, cross-target
-/// assistance tie-breaks). A globally exhausted state (`Δ = 0`, meaning no
-/// alive instance remains anywhere) terminates the whole run, mirroring the
-/// paper's `return`.
+/// A strategy config on the [`RoundEngine`]: targets are processed in
+/// declaration order, each spending its whole sub-budget through rounds
+/// that open *only* the current target — the engine maximizes the paper's
+/// `Δ_t^p = own + cross / C` (lexicographic `(own, cross)`: own-target
+/// instance breaks dominate, cross-target assistance tie-breaks). A
+/// globally exhausted round (no candidate breaks anything anywhere)
+/// terminates the whole run, mirroring the paper's `return`.
 ///
 /// # Errors
 /// [`TppError::BudgetArityMismatch`] if `budgets.len() != |T|`.
@@ -32,82 +32,25 @@ pub fn wt_greedy(
             targets: instance.target_count(),
         });
     }
-    Ok(match config.evaluator {
-        EvaluatorKind::Index => run(
-            IndexOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-        EvaluatorKind::DeltaRecount => run(
-            SnapshotOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-        EvaluatorKind::NaiveRecount => run(
-            NaiveOracle::new(instance.released(), instance.targets(), config.motif),
-            budgets,
-            config,
-        ),
-    })
-}
-
-fn run<O: GainOracle>(mut oracle: O, budgets: &[usize], config: &GreedyConfig) -> ProtectionPlan {
-    let n = budgets.len();
-    let initial = oracle.total_similarity();
-    let mut per_target: Vec<Vec<Edge>> = vec![Vec::new(); n];
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-
-    'targets: for t in 0..n {
-        for _ in 0..budgets[t] {
-            let candidates = oracle.candidates(config.candidates);
-            let mut best: Option<(usize, usize, Edge)> = None;
-            for &p in &candidates {
-                let v = oracle.gain_vector(p);
-                let total: usize = v.iter().sum();
-                let own = v[t];
-                let cross = total - own;
-                if best.is_none_or(|(bo, bc, _)| (own, cross) > (bo, bc)) {
-                    best = Some((own, cross, p));
-                }
-            }
-            let Some((own, cross, p_star)) = best else {
-                break 'targets;
-            };
-            if own == 0 && cross == 0 {
-                // No candidate breaks anything anywhere: every alive
-                // instance is gone, so the whole run is done (paper's
-                // `return`).
+    let mut engine = RoundEngine::new(
+        AnyOracle::for_instance(instance, config),
+        config.candidates,
+        config.threads,
+    );
+    'targets: for (t, &budget) in budgets.iter().enumerate() {
+        for _ in 0..budget {
+            if engine.select_for_targets(&[t]).is_none() {
                 break 'targets;
             }
-            let broken = oracle.commit(p_star);
-            debug_assert_eq!(broken, own + cross);
-            per_target[t].push(p_star);
-            protectors.push(p_star);
-            steps.push(StepRecord {
-                round: steps.len(),
-                protector: p_star,
-                charged_target: Some(t),
-                own_broken: own,
-                total_broken: broken,
-                similarity_after: oracle.total_similarity(),
-            });
         }
     }
-
-    ProtectionPlan {
-        algorithm: AlgorithmKind::WtGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target,
-    }
+    Ok(engine.into_targeted_plan(AlgorithmKind::WtGreedy))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpp_graph::Edge;
     use tpp_graph::Graph;
     use tpp_motif::Motif;
 

@@ -1,0 +1,569 @@
+//! The unified round engine: one implementation of the greedy
+//! argmax-per-round loop shared by every protector-selection algorithm.
+//!
+//! The paper's algorithms (SGB/CT/WT, their `-R` variants, CELF, the
+//! parallel and weighted extensions) all share the same skeleton — scan
+//! every candidate protector, score it through a gain oracle, commit the
+//! argmax with a canonical tie-break, record the step — and previously
+//! each reimplemented it. [`RoundEngine`] owns that skeleton once, generic
+//! over [`GainOracle`], and the algorithms shrink to strategy configs:
+//! which rounds run, which targets are open, how a candidate is scored.
+//!
+//! ## Parallelism for every oracle
+//!
+//! Each round's candidate scan fans out across worker threads for **any**
+//! oracle, not just the read-only coverage index: workers score candidates
+//! through per-worker [`GainProbe`]s (a borrowed index view, a scratch
+//! graph clone, or a shared-snapshot [`tpp_store::DeltaView`] overlay —
+//! see [`GainOracle::probe`]). Work is split by contiguous, weight-
+//! balanced candidate ranges — the same partition-range discipline as
+//! `tpp_store::CsrGraph::shard_ranges` — and chunk maxima are reduced in
+//! range order, so the selected protector is **bit-identical to the
+//! sequential left-to-right scan for every thread count**. The
+//! determinism proptests pin this across all three oracles.
+
+use crate::oracle::{CandidatePolicy, GainOracle, GainProbe};
+use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tpp_graph::Edge;
+
+/// Cuts `0..weights.len()` into at most `parts` contiguous ranges of
+/// near-equal total weight (every range non-empty, ranges ascending and
+/// covering the whole index space).
+///
+/// This is the candidate-list analogue of `CsrGraph::shard_ranges`, and
+/// delegates to the same boundary computation
+/// ([`tpp_store::balanced_prefix_ranges`]) after one prefix-sum pass over
+/// the weights: boundaries adapt to per-item cost so no worker inherits
+/// all the hubs.
+///
+/// # Panics
+/// Panics if `parts == 0`.
+#[must_use]
+pub fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0u64);
+    for &w in weights {
+        acc += w as u64;
+        prefix.push(acc);
+    }
+    tpp_store::balanced_prefix_ranges(&prefix, parts)
+}
+
+fn uniform_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = len.div_ceil(parts.max(1)).max(1);
+    (0..len.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(len))
+        .collect()
+}
+
+fn ranges_for(len: usize, parts: usize, weights: Option<&[usize]>) -> Vec<std::ops::Range<usize>> {
+    match weights {
+        Some(w) => balanced_ranges(w, parts),
+        None => uniform_ranges(len, parts),
+    }
+}
+
+/// Resolves the `0 = all available cores` convention shared by every
+/// thread-count knob in the workspace.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// First-maximizer-wins argmax over `items`, split across `threads`
+/// workers on contiguous (optionally weight-balanced) ranges.
+///
+/// Each worker builds one private context with `make_ctx`, scores its
+/// range left-to-right with `eval` (`None` skips an item), and keeps the
+/// first strict maximum under `better(new, best)`; chunk maxima reduce in
+/// range order. The result is therefore **identical to a sequential
+/// left-to-right scan** for every `threads` value — the property all the
+/// engine's determinism guarantees rest on.
+pub fn sharded_argmax<T, C, S, M, E, B>(
+    items: &[T],
+    threads: usize,
+    weights: Option<&[usize]>,
+    make_ctx: M,
+    eval: E,
+    better: B,
+) -> Option<(S, T)>
+where
+    T: Copy + Send + Sync,
+    S: Send,
+    M: Fn() -> C + Sync,
+    E: Fn(&mut C, T) -> Option<S> + Sync,
+    B: Fn(&S, &S) -> bool + Sync,
+{
+    fn scan<T: Copy, C, S>(
+        chunk: &[T],
+        ctx: &mut C,
+        eval: &impl Fn(&mut C, T) -> Option<S>,
+        better: &impl Fn(&S, &S) -> bool,
+    ) -> Option<(S, T)> {
+        let mut best: Option<(S, T)> = None;
+        for &item in chunk {
+            if let Some(score) = eval(ctx, item) {
+                if best.as_ref().is_none_or(|(b, _)| better(&score, b)) {
+                    best = Some((score, item));
+                }
+            }
+        }
+        best
+    }
+
+    if items.is_empty() {
+        return None;
+    }
+    let threads = resolve_threads(threads);
+    if threads <= 1 {
+        return scan(items, &mut make_ctx(), &eval, &better);
+    }
+    let chunk_best: Vec<Option<(S, T)>> = crossbeam::thread::scope(|scope| {
+        let (make_ctx, eval, better) = (&make_ctx, &eval, &better);
+        let handles: Vec<_> = ranges_for(items.len(), threads, weights)
+            .into_iter()
+            .map(|r| {
+                let chunk = &items[r];
+                scope.spawn(move |_| scan(chunk, &mut make_ctx(), eval, better))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut best: Option<(S, T)> = None;
+    for cb in chunk_best.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(b, _)| better(&cb.0, b)) {
+            best = Some(cb);
+        }
+    }
+    best
+}
+
+/// Maps `eval` over `items` with the same per-worker-context, contiguous-
+/// range splitting as [`sharded_argmax`]; results come back in item order
+/// regardless of thread count.
+pub fn sharded_map<T, C, R, M, E>(
+    items: &[T],
+    threads: usize,
+    weights: Option<&[usize]>,
+    make_ctx: M,
+    eval: E,
+) -> Vec<R>
+where
+    T: Copy + Send + Sync,
+    R: Send,
+    M: Fn() -> C + Sync,
+    E: Fn(&mut C, T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads);
+    if threads <= 1 {
+        let mut ctx = make_ctx();
+        return items.iter().map(|&i| eval(&mut ctx, i)).collect();
+    }
+    let per_chunk: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
+        let (make_ctx, eval) = (&make_ctx, &eval);
+        let handles: Vec<_> = ranges_for(items.len(), threads, weights)
+            .into_iter()
+            .map(|r| {
+                let chunk = &items[r];
+                scope.spawn(move |_| {
+                    let mut ctx = make_ctx();
+                    chunk.iter().map(|&i| eval(&mut ctx, i)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A committed targeted pick (see [`RoundEngine::select_for_targets`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetedPick {
+    /// The deleted protector edge.
+    pub protector: Edge,
+    /// Target the pick was charged to.
+    pub target: usize,
+    /// Instances of the charged target broken by the deletion.
+    pub own: usize,
+    /// Instances of all other targets broken by the deletion.
+    pub cross: usize,
+}
+
+/// The shared per-round selection loop: candidate scan (sequential or
+/// sharded across threads), canonical tie-break, commit, and step
+/// recording — generic over the gain oracle.
+///
+/// Algorithms drive it through four selection modes:
+///
+/// * [`run_global`](Self::run_global) — SGB-Greedy rounds (argmax total
+///   gain);
+/// * [`run_global_lazy`](Self::run_global_lazy) — the same rounds through
+///   a CELF lazy queue (identical output, far fewer evaluations);
+/// * [`select_for_targets`](Self::select_for_targets) — one CT/WT-style
+///   round maximizing lexicographic `(own, cross)` over a set of open
+///   targets;
+/// * [`select_custom`](Self::select_custom) + [`commit_pick`](Self::commit_pick)
+///   — bring-your-own score (the weighted extension).
+pub struct RoundEngine<O: GainOracle> {
+    oracle: O,
+    policy: CandidatePolicy,
+    threads: usize,
+    initial_similarity: usize,
+    protectors: Vec<Edge>,
+    steps: Vec<StepRecord>,
+    per_target: Vec<Vec<Edge>>,
+}
+
+impl<O: GainOracle + Sync> RoundEngine<O> {
+    /// Builds an engine over `oracle`. `threads == 0` resolves to the
+    /// machine's available parallelism; every thread count produces
+    /// bit-identical plans.
+    #[must_use]
+    pub fn new(oracle: O, policy: CandidatePolicy, threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        let initial_similarity = oracle.total_similarity();
+        let targets = oracle.target_count();
+        RoundEngine {
+            oracle,
+            policy,
+            threads,
+            initial_similarity,
+            protectors: Vec::new(),
+            steps: Vec::new(),
+            per_target: vec![Vec::new(); targets],
+        }
+    }
+
+    /// Read access to the oracle's committed state.
+    #[must_use]
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Number of committed picks so far.
+    #[must_use]
+    pub fn picks(&self) -> usize {
+        self.protectors.len()
+    }
+
+    /// Number of picks charged to target `t` so far.
+    #[must_use]
+    pub fn charged(&self, t: usize) -> usize {
+        self.per_target[t].len()
+    }
+
+    /// Scans the current candidate set and returns the first maximizer of
+    /// `eval` under `better` **without committing it**. `None` from `eval`
+    /// skips a candidate; `None` overall means no candidate scored.
+    pub fn select_custom<S: Send>(
+        &mut self,
+        eval: impl Fn(&mut dyn GainProbe, Edge) -> Option<S> + Sync,
+        better: impl Fn(&S, &S) -> bool + Sync,
+    ) -> Option<(S, Edge)> {
+        let candidates = self.oracle.candidates(self.policy);
+        if self.threads <= 1 {
+            // The oracle is its own probe: no per-round scratch setup.
+            let probe: &mut dyn GainProbe = &mut self.oracle;
+            let mut best: Option<(S, Edge)> = None;
+            for &p in &candidates {
+                if let Some(s) = eval(probe, p) {
+                    if best.as_ref().is_none_or(|(b, _)| better(&s, b)) {
+                        best = Some((s, p));
+                    }
+                }
+            }
+            return best;
+        }
+        let weights: Vec<usize> = candidates
+            .iter()
+            .map(|&p| self.oracle.candidate_weight(p))
+            .collect();
+        let oracle = &self.oracle;
+        sharded_argmax(
+            &candidates,
+            self.threads,
+            Some(&weights),
+            || oracle.probe(),
+            |probe, p| eval(probe.as_mut(), p),
+            better,
+        )
+    }
+
+    /// Commits protector `p`: deletes it through the oracle, pushes it to
+    /// the plan, and records the audit step. Returns the realized break
+    /// count.
+    pub fn commit_pick(&mut self, p: Edge, charged: Option<usize>, own: Option<usize>) -> usize {
+        let broken = self.oracle.commit(p);
+        if let Some(t) = charged {
+            self.per_target[t].push(p);
+        }
+        self.protectors.push(p);
+        self.steps.push(StepRecord {
+            round: self.steps.len(),
+            protector: p,
+            charged_target: charged,
+            own_broken: own.unwrap_or(broken),
+            total_broken: broken,
+            similarity_after: self.oracle.total_similarity(),
+        });
+        broken
+    }
+
+    /// One SGB round: commit the candidate with the highest total gain
+    /// (ties to the canonically smallest edge). `None` when no candidate
+    /// breaks anything — the early-stop condition.
+    pub fn select_global(&mut self) -> Option<(usize, Edge)> {
+        let (gain, p) = self.select_custom(|probe, p| Some(probe.delta(p)), |a, b| a > b)?;
+        if gain == 0 {
+            return None;
+        }
+        let broken = self.commit_pick(p, None, None);
+        debug_assert_eq!(broken, gain, "oracle gain must match realized break");
+        Some((gain, p))
+    }
+
+    /// Runs SGB rounds until `k` picks are committed or gains are
+    /// exhausted.
+    pub fn run_global(&mut self, k: usize) {
+        while self.picks() < k && self.select_global().is_some() {}
+    }
+
+    /// Runs the same rounds as [`run_global`](Self::run_global) through a
+    /// CELF lazy queue (Leskovec et al. 2007): a candidate's cached gain
+    /// upper-bounds its current gain by submodularity, so most candidates
+    /// are never re-evaluated. The initial bound sweep is sharded across
+    /// the engine's threads; refreshes are sequential. Output is identical
+    /// to the eager loop for every oracle and thread count.
+    pub fn run_global_lazy(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let candidates = self.oracle.candidates(self.policy);
+        let gains: Vec<usize> = if self.threads <= 1 {
+            let probe: &mut dyn GainProbe = &mut self.oracle;
+            candidates.iter().map(|&p| probe.delta(p)).collect()
+        } else {
+            let weights: Vec<usize> = candidates
+                .iter()
+                .map(|&p| self.oracle.candidate_weight(p))
+                .collect();
+            let oracle = &self.oracle;
+            sharded_map(
+                &candidates,
+                self.threads,
+                Some(&weights),
+                || oracle.probe(),
+                |probe, p| probe.delta(p),
+            )
+        };
+        // Max-heap of (cached_gain, Reverse(edge), round_evaluated):
+        // ordering by Reverse(edge) second pops the canonically smallest
+        // edge on gain ties — the linear scan's tie-break exactly.
+        let mut heap: BinaryHeap<(usize, Reverse<Edge>, usize)> = candidates
+            .into_iter()
+            .zip(gains)
+            .map(|(p, g)| (g, Reverse(p), 0usize))
+            .collect();
+        let mut round = 0usize;
+        while self.picks() < k {
+            let Some((cached, Reverse(p), evaluated_at)) = heap.pop() else {
+                break;
+            };
+            if cached == 0 {
+                break; // all remaining upper bounds are 0
+            }
+            if evaluated_at < round {
+                // Stale bound: refresh and reinsert. Submodularity
+                // guarantees fresh <= cached, so the heap stays sound.
+                let fresh = self.oracle.gain(p);
+                debug_assert!(fresh <= cached, "submodularity violated");
+                heap.push((fresh, Reverse(p), round));
+                continue;
+            }
+            let broken = self.commit_pick(p, None, None);
+            debug_assert_eq!(broken, cached);
+            round += 1;
+        }
+    }
+
+    /// One CT/WT round: over candidates with any gain, commit the first
+    /// maximizer of lexicographic `(own, cross)` where `own` ranges over
+    /// the `open` targets (ascending target order breaks own-level ties).
+    /// The pick is charged to its target. `None` when nothing breaks
+    /// anywhere — global exhaustion.
+    pub fn select_for_targets(&mut self, open: &[usize]) -> Option<TargetedPick> {
+        if open.is_empty() {
+            return None;
+        }
+        let best = self.select_custom(
+            |probe, p| {
+                let v = probe.delta_vector(p);
+                let total: usize = v.iter().sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut local: Option<(usize, usize, usize)> = None;
+                for &t in open {
+                    let own = v[t];
+                    let cross = total - own;
+                    if local.is_none_or(|(bo, bc, _)| (own, cross) > (bo, bc)) {
+                        local = Some((own, cross, t));
+                    }
+                }
+                local
+            },
+            |a, b| (a.0, a.1) > (b.0, b.1),
+        );
+        let ((own, cross, target), p) = best?;
+        let broken = self.commit_pick(p, Some(target), Some(own));
+        debug_assert_eq!(broken, own + cross, "gain vector must match break");
+        Some(TargetedPick {
+            protector: p,
+            target,
+            own,
+            cross,
+        })
+    }
+
+    /// Finishes a global-budget run (SGB/CELF shape: no per-target
+    /// bookkeeping in the plan).
+    #[must_use]
+    pub fn into_global_plan(self, algorithm: AlgorithmKind) -> ProtectionPlan {
+        ProtectionPlan {
+            algorithm,
+            protectors: self.protectors,
+            initial_similarity: self.initial_similarity,
+            final_similarity: self.oracle.total_similarity(),
+            steps: self.steps,
+            per_target: Vec::new(),
+        }
+    }
+
+    /// Finishes a local-budget run (CT/WT shape: the plan carries the
+    /// per-target protector assignment).
+    #[must_use]
+    pub fn into_targeted_plan(self, algorithm: AlgorithmKind) -> ProtectionPlan {
+        ProtectionPlan {
+            algorithm,
+            protectors: self.protectors,
+            initial_similarity: self.initial_similarity,
+            final_similarity: self.oracle.total_similarity(),
+            steps: self.steps,
+            per_target: self.per_target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ranges_cover_and_balance() {
+        let weights = vec![1usize, 9, 1, 1, 9, 1, 1, 9, 1, 1];
+        for parts in 1..=6 {
+            let ranges = balanced_ranges(&weights, parts);
+            assert!(ranges.len() <= parts);
+            let mut cursor = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(r.end > r.start, "empty range");
+                cursor = r.end;
+            }
+            assert_eq!(cursor, weights.len());
+        }
+        // Degenerate inputs.
+        assert!(balanced_ranges(&[], 4).is_empty());
+        assert_eq!(balanced_ranges(&[5], 4), vec![0..1]);
+        assert_eq!(uniform_ranges(0, 3), Vec::<std::ops::Range<usize>>::new());
+    }
+
+    #[test]
+    fn sharded_argmax_matches_sequential_scan_exactly() {
+        // Scores with many ties: first maximizer must win at every
+        // thread count, including ones that don't divide the length.
+        let items: Vec<Edge> = (0..97u32).map(|i| Edge::new(i, i + 1)).collect();
+        let score = |e: &Edge| usize::from(e.u() % 7 == 3);
+        let seq =
+            items
+                .iter()
+                .map(|e| (score(e), *e))
+                .fold(None::<(usize, Edge)>, |best, (s, e)| {
+                    if best.is_none_or(|(b, _)| s > b) {
+                        Some((s, e))
+                    } else {
+                        best
+                    }
+                });
+        for threads in [1usize, 2, 3, 4, 8, 97] {
+            let got = sharded_argmax(
+                &items,
+                threads,
+                None,
+                || (),
+                |(), e| Some(score(&e)),
+                |a, b| a > b,
+            );
+            assert_eq!(got, seq, "threads = {threads}");
+        }
+        // Weighted splitting must not change the winner either.
+        let weights: Vec<usize> = items.iter().map(|e| 1 + e.u() as usize % 5).collect();
+        let got = sharded_argmax(
+            &items,
+            4,
+            Some(&weights),
+            || (),
+            |(), e| Some(score(&e)),
+            |a, b| a > b,
+        );
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn sharded_map_preserves_item_order() {
+        let items: Vec<Edge> = (0..41u32).map(|i| Edge::new(i, i + 1)).collect();
+        let expect: Vec<u32> = items.iter().map(|e| e.u() * 2).collect();
+        for threads in [1usize, 2, 5, 16] {
+            let got = sharded_map(&items, threads, None, || (), |(), e: Edge| e.u() * 2);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_argmax_skips_none_scores() {
+        let items: Vec<Edge> = (0..10u32).map(|i| Edge::new(i, i + 1)).collect();
+        let none_at_all =
+            sharded_argmax(&items, 3, None, || (), |(), _| None::<usize>, |a, b| a > b);
+        assert_eq!(none_at_all, None);
+        assert_eq!(
+            sharded_argmax::<Edge, (), usize, _, _, _>(
+                &[],
+                3,
+                None,
+                || (),
+                |(), _| Some(1),
+                |a, b| a > b
+            ),
+            None
+        );
+    }
+}

@@ -23,6 +23,10 @@ pub struct KatzDefenseConfig {
     pub beta: f64,
     /// Truncation length (walks up to this many hops are counted).
     pub max_len: usize,
+    /// Worker threads for the per-round candidate scan (`0` = all
+    /// available cores); each worker evaluates on a private overlay clone.
+    /// Picks are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for KatzDefenseConfig {
@@ -30,6 +34,7 @@ impl Default for KatzDefenseConfig {
         KatzDefenseConfig {
             beta: 0.05,
             max_len: 4,
+            threads: 1,
         }
     }
 }
@@ -125,18 +130,28 @@ pub fn katz_defense_greedy(
     let mut steps = Vec::new();
     let mut exposure = initial_exposure;
     for round in 0..k {
-        let mut best: Option<(f64, Edge)> = None;
-        for &p in &candidates {
-            if !g.delete_edge(p) {
-                continue;
-            }
-            let after = total_katz_exposure(&g, instance.targets(), config);
-            g.restore_edge(p);
-            let reduction = exposure - after;
-            if best.is_none_or(|(r, _)| reduction > r + 1e-15) {
-                best = Some((reduction, p));
-            }
-        }
+        // Same scan machinery as the motif engine: each worker clones the
+        // committed overlay (the base graph is shared, never copied) and
+        // evaluates a contiguous candidate range; first maximizer wins.
+        // The comparator must be a strict total order (plain `>` on the
+        // finite reductions) — an epsilon band is not transitive, and a
+        // non-transitive comparator would let the chunked reduce pick a
+        // different edge than the sequential scan.
+        let best = crate::engine::sharded_argmax(
+            &candidates,
+            config.threads,
+            None,
+            || g.clone(),
+            |view, p| {
+                if !view.delete_edge(p) {
+                    return None;
+                }
+                let after = total_katz_exposure(view, instance.targets(), config);
+                view.restore_edge(p);
+                Some(exposure - after)
+            },
+            |a, b| *a > *b,
+        );
         let Some((reduction, p)) = best else { break };
         if reduction <= 1e-15 {
             break;
@@ -212,6 +227,28 @@ mod tests {
     }
 
     #[test]
+    fn picks_are_thread_invariant() {
+        // The scan comparator is a strict total order, so the chunked
+        // reduce must reproduce the sequential pick sequence exactly —
+        // including the f64 exposure bookkeeping, which follows the same
+        // arithmetic sequence regardless of which worker evaluated a
+        // candidate.
+        let inst = instance();
+        let (base_plan, base_before, base_after) =
+            katz_defense_greedy(&inst, 5, &KatzDefenseConfig::default());
+        for threads in [2usize, 4] {
+            let cfg = KatzDefenseConfig {
+                threads,
+                ..Default::default()
+            };
+            let (plan, before, after) = katz_defense_greedy(&inst, 5, &cfg);
+            assert_eq!(base_plan.protectors, plan.protectors, "x{threads}");
+            assert_eq!(base_before.to_bits(), before.to_bits(), "x{threads}");
+            assert_eq!(base_after.to_bits(), after.to_bits(), "x{threads}");
+        }
+    }
+
+    #[test]
     fn zero_budget_no_op() {
         let inst = instance();
         let cfg = KatzDefenseConfig::default();
@@ -227,6 +264,7 @@ mod tests {
         let cfg = KatzDefenseConfig {
             beta: 0.3,
             max_len: 1,
+            threads: 1,
         };
         assert!((katz_pair_score(&g, 0, 1, &cfg) - 0.3).abs() < 1e-12);
     }

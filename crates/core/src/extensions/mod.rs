@@ -17,5 +17,5 @@ pub use node_privacy::{
     protect_node, protect_node_links, NodeProtection,
 };
 pub use parallel::parallel_sgb_greedy;
-pub use switching::{backfire_rate, random_switch, SwitchOutcome};
+pub use switching::{backfire_rate, backfire_rate_parallel, random_switch, SwitchOutcome};
 pub use weighted::weighted_sgb_greedy;

@@ -1,16 +1,16 @@
-//! Parallel SGB-Greedy: the per-round argmax over candidates is
-//! embarrassingly parallel, so large-graph rounds fan out across threads
-//! (crossbeam scoped threads; the coverage index is read-only during a
-//! round and mutated only at commit time).
+//! Parallel SGB-Greedy — now a two-line strategy config: the unified
+//! [`RoundEngine`](crate::engine::RoundEngine) shards every round's
+//! candidate scan across worker threads for *any* oracle, so this entry
+//! point is simply [`crate::sgb_greedy`] with `threads` set.
 //!
-//! Output is bit-identical to the sequential [`crate::sgb_greedy`] — each
-//! chunk reduces with the same canonical tie-break, then chunks reduce in
-//! order.
+//! Output is bit-identical to the sequential [`crate::sgb_greedy`] — the
+//! engine reduces weight-balanced candidate chunks in order, preserving
+//! the canonical tie-break. Kept as a named function for API continuity
+//! and as the conventional entry point for index-backed parallel runs.
 
-use crate::oracle::{CandidatePolicy, GainOracle, IndexOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::algorithms::GreedyConfig;
+use crate::plan::ProtectionPlan;
 use crate::problem::TppInstance;
-use tpp_graph::Edge;
 use tpp_motif::Motif;
 
 /// Runs SGB-Greedy(-R) with the per-round candidate scan split across
@@ -18,7 +18,8 @@ use tpp_motif::Motif;
 /// algorithm.
 ///
 /// # Panics
-/// Panics if `threads == 0`.
+/// Panics if `threads == 0` (pass an explicit count here; use
+/// [`GreedyConfig::with_threads`] with `0` for auto-detection).
 #[must_use]
 pub fn parallel_sgb_greedy(
     instance: &TppInstance,
@@ -27,75 +28,11 @@ pub fn parallel_sgb_greedy(
     threads: usize,
 ) -> ProtectionPlan {
     assert!(threads >= 1, "need at least one worker thread");
-    let mut oracle = IndexOracle::new(instance.released(), instance.targets(), motif);
-    let initial = oracle.total_similarity();
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-
-    while protectors.len() < k {
-        let candidates = oracle.candidates(CandidatePolicy::SubgraphEdges);
-        if candidates.is_empty() {
-            break;
-        }
-        let index = oracle.index();
-        let chunk_size = candidates.len().div_ceil(threads);
-        // (gain, edge) maxima per chunk; chunks are contiguous slices of the
-        // sorted candidate list, so reducing them in order preserves the
-        // "first maximizer wins" tie-break of the sequential scan.
-        let chunk_best: Vec<Option<(usize, Edge)>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        let mut best: Option<(usize, Edge)> = None;
-                        for &p in chunk {
-                            let gain = index.gain(p);
-                            if best.is_none_or(|(g, _)| gain > g) {
-                                best = Some((gain, p));
-                            }
-                        }
-                        best
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
-
-        let mut best: Option<(usize, Edge)> = None;
-        for cb in chunk_best.into_iter().flatten() {
-            if best.is_none_or(|(g, _)| cb.0 > g) {
-                best = Some(cb);
-            }
-        }
-        let Some((gain, p)) = best else { break };
-        if gain == 0 {
-            break;
-        }
-        let broken = oracle.commit(p);
-        debug_assert_eq!(broken, gain);
-        protectors.push(p);
-        steps.push(StepRecord {
-            round: steps.len(),
-            protector: p,
-            charged_target: None,
-            own_broken: broken,
-            total_broken: broken,
-            similarity_after: oracle.total_similarity(),
-        });
-    }
-
-    ProtectionPlan {
-        algorithm: AlgorithmKind::SgbGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target: Vec::new(),
-    }
+    crate::algorithms::sgb_greedy(
+        instance,
+        k,
+        &GreedyConfig::scalable(motif).with_threads(threads),
+    )
 }
 
 #[cfg(test)]

@@ -112,25 +112,59 @@ pub fn random_switch(instance: &TppInstance, k: usize, motif: Motif, seed: u64) 
 ///
 /// All trials share one immutable [`CsrGraph`] snapshot of the released
 /// graph; each trial is an overlay that is dropped without ever
-/// materializing a perturbed graph.
+/// materializing a perturbed graph. Equivalent to
+/// [`backfire_rate_parallel`] with one thread.
 #[must_use]
 pub fn backfire_rate(instance: &TppInstance, k: usize, motif: Motif, trials: u64) -> f64 {
+    backfire_rate_parallel(instance, k, motif, trials, 1)
+}
+
+/// [`backfire_rate`] with the trial loop split across `threads` workers
+/// (`0` = all available cores) via the round engine's partition-range
+/// work splitting. Trials are seeded independently (`seed = trial index`),
+/// so the estimate is bit-identical for every thread count.
+#[must_use]
+pub fn backfire_rate_parallel(
+    instance: &TppInstance,
+    k: usize,
+    motif: Motif,
+    trials: u64,
+    threads: usize,
+) -> f64 {
     let snapshot = CsrGraph::from_graph(instance.released());
     let before: usize = count_all_targets(&snapshot, instance.targets(), motif)
         .iter()
         .sum();
-    let backfires = (0..trials)
-        .filter(|&seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut view = DeltaView::new(&snapshot);
-            switch_on_view(&mut view, instance.targets(), k, &mut rng);
-            let after: usize = count_all_targets(&view, instance.targets(), motif)
-                .iter()
-                .sum();
-            after > before
-        })
-        .count();
-    backfires as f64 / trials as f64
+    // One seed range per worker, streamed — memory stays O(threads), not
+    // O(trials), so hundred-million-trial estimates don't materialize a
+    // seed vector. Counting is order-independent, so the estimate is
+    // bit-identical for every thread count.
+    let threads = crate::engine::resolve_threads(threads) as u64;
+    let chunk = trials.div_ceil(threads).max(1);
+    let ranges: Vec<(u64, u64)> = (0..threads)
+        .map(|i| (i * chunk, ((i + 1) * chunk).min(trials)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    let counts: Vec<u64> = crate::engine::sharded_map(
+        &ranges,
+        ranges.len(),
+        None,
+        || (),
+        |(), (lo, hi)| {
+            (lo..hi)
+                .filter(|&seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut view = DeltaView::new(&snapshot);
+                    switch_on_view(&mut view, instance.targets(), k, &mut rng);
+                    let after: usize = count_all_targets(&view, instance.targets(), motif)
+                        .iter()
+                        .sum();
+                    after > before
+                })
+                .count() as u64
+        },
+    );
+    counts.iter().sum::<u64>() as f64 / trials as f64
 }
 
 #[cfg(test)]
@@ -198,6 +232,16 @@ mod tests {
                 .iter()
                 .sum();
             assert_eq!(recount, out.similarity_after, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn backfire_rate_is_thread_invariant() {
+        let inst = instance();
+        let base = backfire_rate(&inst, 8, Motif::Triangle, 10);
+        for threads in [2usize, 3, 0] {
+            let par = backfire_rate_parallel(&inst, 8, Motif::Triangle, 10, threads);
+            assert!((base - par).abs() < 1e-15, "x{threads}: {base} vs {par}");
         }
     }
 

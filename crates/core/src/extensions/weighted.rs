@@ -7,14 +7,19 @@
 //! monotone submodular functions, hence still monotone submodular, so the
 //! greedy keeps its `1 − 1/e` guarantee.
 
-use crate::oracle::{CandidatePolicy, GainOracle, IndexOracle};
-use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
+use crate::engine::RoundEngine;
+use crate::oracle::{CandidatePolicy, IndexOracle};
+use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
-use tpp_graph::Edge;
 use tpp_motif::Motif;
 
 /// Runs weighted SGB-Greedy: each round deletes the candidate maximizing
 /// the weighted broken-instance mass `Σ_t w_t · Δ_t(p)`.
+///
+/// A custom-score strategy on the [`RoundEngine`]: candidates are scanned
+/// in canonical order and the first maximizer of the weighted mass wins
+/// (raw gain is the secondary criterion among weighted ties), exactly the
+/// sequential SGB tie-break.
 ///
 /// `weights[t] >= 0` is the importance of target `t`. With all weights 1
 /// this reduces exactly to [`crate::sgb_greedy`] with the scalable config.
@@ -37,62 +42,40 @@ pub fn weighted_sgb_greedy(
         weights.iter().all(|w| w.is_finite() && *w >= 0.0),
         "weights must be finite and non-negative"
     );
-    let mut oracle = IndexOracle::new(instance.released(), instance.targets(), motif);
-    let initial = oracle.total_similarity();
-    let mut protectors: Vec<Edge> = Vec::new();
-    let mut steps: Vec<StepRecord> = Vec::new();
-    while protectors.len() < k {
-        let candidates = oracle.candidates(CandidatePolicy::SubgraphEdges);
-        let mut best: Option<(f64, usize, Edge)> = None;
-        for &p in &candidates {
-            let v = oracle.gain_vector(p);
-            let raw: usize = v.iter().sum();
-            if raw == 0 {
-                continue;
-            }
-            let weighted: f64 = v.iter().zip(weights).map(|(&g, &w)| g as f64 * w).sum();
-            // Candidates are scanned in canonical order; on ties the first
-            // maximizer wins (same tie-break as the sequential SGB scan),
-            // with raw gain as a secondary criterion among weighted ties.
-            let better = match best {
-                None => true,
-                Some((bw, braw, _)) => {
-                    weighted > bw + 1e-12 || ((weighted - bw).abs() <= 1e-12 && raw > braw)
+    let mut engine = RoundEngine::new(
+        IndexOracle::new(instance.released(), instance.targets(), motif),
+        CandidatePolicy::SubgraphEdges,
+        1,
+    );
+    while engine.picks() < k {
+        let pick = engine.select_custom(
+            |probe, p| {
+                let v = probe.delta_vector(p);
+                let raw: usize = v.iter().sum();
+                if raw == 0 {
+                    return None;
                 }
-            };
-            if better {
-                best = Some((weighted, raw, p));
-            }
-        }
-        let Some((weighted, _, p)) = best else { break };
+                let weighted: f64 = v.iter().zip(weights).map(|(&g, &w)| g as f64 * w).sum();
+                Some((weighted, raw))
+            },
+            |a, b| a.0 > b.0 + 1e-12 || ((a.0 - b.0).abs() <= 1e-12 && a.1 > b.1),
+        );
+        let Some(((weighted, _), p)) = pick else {
+            break;
+        };
         if weighted <= 0.0 {
             break; // remaining evidence belongs to zero-weight targets only
         }
-        let broken = oracle.commit(p);
-        protectors.push(p);
-        steps.push(StepRecord {
-            round: steps.len(),
-            protector: p,
-            charged_target: None,
-            own_broken: broken,
-            total_broken: broken,
-            similarity_after: oracle.total_similarity(),
-        });
+        engine.commit_pick(p, None, None);
     }
-    ProtectionPlan {
-        algorithm: AlgorithmKind::SgbGreedy,
-        protectors,
-        initial_similarity: initial,
-        final_similarity: oracle.total_similarity(),
-        steps,
-        per_target: Vec::new(),
-    }
+    engine.into_global_plan(AlgorithmKind::SgbGreedy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::{sgb_greedy, GreedyConfig};
+    use tpp_graph::Edge;
     use tpp_graph::Graph;
 
     fn fixture() -> TppInstance {

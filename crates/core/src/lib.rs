@@ -32,6 +32,7 @@ mod analysis;
 mod baselines;
 mod budget;
 mod critical;
+pub mod engine;
 mod error;
 pub mod extensions;
 mod oracle;
@@ -44,7 +45,10 @@ pub use analysis::{analyze_protection, verify_plan, ProtectionReport};
 pub use baselines::{random_deletion, random_deletion_from_subgraphs};
 pub use budget::{divide_budget, BudgetDivision};
 pub use critical::critical_budget;
+pub use engine::{RoundEngine, TargetedPick};
 pub use error::TppError;
-pub use oracle::{CandidatePolicy, GainOracle, IndexOracle, NaiveOracle, SnapshotOracle};
+pub use oracle::{
+    AnyOracle, CandidatePolicy, GainOracle, GainProbe, IndexOracle, NaiveOracle, SnapshotOracle,
+};
 pub use plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 pub use problem::TppInstance;

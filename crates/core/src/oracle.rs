@@ -57,6 +57,60 @@ pub trait GainOracle {
     fn commit(&mut self, p: Edge) -> usize;
     /// Number of targets.
     fn target_count(&self) -> usize;
+    /// Spawns an independent evaluation probe for one scan worker.
+    ///
+    /// Probes answer the same gain queries as the oracle but own whatever
+    /// scratch state tentative evaluation needs, so any number of probes
+    /// can score candidates concurrently between two commits. The oracle's
+    /// committed state is only read, never written, through a probe.
+    fn probe(&self) -> Box<dyn GainProbe + '_>;
+    /// Rough relative cost of evaluating candidate `p` (used by the round
+    /// engine to cut degree-balanced scan chunks; any positive value is
+    /// correct, only balance is affected).
+    fn candidate_weight(&self, p: Edge) -> usize {
+        let _ = p;
+        1
+    }
+}
+
+/// A per-worker gain evaluator spawned by [`GainOracle::probe`].
+///
+/// Every [`GainOracle`] is trivially its own probe (the blanket impl), so
+/// sequential scans run on the oracle directly with zero setup; parallel
+/// scans give each worker thread a private probe instead. Method names use
+/// the paper's `Δ` notation to stay distinct from the oracle's own
+/// `gain`/`gain_vector`.
+pub trait GainProbe {
+    /// `Δ_p` under the probe's scratch state.
+    fn delta(&mut self, p: Edge) -> usize;
+    /// Per-target broken-instance counts for deleting `p`.
+    fn delta_vector(&mut self, p: Edge) -> Vec<usize>;
+}
+
+impl<O: GainOracle> GainProbe for O {
+    fn delta(&mut self, p: Edge) -> usize {
+        GainOracle::gain(self, p)
+    }
+
+    fn delta_vector(&mut self, p: Edge) -> Vec<usize> {
+        GainOracle::gain_vector(self, p)
+    }
+}
+
+/// Borrowing probe over a shared [`CoverageIndex`]: index gains are pure
+/// reads, so workers need no scratch state at all.
+struct IndexProbe<'a> {
+    index: &'a CoverageIndex,
+}
+
+impl GainProbe for IndexProbe<'_> {
+    fn delta(&mut self, p: Edge) -> usize {
+        self.index.gain(p)
+    }
+
+    fn delta_vector(&mut self, p: Edge) -> Vec<usize> {
+        self.index.gain_vector(p)
+    }
 }
 
 /// Incremental oracle over a [`CoverageIndex`] plus a mutable graph copy
@@ -125,11 +179,22 @@ impl GainOracle for IndexOracle {
     fn target_count(&self) -> usize {
         self.index.targets().len()
     }
+
+    fn probe(&self) -> Box<dyn GainProbe + '_> {
+        Box::new(IndexProbe { index: &self.index })
+    }
+
+    fn candidate_weight(&self, p: Edge) -> usize {
+        // Index gains walk the instance lists of p's endpoints — degree is
+        // the cheap proxy for that list mass.
+        self.graph.degree(p.u()) + self.graph.degree(p.v()) + 1
+    }
 }
 
 /// Recount-everything oracle: each gain is two full similarity evaluations
 /// on a scratch graph. Deliberately unoptimized — this reproduces the cost
 /// model of the paper's plain algorithms.
+#[derive(Clone)]
 pub struct NaiveOracle {
     graph: Graph,
     targets: Vec<Edge>,
@@ -217,6 +282,12 @@ impl GainOracle for NaiveOracle {
     fn target_count(&self) -> usize {
         self.targets.len()
     }
+
+    fn probe(&self) -> Box<dyn GainProbe + '_> {
+        // One scratch clone per worker per round — still the plain cost
+        // model per candidate, but the recounts fan out.
+        Box::new(self.clone())
+    }
 }
 
 /// Recount oracle over a [`DeltaView`]: the same cost model as
@@ -236,6 +307,20 @@ pub struct SnapshotOracle<'a, B: NeighborAccess> {
     current_per_target: Vec<usize>,
     /// Sum of `current_per_target` (the total similarity).
     current_total: usize,
+}
+
+// Cloning shares the immutable base and copies only the (small) committed
+// overlay — this is what a per-worker probe costs.
+impl<B: NeighborAccess> Clone for SnapshotOracle<'_, B> {
+    fn clone(&self) -> Self {
+        SnapshotOracle {
+            view: self.view.clone(),
+            targets: self.targets.clone(),
+            motif: self.motif,
+            current_per_target: self.current_per_target.clone(),
+            current_total: self.current_total,
+        }
+    }
 }
 
 impl<'a, B: NeighborAccess> SnapshotOracle<'a, B> {
@@ -342,6 +427,102 @@ impl<B: NeighborAccess> GainOracle for SnapshotOracle<'_, B> {
 
     fn target_count(&self) -> usize {
         self.targets.len()
+    }
+
+    fn probe(&self) -> Box<dyn GainProbe + '_> {
+        // Zero-clone of the base: the probe shares the snapshot and copies
+        // only the committed overlay (O(committed deletions)).
+        Box::new(self.clone())
+    }
+}
+
+/// The oracle selected by a [`GreedyConfig`](crate::GreedyConfig), type-
+/// erased so every greedy algorithm can hand a single concrete type to the
+/// round engine instead of triplicating its evaluator dispatch.
+pub enum AnyOracle<'a> {
+    /// Incremental coverage index ([`EvaluatorKind::Index`](crate::EvaluatorKind::Index)).
+    Index(IndexOracle),
+    /// Plain recount on a scratch clone
+    /// ([`EvaluatorKind::NaiveRecount`](crate::EvaluatorKind::NaiveRecount)).
+    Naive(NaiveOracle),
+    /// Overlay recount over the borrowed released graph
+    /// ([`EvaluatorKind::DeltaRecount`](crate::EvaluatorKind::DeltaRecount)).
+    Snapshot(SnapshotOracle<'a, Graph>),
+}
+
+impl<'a> AnyOracle<'a> {
+    /// Builds the oracle `config.evaluator` selects over the instance's
+    /// released graph and targets.
+    #[must_use]
+    pub fn for_instance(
+        instance: &'a crate::problem::TppInstance,
+        config: &crate::algorithms::GreedyConfig,
+    ) -> Self {
+        use crate::algorithms::EvaluatorKind;
+        let (released, targets) = (instance.released(), instance.targets());
+        match config.evaluator {
+            EvaluatorKind::Index => {
+                AnyOracle::Index(IndexOracle::new(released, targets, config.motif))
+            }
+            EvaluatorKind::NaiveRecount => {
+                AnyOracle::Naive(NaiveOracle::new(released, targets, config.motif))
+            }
+            EvaluatorKind::DeltaRecount => {
+                AnyOracle::Snapshot(SnapshotOracle::new(released, targets, config.motif))
+            }
+        }
+    }
+}
+
+macro_rules! any_oracle_delegate {
+    ($self:ident, $o:ident => $body:expr) => {
+        match $self {
+            AnyOracle::Index($o) => $body,
+            AnyOracle::Naive($o) => $body,
+            AnyOracle::Snapshot($o) => $body,
+        }
+    };
+}
+
+impl GainOracle for AnyOracle<'_> {
+    fn total_similarity(&self) -> usize {
+        any_oracle_delegate!(self, o => o.total_similarity())
+    }
+
+    fn target_similarity(&self, target_idx: usize) -> usize {
+        any_oracle_delegate!(self, o => o.target_similarity(target_idx))
+    }
+
+    fn gain(&mut self, p: Edge) -> usize {
+        any_oracle_delegate!(self, o => GainOracle::gain(o, p))
+    }
+
+    fn gain_split(&mut self, p: Edge, target_idx: usize) -> (usize, usize) {
+        any_oracle_delegate!(self, o => o.gain_split(p, target_idx))
+    }
+
+    fn gain_vector(&mut self, p: Edge) -> Vec<usize> {
+        any_oracle_delegate!(self, o => GainOracle::gain_vector(o, p))
+    }
+
+    fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge> {
+        any_oracle_delegate!(self, o => o.candidates(policy))
+    }
+
+    fn commit(&mut self, p: Edge) -> usize {
+        any_oracle_delegate!(self, o => o.commit(p))
+    }
+
+    fn target_count(&self) -> usize {
+        any_oracle_delegate!(self, o => o.target_count())
+    }
+
+    fn probe(&self) -> Box<dyn GainProbe + '_> {
+        any_oracle_delegate!(self, o => o.probe())
+    }
+
+    fn candidate_weight(&self, p: Edge) -> usize {
+        any_oracle_delegate!(self, o => o.candidate_weight(p))
     }
 }
 

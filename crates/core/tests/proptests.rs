@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use tpp_core::{
     celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
     random_deletion_from_subgraphs, sgb_greedy, verify_plan, wt_greedy, BudgetDivision,
-    GreedyConfig, TppInstance,
+    EvaluatorKind, GreedyConfig, TppInstance,
 };
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::Motif;
@@ -166,6 +166,80 @@ proptest! {
             for (t, &b) in budgets.iter().enumerate() {
                 prop_assert!(b <= counts[t], "k_t must be capped by |W_t|");
             }
+        }
+    }
+}
+
+/// The restricted-candidate config for each of the three oracle kinds
+/// (the naive recount stays on restricted candidates so the proptest
+/// volume stays tractable — the determinism property is policy-agnostic).
+fn evaluator_configs(motif: Motif) -> [GreedyConfig; 3] {
+    [
+        GreedyConfig::scalable(motif),
+        GreedyConfig::snapshot(motif),
+        GreedyConfig {
+            evaluator: EvaluatorKind::NaiveRecount,
+            ..GreedyConfig::scalable(motif)
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The round engine's core contract: plans are **bit-identical**
+    /// across `threads ∈ {1, 2, 4}` for every oracle kind — the full
+    /// plan (protectors, steps, similarities), not just the pick set —
+    /// and the three oracles agree with each other on the same config.
+    #[test]
+    fn engine_plans_are_thread_and_oracle_invariant(
+        instance in instance_strategy(),
+        k in 1usize..=4,
+    ) {
+        let motif = Motif::Triangle;
+        let mut reference: Option<tpp_core::ProtectionPlan> = None;
+        for cfg in evaluator_configs(motif) {
+            let base = sgb_greedy(&instance, k, &cfg.with_threads(1));
+            for threads in [2usize, 4] {
+                let par = sgb_greedy(&instance, k, &cfg.with_threads(threads));
+                prop_assert_eq!(&base, &par,
+                    "sgb {:?} x{} diverged", cfg.evaluator, threads);
+            }
+            // Cross-oracle agreement on the restricted candidate set.
+            match &reference {
+                None => reference = Some(base),
+                Some(r) => {
+                    prop_assert_eq!(&r.protectors, &base.protectors,
+                        "oracle {:?} picks diverged", cfg.evaluator);
+                    prop_assert_eq!(r.final_similarity, base.final_similarity);
+                }
+            }
+        }
+    }
+
+    /// Thread-invariance holds for the targeted (CT) rounds and the CELF
+    /// lazy queue too, for every oracle kind.
+    #[test]
+    fn targeted_and_lazy_rounds_are_thread_invariant(
+        instance in instance_strategy(),
+        k in 1usize..=4,
+    ) {
+        let motif = Motif::Triangle;
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
+        for cfg in evaluator_configs(motif) {
+            let ct_base = ct_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
+            let celf_base = celf_greedy(&instance, k, &cfg.with_threads(1));
+            for threads in [2usize, 4] {
+                let ct_par = ct_greedy(&instance, &budgets, &cfg.with_threads(threads)).unwrap();
+                prop_assert_eq!(&ct_base, &ct_par,
+                    "ct {:?} x{} diverged", cfg.evaluator, threads);
+                let celf_par = celf_greedy(&instance, k, &cfg.with_threads(threads));
+                prop_assert_eq!(&celf_base, &celf_par,
+                    "celf {:?} x{} diverged", cfg.evaluator, threads);
+            }
+            // CELF must still equal eager SGB under the same config.
+            let sgb = sgb_greedy(&instance, k, &cfg);
+            prop_assert_eq!(&sgb.protectors, &celf_base.protectors);
         }
     }
 }

@@ -46,6 +46,19 @@ pub trait NeighborAccess {
     /// Whether the undirected edge `(u, v)` exists.
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
 
+    /// The sorted neighbor list of `u` as one contiguous slice, when the
+    /// representation can provide it without allocating.
+    ///
+    /// Slice-backed stores (`Graph`, `tpp_store::CsrGraph`, a
+    /// `tpp_store::DeltaView` with its merged-slice cache) return `Some`;
+    /// purely iterator-based views return `None` and scans fall back to
+    /// the merge iterators. Callers must treat the two paths as
+    /// observationally identical: same ids, same ascending order.
+    fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        let _ = u;
+        None
+    }
+
     /// Iterates all node ids.
     fn node_ids(&self) -> std::ops::Range<NodeId> {
         0..self.node_count() as NodeId
@@ -53,10 +66,15 @@ pub trait NeighborAccess {
 
     /// Calls `f(w)` for each common neighbor `w` of `u` and `v`, ascending.
     ///
-    /// Default implementation: linear merge of the two sorted neighbor
-    /// streams. Implementations with slice access can override with a
-    /// tighter loop, but must preserve the ascending order.
+    /// Default implementation: a slice-to-slice merge when both endpoints
+    /// expose [`NeighborAccess::neighbors_slice`] (the hot path for motif
+    /// counting), otherwise a linear merge of the two sorted neighbor
+    /// streams. Overrides must preserve the ascending order.
     fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, mut f: F) {
+        if let (Some(a), Some(b)) = (self.neighbors_slice(u), self.neighbors_slice(v)) {
+            merge_sorted_slices(a, b, f);
+            return;
+        }
         let mut a = self.neighbors_iter(u).peekable();
         let mut b = self.neighbors_iter(v).peekable();
         while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
@@ -104,6 +122,22 @@ pub trait NeighborAccess {
     }
 }
 
+/// Slice-to-slice sorted merge backing the default
+/// [`NeighborAccess::for_each_common_neighbor`] fast path.
+pub fn merge_sorted_slices<F: FnMut(NodeId)>(mut a: &[NodeId], mut b: &[NodeId], mut f: F) {
+    while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a = &a[1..],
+            std::cmp::Ordering::Greater => b = &b[1..],
+            std::cmp::Ordering::Equal => {
+                f(x);
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+}
+
 impl NeighborAccess for Graph {
     #[inline]
     fn node_count(&self) -> usize {
@@ -128,6 +162,11 @@ impl NeighborAccess for Graph {
     #[inline]
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         Graph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        Some(self.neighbors(u))
     }
 
     #[inline]
@@ -185,6 +224,10 @@ impl<G: NeighborAccess> NeighborAccess for &G {
         (**self).has_edge(u, v)
     }
 
+    fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        (**self).neighbors_slice(u)
+    }
+
     fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, f: F) {
         (**self).for_each_common_neighbor(u, v, f);
     }
@@ -237,6 +280,56 @@ mod tests {
         let g = fixture();
         let (n, m, _, _) = generic_probe(&&g);
         assert_eq!((n, m), (4, 5));
+    }
+
+    #[test]
+    fn neighbors_slice_agrees_with_iterator() {
+        let g = crate::generators::erdos_renyi_gnp(30, 0.25, 3);
+        for u in 0..30u32 {
+            let slice = g.neighbors_slice(u).expect("Graph is slice-backed");
+            assert_eq!(slice, g.neighbors_iter(u).collect::<Vec<_>>().as_slice());
+        }
+        // A masked view is iterator-only: the default must stay None.
+        let view = MaskedGraph::new(&g, []);
+        assert!(view.neighbors_slice(0).is_none());
+    }
+
+    #[test]
+    fn slice_default_merge_matches_override() {
+        // A wrapper exposing slices but not overriding the common-neighbor
+        // merge: the trait default must take the slice path and agree.
+        let g = crate::generators::erdos_renyi_gnp(40, 0.2, 11);
+        struct SliceWrap<'a>(&'a Graph);
+        impl NeighborAccess for SliceWrap<'_> {
+            fn node_count(&self) -> usize {
+                self.0.node_count()
+            }
+            fn edge_count(&self) -> usize {
+                self.0.edge_count()
+            }
+            fn degree(&self, u: NodeId) -> usize {
+                self.0.degree(u)
+            }
+            fn neighbors_iter(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+                self.0.neighbors(u).iter().copied()
+            }
+            fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+                self.0.has_edge(u, v)
+            }
+            fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+                Some(self.0.neighbors(u))
+            }
+        }
+        let w = SliceWrap(&g);
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                assert_eq!(
+                    w.common_neighbors_vec(u, v),
+                    g.common_neighbors(u, v),
+                    "({u},{v})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -238,22 +238,8 @@ impl Graph {
     /// Calls `f(w)` for each common neighbor `w` of `u` and `v`
     /// (ascending order), without allocating.
     #[inline]
-    pub fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, mut f: F) {
-        let (mut a, mut b) = (
-            self.adj[u as usize].as_slice(),
-            self.adj[v as usize].as_slice(),
-        );
-        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
-            match x.cmp(&y) {
-                std::cmp::Ordering::Less => a = &a[1..],
-                std::cmp::Ordering::Greater => b = &b[1..],
-                std::cmp::Ordering::Equal => {
-                    f(x);
-                    a = &a[1..];
-                    b = &b[1..];
-                }
-            }
-        }
+    pub fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, f: F) {
+        crate::access::merge_sorted_slices(&self.adj[u as usize], &self.adj[v as usize], f);
     }
 
     /// Number of common neighbors of `u` and `v`.

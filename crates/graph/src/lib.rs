@@ -33,7 +33,7 @@ pub mod hash;
 pub mod traversal;
 mod view;
 
-pub use access::NeighborAccess;
+pub use access::{merge_sorted_slices, NeighborAccess};
 pub use edge::{Edge, NodeId};
 pub use edgelist::{parse_edge_list, read_edge_list_file, write_edge_list, write_edge_list_file};
 pub use error::GraphError;

@@ -72,25 +72,27 @@ impl CsrGraph {
         }
         let mut neighbors = vec![0 as NodeId; total as usize];
 
-        // Carve the output array into per-chunk windows at node boundaries.
-        let chunk_nodes = n.div_ceil(threads);
+        // Carve the output array into degree-balanced windows at node
+        // boundaries — the same partition-range split that backs
+        // [`CsrGraph::shards`] — so every worker copies a near-equal share
+        // of the payload regardless of degree skew.
         std::thread::scope(|scope| {
             let mut rest: &mut [NodeId] = &mut neighbors;
-            let mut start_node = 0usize;
-            while start_node < n {
-                let end_node = (start_node + chunk_nodes).min(n);
-                let span = (offsets[end_node] - offsets[start_node]) as usize;
+            let mut consumed = 0usize;
+            for range in balanced_node_ranges(&offsets, threads) {
+                let span = (offsets[range.end] - offsets[range.start]) as usize;
                 let (window, tail) = rest.split_at_mut(span);
                 rest = tail;
+                debug_assert_eq!(consumed, offsets[range.start] as usize);
+                consumed += span;
                 scope.spawn(move || {
                     let mut cursor = 0usize;
-                    for u in start_node..end_node {
+                    for u in range {
                         let nbrs = g.neighbors(u as NodeId);
                         window[cursor..cursor + nbrs.len()].copy_from_slice(nbrs);
                         cursor += nbrs.len();
                     }
                 });
-                start_node = end_node;
             }
         });
         CsrGraph { offsets, neighbors }
@@ -228,6 +230,41 @@ impl CsrGraph {
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
+    /// Splits the node space into up to `parts` contiguous ranges balanced
+    /// by **adjacency payload** (the per-range share of the neighbor
+    /// array), not node count — on skewed degree distributions the hub
+    /// shard would otherwise dwarf the rest.
+    ///
+    /// The ranges are non-empty, ascending, and cover `0..node_count()`
+    /// exactly; fewer than `parts` ranges are returned when the graph has
+    /// fewer nodes. This is the boundary computation behind
+    /// [`CsrGraph::shards`] and the parallel build, and the model for the
+    /// candidate-chunk splitting in `tpp-core`'s round engine.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    #[must_use]
+    pub fn shard_ranges(&self, parts: usize) -> Vec<std::ops::Range<NodeId>> {
+        balanced_node_ranges(&self.offsets, parts)
+            .into_iter()
+            .map(|r| r.start as NodeId..r.end as NodeId)
+            .collect()
+    }
+
+    /// Shards the snapshot into up to `parts` range-restricted views (see
+    /// [`CsrShard`](crate::CsrShard)), degree-balanced via
+    /// [`CsrGraph::shard_ranges`].
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    #[must_use]
+    pub fn shards(&self, parts: usize) -> Vec<crate::CsrShard<'_>> {
+        self.shard_ranges(parts)
+            .into_iter()
+            .map(|r| crate::CsrShard::new(self, r))
+            .collect()
+    }
+
     /// Materializes the snapshot back into an adjacency-list [`Graph`].
     #[must_use]
     pub fn to_graph(&self) -> Graph {
@@ -300,6 +337,48 @@ impl CsrGraph {
     }
 }
 
+/// Cuts `0..prefix.len() - 1` items into up to `parts` contiguous ranges
+/// with near-equal weight, where `prefix` is a monotone prefix-sum table
+/// (`prefix[i]` = total weight of items `0..i`, so `prefix[0] == 0` — the
+/// CSR offset table is exactly this shape). Every returned range is
+/// non-empty, ranges ascend, and together they cover all items.
+///
+/// This single boundary computation backs [`CsrGraph::shard_ranges`], the
+/// parallel snapshot build, and (via a prefix sum over candidate weights)
+/// the round engine's scan chunking in `tpp-core`.
+///
+/// # Panics
+/// Panics if `parts == 0` or `prefix` is empty.
+#[must_use]
+pub fn balanced_prefix_ranges(prefix: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    balanced_node_ranges(prefix, parts)
+}
+
+pub(crate) fn balanced_node_ranges(offsets: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1, "need at least one shard");
+    let n = offsets.len() - 1;
+    let total = *offsets.last().expect("offset table is never empty");
+    let mut ranges = Vec::with_capacity(parts.min(n));
+    let mut start = 0usize;
+    for i in 1..=parts {
+        if start >= n {
+            break;
+        }
+        let end = if i == parts {
+            n
+        } else {
+            // First boundary whose cumulative payload reaches i/parts of
+            // the total, but always at least one node per range.
+            let quota = total * i as u64 / parts as u64;
+            let window = &offsets[start + 1..=n];
+            (start + 1 + window.partition_point(|&o| o < quota)).min(n)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 impl From<&Graph> for CsrGraph {
     fn from(g: &Graph) -> Self {
         CsrGraph::from_graph(g)
@@ -333,21 +412,11 @@ impl NeighborAccess for CsrGraph {
     }
 
     #[inline]
-    fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, mut f: F) {
-        // Slice-based merge, same loop shape as Graph's hot path.
-        let (mut a, mut b) = (self.neighbors(u), self.neighbors(v));
-        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
-            match x.cmp(&y) {
-                std::cmp::Ordering::Less => a = &a[1..],
-                std::cmp::Ordering::Greater => b = &b[1..],
-                std::cmp::Ordering::Equal => {
-                    f(x);
-                    a = &a[1..];
-                    b = &b[1..];
-                }
-            }
-        }
+    fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        Some(self.neighbors(u))
     }
+    // No for_each_common_neighbor override: the trait default already runs
+    // the slice-to-slice merge whenever neighbors_slice returns Some.
 }
 
 #[cfg(test)]

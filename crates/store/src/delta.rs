@@ -10,16 +10,34 @@
 //!
 //! The view implements [`NeighborAccess`], so every motif counter and
 //! link-prediction score in the workspace runs over it unchanged.
+//!
+//! ## The merged-slice cache
+//!
+//! Overlay iteration used to pay a ~2-3× tax over a raw slice scan (see
+//! `benches/results/delta_overlay_eval/`): every neighbor had to pass
+//! through a three-way merge of base, `removed`, and `added` streams. The
+//! view now keeps, for each *dirty* node, the fully merged neighbor list
+//! `(base \ removed) ∪ added` as one sorted `Vec` maintained incrementally
+//! on every overlay mutation — and forwards *clean* nodes straight to the
+//! base's slice when the base is slice-backed. Repeated scans (a motif
+//! recount touches each endpoint neighborhood once per target) therefore
+//! hit contiguous slices on both paths, and the common-neighbor merge runs
+//! at full [`CsrGraph`](crate::CsrGraph) speed. The merge iterator remains
+//! only as the fallback for clean nodes over iterator-only bases.
 
 use tpp_graph::{Edge, FastMap, Graph, NeighborAccess, NodeId};
 
-/// Per-node overlay state: sorted lists of removed and added neighbors.
+/// Per-node overlay state: sorted removed/added lists plus the merged-slice
+/// cache for this node.
 #[derive(Debug, Clone, Default)]
 struct NodeDelta {
     /// Base neighbors masked out, ascending.
     removed: Vec<NodeId>,
     /// Non-base neighbors layered in, ascending.
     added: Vec<NodeId>,
+    /// `(base \ removed) ∪ added`, ascending — kept in lockstep with the
+    /// two lists so reads are one contiguous slice.
+    merged: Vec<NodeId>,
 }
 
 impl NodeDelta {
@@ -34,12 +52,25 @@ impl NodeDelta {
 /// added. Deleting an overlay-added edge simply retracts the addition, and
 /// re-adding an overlay-deleted edge retracts the deletion, so the delta
 /// always stores the *net* difference from the base.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeltaView<'a, B: NeighborAccess> {
     base: &'a B,
     delta: FastMap<NodeId, NodeDelta>,
     /// Net edge-count change relative to the base.
     edge_delta: isize,
+}
+
+// Hand-written so cloning never demands `B: Clone` — the base is only ever
+// borrowed, and per-worker view clones in the parallel round engine must
+// work over arbitrary snapshot types.
+impl<B: NeighborAccess> Clone for DeltaView<'_, B> {
+    fn clone(&self) -> Self {
+        DeltaView {
+            base: self.base,
+            delta: self.delta.clone(),
+            edge_delta: self.edge_delta,
+        }
+    }
 }
 
 impl<'a, B: NeighborAccess> DeltaView<'a, B> {
@@ -188,6 +219,13 @@ impl<'a, B: NeighborAccess> DeltaView<'a, B> {
     }
 
     // -- overlay bookkeeping ------------------------------------------------
+    //
+    // Every mutation keeps `merged` exact: O(log deg) search + O(deg) shift,
+    // the same order as one scan of the node — paid once per mutation so
+    // that every subsequent read is a contiguous slice. Entries whose net
+    // delta returns to empty are dropped eagerly, keeping the map (and thus
+    // per-worker view clones in the parallel engine) proportional to the
+    // *live* delta, not to the history of tentative evaluations.
 
     fn overlay_removed(&self, u: NodeId, v: NodeId) -> bool {
         self.delta
@@ -201,17 +239,40 @@ impl<'a, B: NeighborAccess> DeltaView<'a, B> {
             .is_some_and(|d| d.added.binary_search(&v).is_ok())
     }
 
+    /// The entry for `u`, with the merged-slice cache seeded from the base
+    /// on first touch.
+    fn entry(&mut self, u: NodeId) -> &mut NodeDelta {
+        let base = self.base;
+        self.delta.entry(u).or_insert_with(|| NodeDelta {
+            removed: Vec::new(),
+            added: Vec::new(),
+            merged: base.neighbors_iter(u).collect(),
+        })
+    }
+
+    fn drop_if_clean(&mut self, u: NodeId) {
+        if self.delta.get(&u).is_some_and(NodeDelta::is_empty) {
+            self.delta.remove(&u);
+        }
+    }
+
     fn insert_removed(&mut self, u: NodeId, v: NodeId) {
-        let d = self.delta.entry(u).or_default();
+        let d = self.entry(u);
         if let Err(pos) = d.removed.binary_search(&v) {
             d.removed.insert(pos, v);
+            if let Ok(m) = d.merged.binary_search(&v) {
+                d.merged.remove(m);
+            }
         }
     }
 
     fn insert_added(&mut self, u: NodeId, v: NodeId) {
-        let d = self.delta.entry(u).or_default();
+        let d = self.entry(u);
         if let Err(pos) = d.added.binary_search(&v) {
             d.added.insert(pos, v);
+            if let Err(m) = d.merged.binary_search(&v) {
+                d.merged.insert(m, v);
+            }
         }
     }
 
@@ -219,61 +280,39 @@ impl<'a, B: NeighborAccess> DeltaView<'a, B> {
         if let Some(d) = self.delta.get_mut(&u) {
             if let Ok(pos) = d.removed.binary_search(&v) {
                 d.removed.remove(pos);
+                if let Err(m) = d.merged.binary_search(&v) {
+                    d.merged.insert(m, v);
+                }
             }
         }
+        self.drop_if_clean(u);
     }
 
     fn retract_added(&mut self, u: NodeId, v: NodeId) {
         if let Some(d) = self.delta.get_mut(&u) {
             if let Ok(pos) = d.added.binary_search(&v) {
                 d.added.remove(pos);
+                if let Ok(m) = d.merged.binary_search(&v) {
+                    d.merged.remove(m);
+                }
             }
         }
+        self.drop_if_clean(u);
     }
 
     fn node_delta(&self, u: NodeId) -> Option<&NodeDelta> {
         self.delta.get(&u).filter(|d| !d.is_empty())
     }
-}
 
-/// Sorted-merge iterator over `(base \ removed) ∪ added` for one node.
-struct OverlayNeighbors<'v, I: Iterator<Item = NodeId>> {
-    base: std::iter::Peekable<I>,
-    removed: &'v [NodeId],
-    added: std::iter::Peekable<std::iter::Copied<std::slice::Iter<'v, NodeId>>>,
-}
-
-impl<I: Iterator<Item = NodeId>> Iterator for OverlayNeighbors<'_, I> {
-    type Item = NodeId;
-
-    fn next(&mut self) -> Option<NodeId> {
-        loop {
-            match (self.base.peek(), self.added.peek()) {
-                (Some(&b), Some(&a)) => {
-                    if b < a {
-                        self.base.next();
-                        if self.removed.binary_search(&b).is_err() {
-                            return Some(b);
-                        }
-                    } else {
-                        // Added neighbors are never base neighbors, so
-                        // a == b cannot happen; a < b emits the addition.
-                        self.added.next();
-                        return Some(a);
-                    }
-                }
-                (Some(&b), None) => {
-                    self.base.next();
-                    if self.removed.binary_search(&b).is_err() {
-                        return Some(b);
-                    }
-                }
-                (None, Some(&a)) => {
-                    self.added.next();
-                    return Some(a);
-                }
-                (None, None) => return None,
-            }
+    /// The merged neighbor list of `u` as one contiguous slice, when
+    /// available without allocation: the cache for dirty nodes, the base's
+    /// own slice for clean ones (`None` only for clean nodes over an
+    /// iterator-only base).
+    #[must_use]
+    pub fn merged_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        match self.node_delta(u) {
+            Some(d) => Some(&d.merged),
+            None => self.base.neighbors_slice(u),
         }
     }
 }
@@ -293,21 +332,26 @@ impl<B: NeighborAccess> NeighborAccess for DeltaView<'_, B> {
     fn degree(&self, u: NodeId) -> usize {
         match self.node_delta(u) {
             None => self.base.degree(u),
-            Some(d) => self.base.degree(u) - d.removed.len() + d.added.len(),
+            Some(d) => d.merged.len(),
         }
     }
 
     fn neighbors_iter(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        static EMPTY: &[NodeId] = &[];
-        let (removed, added) = match self.node_delta(u) {
-            None => (EMPTY, EMPTY),
-            Some(d) => (d.removed.as_slice(), d.added.as_slice()),
+        // Dirty nodes iterate their merged cache; clean nodes over a
+        // slice-backed base iterate the base slice. Only clean nodes over
+        // an iterator-only base fall back to the base's own iterator —
+        // no overlay filtering is needed there by definition.
+        let slice = self.merged_slice(u);
+        let fallback = if slice.is_none() {
+            Some(self.base.neighbors_iter(u))
+        } else {
+            None
         };
-        OverlayNeighbors {
-            base: self.base.neighbors_iter(u).peekable(),
-            removed,
-            added: added.iter().copied().peekable(),
-        }
+        slice
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .chain(fallback.into_iter().flatten())
     }
 
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
@@ -318,6 +362,10 @@ impl<B: NeighborAccess> NeighborAccess for DeltaView<'_, B> {
             return false;
         }
         self.base.has_edge(u, v) || self.overlay_added(u, v)
+    }
+
+    fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
+        self.merged_slice(u)
     }
 }
 
@@ -434,6 +482,83 @@ mod tests {
         let csr = CsrGraph::from_graph(&g);
         let mut view = DeltaView::new(&csr);
         view.add_edge(Edge::new(0, 9));
+    }
+
+    #[test]
+    fn merged_slice_tracks_every_mutation() {
+        let g = tpp_graph::generators::holme_kim(120, 4, 0.4, 2);
+        let csr = CsrGraph::from_graph(&g);
+        let mut view = DeltaView::new(&csr);
+        let mut oracle = g.clone();
+        let check = |view: &DeltaView<'_, CsrGraph>, oracle: &Graph, what: &str| {
+            for u in 0..oracle.node_count() as NodeId {
+                assert_eq!(
+                    view.merged_slice(u).expect("CSR base is slice-backed"),
+                    oracle.neighbors(u),
+                    "{what}: node {u}"
+                );
+                assert_eq!(view.neighbors_slice(u).unwrap(), oracle.neighbors(u));
+            }
+        };
+        check(&view, &oracle, "clean view");
+        for (i, e) in g.edge_vec().into_iter().step_by(5).enumerate() {
+            view.delete_edge(e);
+            oracle.remove_edge(e.u(), e.v());
+            if i % 2 == 0 {
+                // tentative evaluation shape: delete then restore
+                view.restore_edge(e);
+                oracle.add_edge(e.u(), e.v());
+            }
+            check(&view, &oracle, "after mutation");
+        }
+        // overlay additions are cached too
+        let add = Edge::new(0, 119);
+        if !oracle.has_edge(0, 119) {
+            view.add_edge(add);
+            oracle.add_edge(0, 119);
+            check(&view, &oracle, "after addition");
+        }
+    }
+
+    #[test]
+    fn retracted_deltas_drop_their_cache_entries() {
+        // The map must stay proportional to the *net* delta: a tentative
+        // delete + restore leaves no residue, so per-round worker clones
+        // in the parallel engine stay O(committed deletions).
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let mut view = DeltaView::new(&csr);
+        for _ in 0..10 {
+            view.delete_edge(Edge::new(0, 2));
+            view.restore_edge(Edge::new(0, 2));
+        }
+        assert!(!view.is_dirty());
+        assert_eq!(view.delta.len(), 0, "no stale NodeDelta entries");
+    }
+
+    #[test]
+    fn clean_nodes_forward_the_base_slice() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let mut view = DeltaView::new(&csr);
+        view.delete_edge(Edge::new(0, 2));
+        // Node 1 is untouched: its slice must be the base's own storage.
+        let base_ptr = csr.neighbors(1).as_ptr();
+        assert_eq!(view.neighbors_slice(1).unwrap().as_ptr(), base_ptr);
+        // Nodes 0 and 2 are dirty: served from the merged cache.
+        assert_eq!(view.neighbors_slice(0).unwrap(), &[1, 3]);
+        assert_eq!(view.neighbors_slice(2).unwrap(), &[1, 3]);
+        // Over an iterator-only base, clean nodes have no slice but the
+        // iterator still works.
+        let masked = tpp_graph::MaskedGraph::new(&g, []);
+        let mut over_masked = DeltaView::new(&masked);
+        over_masked.delete_edge(Edge::new(0, 2));
+        assert!(over_masked.neighbors_slice(1).is_none());
+        assert_eq!(
+            over_masked.neighbors_iter(1).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(over_masked.neighbors_slice(0).unwrap(), &[1, 3]);
     }
 
     #[test]

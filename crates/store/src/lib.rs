@@ -19,7 +19,12 @@
 //! * [`DeltaView`] — an `O(1)`-setup overlay recording net edge
 //!   deletions/additions against any base. Tentative candidate evaluation
 //!   becomes `delete_edge → recount → restore_edge` with **zero** graph
-//!   clones and `O(changed)` memory.
+//!   clones and `O(changed)` memory. A per-node merged-slice cache keeps
+//!   repeated scans on contiguous slices instead of merge iterators.
+//! * [`CsrShard`] — a node-range-restricted, zero-copy view of a snapshot:
+//!   degree-balanced ranges from [`CsrGraph::shard_ranges`] split candidate
+//!   scans across parallel evaluators without handing every thread the
+//!   whole neighbor array.
 //! * [`NeighborAccess`] (from `tpp_graph`) — both types implement the
 //!   workspace-wide read trait, so every motif counter and link-prediction
 //!   score runs over snapshots and overlays unchanged.
@@ -47,7 +52,7 @@
 //!
 //! ## On-disk format
 //!
-//! See [`format`] for the byte-level layout: an 8-byte magic, version and
+//! See [`format`](mod@format) for the byte-level layout: an 8-byte magic, version and
 //! flag words, node/edge counts, an FNV-1a payload checksum, then the two
 //! CSR arrays little-endian. Loading validates magic, version, checksum,
 //! and the full structural invariants before returning a graph.
@@ -59,8 +64,10 @@ mod csr;
 mod delta;
 mod error;
 pub mod format;
+mod shard;
 
-pub use csr::CsrGraph;
+pub use csr::{balanced_prefix_ranges, CsrGraph};
 pub use delta::DeltaView;
 pub use error::StoreError;
+pub use shard::CsrShard;
 pub use tpp_graph::NeighborAccess;

@@ -150,6 +150,46 @@ proptest! {
         prop_assert_eq!(csr.common_neighbors_vec(u, v), expected.clone());
         prop_assert_eq!(view.common_neighbors_vec(u, v), expected);
     }
+
+    /// Shards partition the node space and the edge-ownership relation,
+    /// for every shard count.
+    #[test]
+    fn shards_partition_nodes_and_edges(g in graph_strategy(), parts in 1usize..=8) {
+        let csr = CsrGraph::from_graph(&g);
+        let shards = csr.shards(parts);
+        prop_assert!(!shards.is_empty() && shards.len() <= parts);
+
+        // Node ranges tile 0..n in order.
+        let mut cursor = 0u32;
+        for s in &shards {
+            prop_assert_eq!(s.node_range().start, cursor);
+            prop_assert!(s.node_range().end > cursor);
+            cursor = s.node_range().end;
+        }
+        prop_assert_eq!(cursor as usize, csr.node_count());
+
+        // Edge ownership is a partition; induced edge counts never exceed
+        // the owned count (cross-shard edges are owned but not induced).
+        let edges = csr.collect_edges();
+        let mut owned_total = 0usize;
+        let mut induced_total = 0usize;
+        for s in &shards {
+            let owned = edges.iter().filter(|e| s.owns_edge(**e)).count();
+            owned_total += owned;
+            prop_assert!(s.edge_count() <= owned);
+            induced_total += s.edge_count();
+        }
+        prop_assert_eq!(owned_total, csr.edge_count());
+        prop_assert!(induced_total <= csr.edge_count());
+
+        // The merged-slice contract holds on every shard.
+        for s in &shards {
+            for u in 0..csr.node_count() as NodeId {
+                let via_iter: Vec<NodeId> = s.neighbors_iter(u).collect();
+                prop_assert_eq!(s.neighbors_slice(u).unwrap(), via_iter.as_slice());
+            }
+        }
+    }
 }
 
 #[test]

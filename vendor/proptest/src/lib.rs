@@ -2,7 +2,7 @@
 //!
 //! Provides the subset the workspace's property tests use: the
 //! [`proptest!`] macro with `#![proptest_config(...)]`, range and tuple
-//! strategies with [`Strategy::prop_map`], and the `prop_assert!` /
+//! strategies with `Strategy::prop_map`, and the `prop_assert!` /
 //! `prop_assert_eq!` / `prop_assume!` macros.
 //!
 //! Differences from real proptest, by design:
