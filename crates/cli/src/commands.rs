@@ -8,8 +8,8 @@ use rand::SeedableRng;
 use serde::Serialize;
 use tpp_core::{
     celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
-    random_deletion_from_subgraphs, sgb_greedy, wt_greedy, BudgetDivision, GreedyConfig,
-    ProtectionPlan, TppInstance,
+    random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, wt_greedy, BudgetDivision,
+    GreedyConfig, ProtectionPlan, TppInstance,
 };
 use tpp_graph::{parse_edge_list, write_edge_list, Edge, Graph};
 use tpp_linkpred::{evaluate_attack, sample_non_edges, Attacker, SimilarityIndex};
@@ -44,7 +44,7 @@ USAGE:
   tpp stats    <edgelist> [--full]
   tpp protect  <edgelist> --budget K [--motif M] [--algorithm A] [--division D]
                [--targets u-v,u-v | --random N] [--seed S] [--threads T]
-               [--out released.txt] [--plan plan.json]
+               [--batch J] [--out released.txt] [--plan plan.json]
   tpp attack   <edgelist> --targets u-v,... [--attacker cn|jaccard|...|katz]
                [--negatives N] [--seed S]
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
@@ -57,7 +57,9 @@ MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
 DIVISIONS:   tbd (default), dbd
 THREADS:     --threads 0 (default) uses every available core; plans are
-             bit-identical for every thread count"
+             bit-identical for every thread count
+BATCH:       --batch J (sgb only) commits up to J non-interacting picks per
+             candidate scan; --batch 1 (default) is the exact greedy"
 }
 
 fn load_graph(p: &Parsed) -> Result<Graph, String> {
@@ -164,8 +166,20 @@ fn protect(p: &Parsed) -> Result<(), String> {
     // 0 = all available cores (the engine resolves it), which on the
     // single-core CI container degenerates to the sequential scan.
     let threads: usize = p.num_or("threads", 0usize)?;
+    // Batch-commit round width: 1 = the exact sequential greedy; J > 1
+    // accepts up to J disjoint-gain-set picks per scan (SGB only).
+    let batch: usize = p.num_or("batch", 1usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    if batch > 1 && algorithm != "sgb" {
+        return Err(format!(
+            "--batch {batch} requires --algorithm sgb (got {algorithm:?})"
+        ));
+    }
     let cfg = GreedyConfig::scalable(motif).with_threads(threads);
     let plan = match algorithm {
+        "sgb" if batch > 1 => sgb_greedy_batch(&instance, budget, batch, &cfg),
         "sgb" => sgb_greedy(&instance, budget, &cfg),
         "celf" => celf_greedy(&instance, budget, &cfg),
         "ct" | "wt" => {
@@ -349,17 +363,38 @@ fn store(p: &Parsed) -> Result<(), String> {
             let shards: usize = p.num_or("shards", 0usize)?;
             if shards > 0 {
                 println!("shard plan ({shards} requested, degree-balanced):");
-                for (i, shard) in csr.shards(shards).iter().enumerate() {
+                let plan = csr.shards(shards);
+                let total_payload = csr.neighbor_array().len().max(1);
+                let mut max_payload = 0usize;
+                for (i, shard) in plan.iter().enumerate() {
                     let r = shard.node_range();
+                    // Owned edges follow the lower endpoint (the commit-
+                    // partitioning discipline); intra edges have both
+                    // endpoints in range (the induced-scan view).
+                    let owned: usize = (r.start..r.end)
+                        .map(|u| {
+                            let nbrs = csr.neighbors(u);
+                            nbrs.len() - nbrs.partition_point(|&v| v <= u)
+                        })
+                        .sum();
+                    max_payload = max_payload.max(shard.payload_span());
                     println!(
-                        "  shard {i}: nodes {}..{} ({} nodes, payload {} of {})",
+                        "  shard {i}: nodes {}..{} ({} nodes, payload {} = {:.1}%, \
+                         owned-edges {}, intra-edges {})",
                         r.start,
                         r.end,
                         r.end - r.start,
                         shard.payload_span(),
-                        csr.neighbor_array().len(),
+                        shard.payload_span() as f64 * 100.0 / total_payload as f64,
+                        owned,
+                        tpp_graph::NeighborAccess::edge_count(shard),
                     );
                 }
+                let ideal = total_payload as f64 / plan.len() as f64;
+                println!(
+                    "  balance: max payload {:.2}x the ideal even split",
+                    max_payload as f64 / ideal.max(1.0),
+                );
             }
             Ok(())
         }
@@ -684,6 +719,80 @@ mod tests {
         }
         assert_eq!(plans[0], plans[1], "1 vs 4 threads");
         assert_eq!(plans[0], plans[2], "1 vs auto threads");
+    }
+
+    #[test]
+    fn protect_batch_flag_modes() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-batch.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "140",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // --batch 1 must be byte-identical to the default sequential path.
+        let mut plans = Vec::new();
+        for (label, extra) in [
+            ("default", None),
+            ("batch1", Some("1")),
+            ("batch4", Some("4")),
+        ] {
+            let plan_path = dir.join(format!("plan-{label}.json"));
+            let mut args = vec![
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "6",
+                "--random",
+                "4",
+                "--plan",
+            ];
+            let plan_str = plan_path.to_str().unwrap().to_string();
+            args.push(&plan_str);
+            if let Some(j) = extra {
+                args.push("--batch");
+                args.push(j);
+            }
+            dispatch(&parse(&strs(&args)).unwrap()).unwrap();
+            plans.push(std::fs::read_to_string(&plan_path).unwrap());
+        }
+        assert_eq!(plans[0], plans[1], "--batch 1 must be the exact greedy");
+        assert!(plans[2].contains("SGB-Greedy"), "batched run still SGB");
+        // Guard rails: batch 0 and batch with a non-sgb algorithm.
+        for bad in [
+            vec![
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "2",
+                "--random",
+                "2",
+                "--batch",
+                "0",
+            ],
+            vec![
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "2",
+                "--random",
+                "2",
+                "--batch",
+                "3",
+                "--algorithm",
+                "ct",
+            ],
+        ] {
+            assert!(dispatch(&parse(&strs(&bad)).unwrap()).is_err());
+        }
     }
 
     #[test]

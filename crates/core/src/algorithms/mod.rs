@@ -34,7 +34,7 @@ mod wt;
 
 pub use celf::celf_greedy;
 pub use ct::ct_greedy;
-pub use sgb::sgb_greedy;
+pub use sgb::{sgb_greedy, sgb_greedy_batch};
 pub use wt::wt_greedy;
 
 use crate::oracle::CandidatePolicy;

@@ -15,18 +15,36 @@
 //! oracle, not just the read-only coverage index: workers score candidates
 //! through per-worker [`GainProbe`]s (a borrowed index view, a scratch
 //! graph clone, or a shared-snapshot [`tpp_store::DeltaView`] overlay —
-//! see [`GainOracle::probe`]). Work is split by contiguous, weight-
-//! balanced candidate ranges — the same partition-range discipline as
-//! `tpp_store::CsrGraph::shard_ranges` — and chunk maxima are reduced in
-//! range order, so the selected protector is **bit-identical to the
-//! sequential left-to-right scan for every thread count**. The
-//! determinism proptests pin this across all three oracles.
+//! see [`GainOracle::probe`]). The scan is **work-stealing**: candidates
+//! are pre-cut into contiguous weight-balanced spans (the same
+//! partition-range discipline as `tpp_store::CsrGraph::shard_ranges`, but
+//! several spans per worker), and workers claim spans through one atomic
+//! cursor — a worker that drew cheap spans steals the remaining ones
+//! instead of idling, so skewed rounds no longer serialize on the worker
+//! that inherited the hubs. Span results still reduce in span order, so
+//! the selected protector is **bit-identical to the sequential
+//! left-to-right scan for every thread count**. The determinism proptests
+//! pin this across all three oracles.
+//!
+//! ## Batch-commit rounds
+//!
+//! [`RoundEngine::select_batch`] amortizes the scan over up to `j` commits
+//! per round: after one scan, the top-`j` candidates whose current gain
+//! sets are pairwise disjoint (verified against the partitioned coverage
+//! index via [`GainOracle::gain_set`]) are committed together through
+//! [`GainOracle::commit_batch`] — disjointness makes their scanned gains
+//! exact without rescanning. Conflicting candidates are skipped for the
+//! round (they stay in later rounds), and oracles that cannot enumerate
+//! gain sets degrade to one commit per round — the sequential fallback.
+//! `j = 1` is bit-identical to [`RoundEngine::run_global`].
 
 use crate::oracle::{CandidatePolicy, GainOracle, GainProbe};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tpp_graph::Edge;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tpp_graph::{Edge, FastSet};
+use tpp_motif::InstanceId;
 
 /// Cuts `0..weights.len()` into at most `parts` contiguous ranges of
 /// near-equal total weight (every range non-empty, ranges ascending and
@@ -77,14 +95,76 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// First-maximizer-wins argmax over `items`, split across `threads`
-/// workers on contiguous (optionally weight-balanced) ranges.
+/// Spans handed to the work-stealing scan per worker thread: enough that a
+/// worker finishing its cheap spans early can steal real work from the
+/// shared cursor, few enough that claim overhead stays negligible.
+const STEAL_SPANS_PER_WORKER: usize = 4;
+
+/// The work-stealing scaffold shared by [`sharded_argmax`] and
+/// [`sharded_map`]: cuts `items` into contiguous weight-balanced spans
+/// ([`STEAL_SPANS_PER_WORKER`] per worker), lets up to `threads` workers
+/// claim spans through one atomic cursor (each worker reusing one private
+/// `make_ctx` context), and returns every span's `run_span` result **in
+/// span order** — which worker ran a span is scheduling noise the caller
+/// never observes. This single implementation is what the engine's
+/// bit-identical-across-thread-counts guarantee rests on.
+fn steal_spans<T, C, R, M, F>(
+    items: &[T],
+    threads: usize,
+    weights: Option<&[usize]>,
+    make_ctx: M,
+    run_span: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, &[T]) -> R + Sync,
+{
+    let spans = ranges_for(items.len(), threads * STEAL_SPANS_PER_WORKER, weights);
+    let workers = threads.min(spans.len());
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
+        let (make_ctx, run_span) = (&make_ctx, &run_span);
+        let (cursor, spans) = (&cursor, &spans);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut ctx = make_ctx();
+                    let mut got = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(span) = spans.get(i) else { break };
+                        got.push((i, run_span(&mut ctx, &items[span.clone()])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// First-maximizer-wins argmax over `items`, scanned by `threads` workers
+/// under **work stealing**: the items are pre-cut into contiguous
+/// weight-balanced spans (several per worker, the same boundary discipline
+/// as `tpp_store::CsrGraph::shard_ranges`) and workers
+/// claim spans through one atomic cursor until none remain. Skewed rounds
+/// — where one span's candidates are far more expensive than predicted —
+/// therefore no longer serialize on the unlucky worker.
 ///
-/// Each worker builds one private context with `make_ctx`, scores its
-/// range left-to-right with `eval` (`None` skips an item), and keeps the
-/// first strict maximum under `better(new, best)`; chunk maxima reduce in
-/// range order. The result is therefore **identical to a sequential
-/// left-to-right scan** for every `threads` value — the property all the
+/// Each worker builds one private context with `make_ctx` (reused across
+/// every span it claims), scores spans left-to-right with `eval` (`None`
+/// skips an item), and keeps the first strict maximum under
+/// `better(new, best)`; span maxima reduce in span order. The result is
+/// therefore **identical to a sequential left-to-right scan** for every
+/// `threads` value and every claim interleaving — the property all the
 /// engine's determinism guarantees rest on.
 pub fn sharded_argmax<T, C, S, M, E, B>(
     items: &[T],
@@ -125,24 +205,12 @@ where
     if threads <= 1 {
         return scan(items, &mut make_ctx(), &eval, &better);
     }
-    let chunk_best: Vec<Option<(S, T)>> = crossbeam::thread::scope(|scope| {
-        let (make_ctx, eval, better) = (&make_ctx, &eval, &better);
-        let handles: Vec<_> = ranges_for(items.len(), threads, weights)
-            .into_iter()
-            .map(|r| {
-                let chunk = &items[r];
-                scope.spawn(move |_| scan(chunk, &mut make_ctx(), eval, better))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-
+    let span_best = steal_spans(items, threads, weights, &make_ctx, |ctx, chunk| {
+        scan(chunk, ctx, &eval, &better)
+    });
+    // Canonical-order reduce over the span-ordered maxima.
     let mut best: Option<(S, T)> = None;
-    for cb in chunk_best.into_iter().flatten() {
+    for cb in span_best.into_iter().flatten() {
         if best.as_ref().is_none_or(|(b, _)| better(&cb.0, b)) {
             best = Some(cb);
         }
@@ -150,9 +218,9 @@ where
     best
 }
 
-/// Maps `eval` over `items` with the same per-worker-context, contiguous-
-/// range splitting as [`sharded_argmax`]; results come back in item order
-/// regardless of thread count.
+/// Maps `eval` over `items` with the same per-worker-context,
+/// work-stealing span claiming as [`sharded_argmax`]; results come back in
+/// item order regardless of thread count or claim interleaving.
 pub fn sharded_map<T, C, R, M, E>(
     items: &[T],
     threads: usize,
@@ -174,25 +242,13 @@ where
         let mut ctx = make_ctx();
         return items.iter().map(|&i| eval(&mut ctx, i)).collect();
     }
-    let per_chunk: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
-        let (make_ctx, eval) = (&make_ctx, &eval);
-        let handles: Vec<_> = ranges_for(items.len(), threads, weights)
-            .into_iter()
-            .map(|r| {
-                let chunk = &items[r];
-                scope.spawn(move |_| {
-                    let mut ctx = make_ctx();
-                    chunk.iter().map(|&i| eval(&mut ctx, i)).collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    per_chunk.into_iter().flatten().collect()
+    let per_span = steal_spans(items, threads, weights, &make_ctx, |ctx, chunk| {
+        chunk
+            .iter()
+            .map(|&item| eval(ctx, item))
+            .collect::<Vec<R>>()
+    });
+    per_span.into_iter().flatten().collect()
 }
 
 /// A committed targeted pick (see [`RoundEngine::select_for_targets`]).
@@ -238,8 +294,11 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// machine's available parallelism; every thread count produces
     /// bit-identical plans.
     #[must_use]
-    pub fn new(oracle: O, policy: CandidatePolicy, threads: usize) -> Self {
+    pub fn new(mut oracle: O, policy: CandidatePolicy, threads: usize) -> Self {
         let threads = resolve_threads(threads);
+        // Commit-side parallelism (the shard-parallel partitioned index)
+        // shares the scan's thread budget.
+        oracle.set_commit_threads(threads);
         let initial_similarity = oracle.total_similarity();
         let targets = oracle.target_count();
         RoundEngine {
@@ -345,6 +404,137 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// exhausted.
     pub fn run_global(&mut self, k: usize) {
         while self.picks() < k && self.select_global().is_some() {}
+    }
+
+    /// Batch-commit rounds: runs until `k` picks are committed or gains
+    /// are exhausted, committing up to `j` picks per candidate scan.
+    ///
+    /// Each round scans every candidate once, orders them by
+    /// `(gain desc, edge asc)` — the canonical argmax order — and accepts
+    /// picks greedily while their current gain sets (alive instances, per
+    /// [`GainOracle::gain_set`]) are pairwise disjoint. Disjointness makes
+    /// the scanned gains *exact* for every accepted pick without a rescan,
+    /// so the whole batch commits at once through
+    /// [`GainOracle::commit_batch`] (shard-parallel for the partitioned
+    /// index). A candidate that conflicts with the accepted set is skipped
+    /// for this round only; when the oracle cannot enumerate gain sets
+    /// (`gain_set` returns `None`), every pair conflicts and the round
+    /// falls back to a single sequential commit.
+    ///
+    /// `select_batch(k, 1)` is **bit-identical** to
+    /// [`run_global`](Self::run_global) for every oracle and thread count
+    /// (pinned by proptest). Larger `j` trades strict greedy optimality
+    /// for `j`× fewer scans; the accepted picks of one round are exactly a
+    /// greedy-feasible commit order because their gain sets do not
+    /// interact.
+    pub fn select_batch(&mut self, k: usize, j: usize) {
+        let j = j.max(1);
+        while self.picks() < k {
+            let room = j.min(k - self.picks());
+            if self.batch_round(room) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// One batch round: scan, accept up to `room` disjoint picks, commit
+    /// them together. Returns how many picks were committed (0 = gains
+    /// exhausted).
+    fn batch_round(&mut self, room: usize) -> usize {
+        if room <= 1 {
+            // A batch of one *is* a sequential round: same scan, same
+            // commit, no ordering sort — bit-identity by construction.
+            return usize::from(self.select_global().is_some());
+        }
+        let candidates = self.oracle.candidates(self.policy);
+        if candidates.is_empty() {
+            return 0;
+        }
+        let gains: Vec<usize> = if self.threads <= 1 {
+            let probe: &mut dyn GainProbe = &mut self.oracle;
+            candidates.iter().map(|&p| probe.delta(p)).collect()
+        } else {
+            let weights: Vec<usize> = candidates
+                .iter()
+                .map(|&p| self.oracle.candidate_weight(p))
+                .collect();
+            let oracle = &self.oracle;
+            sharded_map(
+                &candidates,
+                self.threads,
+                Some(&weights),
+                || oracle.probe(),
+                |probe, p| probe.delta(p),
+            )
+        };
+        // Canonical commit order: highest gain first, ties to the
+        // canonically smallest edge — the sequential argmax, repeated.
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_unstable_by_key(|&i| (Reverse(gains[i]), candidates[i]));
+
+        let mut accepted: Vec<(Edge, usize)> = Vec::with_capacity(room);
+        let mut claimed: FastSet<InstanceId> = FastSet::default();
+        // `true` once a pick's gain set is unknown: nothing further can be
+        // proven disjoint, so the round degrades to sequential commits.
+        let mut opaque = false;
+        for &i in &order {
+            if accepted.len() >= room {
+                break;
+            }
+            let (p, gain) = (candidates[i], gains[i]);
+            if gain == 0 {
+                break; // order is gain-descending: everything left is 0
+            }
+            if accepted.is_empty() {
+                // The top pick is unconditionally correct — it is what the
+                // sequential round would commit.
+                if room > 1 {
+                    match self.oracle.gain_set(p) {
+                        Some(ids) => claimed.extend(ids),
+                        None => opaque = true,
+                    }
+                }
+                accepted.push((p, gain));
+            } else {
+                if opaque {
+                    break;
+                }
+                match self.oracle.gain_set(p) {
+                    Some(ids) if ids.iter().all(|id| !claimed.contains(id)) => {
+                        claimed.extend(ids);
+                        accepted.push((p, gain));
+                    }
+                    // Conflict (or unknowable): skip for this round; the
+                    // candidate stays live and is rescored next round.
+                    _ => {}
+                }
+            }
+        }
+        if accepted.is_empty() {
+            return 0;
+        }
+
+        let edges: Vec<Edge> = accepted.iter().map(|&(e, _)| e).collect();
+        let mut sim = self.oracle.total_similarity();
+        let broken = self.oracle.commit_batch(&edges);
+        for ((p, gain), broken) in accepted.iter().zip(&broken) {
+            debug_assert_eq!(
+                *broken, *gain,
+                "disjoint batch gains must be exact at commit"
+            );
+            sim -= broken;
+            self.protectors.push(*p);
+            self.steps.push(StepRecord {
+                round: self.steps.len(),
+                protector: *p,
+                charged_target: None,
+                own_broken: *broken,
+                total_broken: *broken,
+                similarity_after: sim,
+            });
+        }
+        debug_assert_eq!(sim, self.oracle.total_similarity());
+        accepted.len()
     }
 
     /// Runs the same rounds as [`run_global`](Self::run_global) through a

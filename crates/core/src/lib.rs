@@ -40,7 +40,9 @@ pub mod paper_example;
 mod plan;
 mod problem;
 
-pub use algorithms::{celf_greedy, ct_greedy, sgb_greedy, wt_greedy, EvaluatorKind, GreedyConfig};
+pub use algorithms::{
+    celf_greedy, ct_greedy, sgb_greedy, sgb_greedy_batch, wt_greedy, EvaluatorKind, GreedyConfig,
+};
 pub use analysis::{analyze_protection, verify_plan, ProtectionReport};
 pub use baselines::{random_deletion, random_deletion_from_subgraphs};
 pub use budget::{divide_budget, BudgetDivision};
@@ -49,6 +51,7 @@ pub use engine::{RoundEngine, TargetedPick};
 pub use error::TppError;
 pub use oracle::{
     AnyOracle, CandidatePolicy, GainOracle, GainProbe, IndexOracle, NaiveOracle, SnapshotOracle,
+    DEFAULT_INDEX_PARTITIONS,
 };
 pub use plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 pub use problem::TppInstance;

@@ -2,9 +2,10 @@
 //!
 //! Two implementations back the same greedy loops:
 //!
-//! * [`IndexOracle`] — the scalable path: a [`CoverageIndex`] built once,
-//!   with incremental deletion. Candidate edges can be restricted to
-//!   target-subgraph edges (Lemma 5), giving the paper's `-R` algorithms.
+//! * [`IndexOracle`] — the scalable path: a [`PartitionedCoverageIndex`]
+//!   built once, with incremental shard-parallel deletion. Candidate edges
+//!   can be restricted to target-subgraph edges (Lemma 5), giving the
+//!   paper's `-R` algorithms.
 //! * [`NaiveOracle`] — the paper-faithful plain path: every gain is a fresh
 //!   motif recount on a scratch graph (delete, recount all targets, restore).
 //!   This is what makes the plain algorithms ~20× slower in Fig. 5 and
@@ -17,7 +18,7 @@
 //!   immutable snapshot can back many concurrent evaluations.
 
 use tpp_graph::{Edge, Graph, NeighborAccess};
-use tpp_motif::{count_target_subgraphs, CoverageIndex, Motif};
+use tpp_motif::{count_target_subgraphs, InstanceId, Motif, PartitionedCoverageIndex};
 use tpp_store::DeltaView;
 
 /// Candidate-set policy (Lemma 5).
@@ -55,6 +56,29 @@ pub trait GainOracle {
     fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge>;
     /// Permanently deletes `p`; returns the realized gain.
     fn commit(&mut self, p: Edge) -> usize;
+    /// Permanently deletes a batch of edges; returns the per-edge realized
+    /// gains in input order. The default commits sequentially; oracles with
+    /// a partition-parallel index override it with one shard-parallel
+    /// commit (same result, one candidate-list compaction instead of
+    /// `edges.len()`).
+    fn commit_batch(&mut self, edges: &[Edge]) -> Vec<usize> {
+        edges.iter().map(|&e| self.commit(e)).collect()
+    }
+    /// The ids of the alive instances `p` would break — its current gain
+    /// set — when the oracle can enumerate them cheaply. `None` means the
+    /// oracle cannot, in which case the engine's batch-commit mode treats
+    /// every pair of candidates as conflicting and falls back to
+    /// sequential (single-pick) commits.
+    fn gain_set(&mut self, p: Edge) -> Option<Vec<InstanceId>> {
+        let _ = p;
+        None
+    }
+    /// Sets the worker-thread budget for commit-side parallelism (the
+    /// engine forwards its own thread count here). Purely a performance
+    /// knob; the default ignores it.
+    fn set_commit_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
     /// Number of targets.
     fn target_count(&self) -> usize;
     /// Spawns an independent evaluation probe for one scan worker.
@@ -97,10 +121,10 @@ impl<O: GainOracle> GainProbe for O {
     }
 }
 
-/// Borrowing probe over a shared [`CoverageIndex`]: index gains are pure
-/// reads, so workers need no scratch state at all.
+/// Borrowing probe over a shared [`PartitionedCoverageIndex`]: index gains
+/// are pure reads, so workers need no scratch state at all.
 struct IndexProbe<'a> {
-    index: &'a CoverageIndex,
+    index: &'a PartitionedCoverageIndex,
 }
 
 impl GainProbe for IndexProbe<'_> {
@@ -113,26 +137,46 @@ impl GainProbe for IndexProbe<'_> {
     }
 }
 
-/// Incremental oracle over a [`CoverageIndex`] plus a mutable graph copy
-/// (the graph copy keeps `AllEdges` candidate sets accurate).
+/// Default partition count for [`IndexOracle`]'s coverage index: enough
+/// shards that a commit's candidate-list compaction touches a fraction of
+/// the candidate set even on one core, and enough headroom for the
+/// shard-parallel commit phase to scale when threads are available.
+pub const DEFAULT_INDEX_PARTITIONS: usize = 8;
+
+/// Incremental oracle over a [`PartitionedCoverageIndex`] plus a mutable
+/// graph copy (the graph copy keeps `AllEdges` candidate sets accurate).
+/// Commits are shard-parallel: a deletion updates only the index partitions
+/// containing edges of the broken instances.
 pub struct IndexOracle {
-    index: CoverageIndex,
+    index: PartitionedCoverageIndex,
     graph: Graph,
 }
 
 impl IndexOracle {
-    /// Builds the oracle from the released graph and targets.
+    /// Builds the oracle from the released graph and targets, with
+    /// [`DEFAULT_INDEX_PARTITIONS`] index partitions.
     #[must_use]
     pub fn new(released: &Graph, targets: &[Edge], motif: Motif) -> Self {
+        Self::with_partitions(released, targets, motif, DEFAULT_INDEX_PARTITIONS)
+    }
+
+    /// Builds the oracle with an explicit partition count (a pure
+    /// performance knob: plans are bit-identical for every value).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    #[must_use]
+    pub fn with_partitions(released: &Graph, targets: &[Edge], motif: Motif, parts: usize) -> Self {
         IndexOracle {
-            index: CoverageIndex::build(released, targets, motif),
+            index: PartitionedCoverageIndex::build(released, targets, motif, parts),
             graph: released.clone(),
         }
     }
 
-    /// Read access to the underlying index (reporting, verification).
+    /// Read access to the underlying partitioned index (reporting,
+    /// verification).
     #[must_use]
-    pub fn index(&self) -> &CoverageIndex {
+    pub fn index(&self) -> &PartitionedCoverageIndex {
         &self.index
     }
 
@@ -174,6 +218,21 @@ impl GainOracle for IndexOracle {
     fn commit(&mut self, p: Edge) -> usize {
         self.graph.remove_edge(p.u(), p.v());
         self.index.delete_edge(p)
+    }
+
+    fn commit_batch(&mut self, edges: &[Edge]) -> Vec<usize> {
+        for e in edges {
+            self.graph.remove_edge(e.u(), e.v());
+        }
+        self.index.delete_edges(edges)
+    }
+
+    fn gain_set(&mut self, p: Edge) -> Option<Vec<InstanceId>> {
+        Some(self.index.alive_instance_ids(p))
+    }
+
+    fn set_commit_threads(&mut self, threads: usize) {
+        self.index.set_threads(threads);
     }
 
     fn target_count(&self) -> usize {
@@ -511,6 +570,18 @@ impl GainOracle for AnyOracle<'_> {
 
     fn commit(&mut self, p: Edge) -> usize {
         any_oracle_delegate!(self, o => o.commit(p))
+    }
+
+    fn commit_batch(&mut self, edges: &[Edge]) -> Vec<usize> {
+        any_oracle_delegate!(self, o => o.commit_batch(edges))
+    }
+
+    fn gain_set(&mut self, p: Edge) -> Option<Vec<InstanceId>> {
+        any_oracle_delegate!(self, o => o.gain_set(p))
+    }
+
+    fn set_commit_threads(&mut self, threads: usize) {
+        any_oracle_delegate!(self, o => o.set_commit_threads(threads))
     }
 
     fn target_count(&self) -> usize {

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use tpp_core::{
     celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
-    random_deletion_from_subgraphs, sgb_greedy, verify_plan, wt_greedy, BudgetDivision,
-    EvaluatorKind, GreedyConfig, TppInstance,
+    random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, verify_plan, wt_greedy,
+    BudgetDivision, EvaluatorKind, GreedyConfig, TppInstance,
 };
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::Motif;
@@ -213,6 +213,40 @@ proptest! {
                         "oracle {:?} picks diverged", cfg.evaluator);
                     prop_assert_eq!(r.final_similarity, base.final_similarity);
                 }
+            }
+        }
+    }
+
+    /// The batch-commit acceptance contract: `select_batch(k, 1)` produces
+    /// plans **bit-identical** to the sequential `select(k)` rounds for
+    /// every oracle kind and `threads ∈ {1, 2, 4}`; and for `j > 1` the
+    /// batch plan is still feasible, exact per step, and reaches the same
+    /// final similarity when both spend the full candidate supply.
+    #[test]
+    fn batch_of_one_is_bit_identical_to_sequential(
+        instance in instance_strategy(),
+        k in 1usize..=5,
+    ) {
+        let motif = Motif::Triangle;
+        for cfg in evaluator_configs(motif) {
+            let sequential = sgb_greedy(&instance, k, &cfg.with_threads(1));
+            for threads in [1usize, 2, 4] {
+                let batch = sgb_greedy_batch(&instance, k, 1, &cfg.with_threads(threads));
+                prop_assert_eq!(&sequential, &batch,
+                    "select_batch(k, 1) {:?} x{} diverged", cfg.evaluator, threads);
+            }
+        }
+        // j > 1: disjointness-verified batches stay exact and feasible.
+        let cfg = GreedyConfig::scalable(motif);
+        let full_seq = sgb_greedy(&instance, usize::MAX, &cfg);
+        for j in [2usize, 3] {
+            // Exhaustive budgets protect fully, batched or not.
+            let full_batch = sgb_greedy_batch(&instance, usize::MAX, j, &cfg);
+            prop_assert_eq!(full_seq.final_similarity, full_batch.final_similarity);
+            for threads in [1usize, 2] {
+                let plan = sgb_greedy_batch(&instance, k, j, &cfg.with_threads(threads));
+                check_feasible(&instance, &plan, motif);
+                prop_assert!(plan.deletions() <= k);
             }
         }
     }

@@ -8,6 +8,20 @@
 //! never *create* instances), the index is built once and only ever shrinks —
 //! which is also the combinatorial heart of the monotonicity and
 //! submodularity proofs (Lemmas 1–4).
+//!
+//! Beyond the posting lists, the index maintains two derived structures
+//! incrementally so the greedy round loop never recomputes them:
+//!
+//! * a **per-edge alive count** (`Δ_p` itself), making [`CoverageIndex::gain`]
+//!   an `O(1)` lookup instead of a posting-list walk;
+//! * a **sorted alive-candidate list** (Lemma 5's restricted candidate set),
+//!   compacted in place when deletions retire edges, so
+//!   [`CoverageIndex::alive_candidate_edges`] returns a borrowed slice
+//!   instead of re-walking and re-sorting every posting each round.
+//!
+//! For the partition-parallel variant whose commits touch only the shards
+//! containing the broken instances, see
+//! [`PartitionedCoverageIndex`](crate::PartitionedCoverageIndex).
 
 use crate::enumerate::enumerate_target_subgraphs;
 use crate::instance::MotifInstance;
@@ -17,6 +31,121 @@ use tpp_graph::{Edge, FastMap, NeighborAccess};
 /// Index id of a motif instance inside a [`CoverageIndex`].
 pub type InstanceId = u32;
 
+/// Posting list of one candidate edge: the instances containing it, plus
+/// the maintained count of how many of them are still alive (= `Δ_p`).
+#[derive(Debug, Clone)]
+pub(crate) struct Posting {
+    /// Ids of every instance containing the edge, alive or dead.
+    pub ids: Vec<InstanceId>,
+    /// How many of `ids` are currently alive.
+    pub alive: u32,
+}
+
+/// Builds the posting map for `instances`, with every instance alive.
+pub(crate) fn build_postings(instances: &[MotifInstance]) -> FastMap<Edge, Posting> {
+    let mut postings: FastMap<Edge, Posting> =
+        tpp_graph::hash::fast_map_with_capacity(instances.len() * 2);
+    for (id, inst) in instances.iter().enumerate() {
+        for &e in inst.edges() {
+            let p = postings.entry(e).or_insert_with(|| Posting {
+                ids: Vec::new(),
+                alive: 0,
+            });
+            p.ids.push(id as InstanceId);
+            p.alive += 1;
+        }
+    }
+    postings
+}
+
+/// `(own, cross)` split of a posting's alive instances relative to
+/// `target_idx` — the CT/WT score kernel shared by both index flavors.
+pub(crate) fn posting_gain_split(
+    posting: Option<&Posting>,
+    alive: &[bool],
+    instances: &[MotifInstance],
+    target_idx: usize,
+) -> (usize, usize) {
+    let (mut own, mut cross) = (0usize, 0usize);
+    if let Some(po) = posting {
+        for &id in &po.ids {
+            if alive[id as usize] {
+                if instances[id as usize].target_idx == target_idx {
+                    own += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+        }
+    }
+    (own, cross)
+}
+
+/// Per-target alive counts of one posting (the gain-vector kernel shared
+/// by both index flavors).
+pub(crate) fn posting_gain_vector(
+    posting: Option<&Posting>,
+    alive: &[bool],
+    instances: &[MotifInstance],
+    targets_len: usize,
+) -> Vec<usize> {
+    let mut v = vec![0usize; targets_len];
+    if let Some(po) = posting {
+        for &id in &po.ids {
+            if alive[id as usize] {
+                v[instances[id as usize].target_idx] += 1;
+            }
+        }
+    }
+    v
+}
+
+/// Walks every posting of `postings`, asserts its maintained alive count
+/// against the flags, and returns the sorted alive-candidate list — the
+/// invariant-check kernel shared by both index flavors.
+///
+/// # Panics
+/// Panics when a maintained count disagrees with the posting walk.
+pub(crate) fn verify_posting_map(postings: &FastMap<Edge, Posting>, alive: &[bool]) -> Vec<Edge> {
+    let mut candidates = Vec::new();
+    for (&e, po) in postings {
+        let walked = po.ids.iter().filter(|&&id| alive[id as usize]).count();
+        assert_eq!(walked, po.alive as usize, "alive count of {e} out of sync");
+        if walked > 0 {
+            candidates.push(e);
+        }
+    }
+    candidates.sort_unstable();
+    candidates
+}
+
+/// Enumerates every target subgraph of every target (the shared build pass
+/// of both index flavors). Returns the instance list and the per-target
+/// alive counts.
+///
+/// # Panics
+/// Panics if any target edge is still present in `g` (phase 1 not run).
+pub(crate) fn enumerate_instances<G: NeighborAccess>(
+    g: &G,
+    targets: &[Edge],
+    motif: Motif,
+) -> (Vec<MotifInstance>, Vec<usize>) {
+    for t in targets {
+        assert!(
+            !g.has_edge(t.u(), t.v()),
+            "target {t} still present: run phase 1 (delete targets) before indexing"
+        );
+    }
+    let mut instances = Vec::new();
+    let mut per_target_alive = vec![0usize; targets.len()];
+    for (idx, t) in targets.iter().enumerate() {
+        let mut found = enumerate_target_subgraphs(g, t.u(), t.v(), motif, idx);
+        per_target_alive[idx] = found.len();
+        instances.append(&mut found);
+    }
+    (instances, per_target_alive)
+}
+
 /// Incidence index between edges and alive motif instances for a fixed
 /// (graph, target set, motif) triple.
 #[derive(Debug, Clone)]
@@ -25,12 +154,16 @@ pub struct CoverageIndex {
     targets: Vec<Edge>,
     instances: Vec<MotifInstance>,
     alive: Vec<bool>,
-    /// Edge -> ids of instances containing it (alive or dead; filtered on
-    /// read — instances die at most once so amortized cost is bounded).
-    edge_to_instances: FastMap<Edge, Vec<InstanceId>>,
+    /// Edge -> posting (instance ids + maintained alive count).
+    postings: FastMap<Edge, Posting>,
     /// Alive-instance count per target index: the similarity `s(P, t)`.
     per_target_alive: Vec<usize>,
     alive_total: usize,
+    /// Sorted edges with at least one alive instance, compacted in place
+    /// whenever a deletion retires edges (Lemma 5's candidate set).
+    alive_candidates: Vec<Edge>,
+    /// Reusable kill buffer so `delete_edge` never allocates per call.
+    kill_scratch: Vec<InstanceId>,
 }
 
 impl CoverageIndex {
@@ -44,38 +177,21 @@ impl CoverageIndex {
     /// Panics if any target edge is still present in `g`.
     #[must_use]
     pub fn build<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif) -> Self {
-        for t in targets {
-            assert!(
-                !g.has_edge(t.u(), t.v()),
-                "target {t} still present: run phase 1 (delete targets) before indexing"
-            );
-        }
-        let mut instances = Vec::new();
-        let mut per_target_alive = vec![0usize; targets.len()];
-        for (idx, t) in targets.iter().enumerate() {
-            let mut found = enumerate_target_subgraphs(g, t.u(), t.v(), motif, idx);
-            per_target_alive[idx] = found.len();
-            instances.append(&mut found);
-        }
-        let mut edge_to_instances: FastMap<Edge, Vec<InstanceId>> =
-            tpp_graph::hash::fast_map_with_capacity(instances.len() * 2);
-        for (id, inst) in instances.iter().enumerate() {
-            for &e in inst.edges() {
-                edge_to_instances
-                    .entry(e)
-                    .or_default()
-                    .push(id as InstanceId);
-            }
-        }
+        let (instances, per_target_alive) = enumerate_instances(g, targets, motif);
+        let postings = build_postings(&instances);
+        let mut alive_candidates: Vec<Edge> = postings.keys().copied().collect();
+        alive_candidates.sort_unstable();
         let alive_total = instances.len();
         CoverageIndex {
             motif,
             targets: targets.to_vec(),
             alive: vec![true; instances.len()],
             instances,
-            edge_to_instances,
+            postings,
             per_target_alive,
             alive_total,
+            alive_candidates,
+            kill_scratch: Vec::new(),
         }
     }
 
@@ -116,12 +232,11 @@ impl CoverageIndex {
     }
 
     /// Dissimilarity gain `Δ_p` of deleting `p`: alive instances containing
-    /// `p` across **all** targets (the SGB-Greedy score).
+    /// `p` across **all** targets (the SGB-Greedy score). `O(1)`: the count
+    /// is maintained incrementally by [`CoverageIndex::delete_edge`].
     #[must_use]
     pub fn gain(&self, p: Edge) -> usize {
-        self.edge_to_instances.get(&p).map_or(0, |ids| {
-            ids.iter().filter(|&&id| self.alive[id as usize]).count()
-        })
+        self.postings.get(&p).map_or(0, |po| po.alive as usize)
     }
 
     /// Split gain for CT/WT-Greedy: `(own, cross)` where `own` counts alive
@@ -130,78 +245,85 @@ impl CoverageIndex {
     /// `Δ_t^p = own + cross / C`, i.e. lexicographic `(own, cross)`.
     #[must_use]
     pub fn gain_split(&self, p: Edge, target_idx: usize) -> (usize, usize) {
-        let (mut own, mut cross) = (0usize, 0usize);
-        if let Some(ids) = self.edge_to_instances.get(&p) {
-            for &id in ids {
-                if self.alive[id as usize] {
-                    if self.instances[id as usize].target_idx == target_idx {
-                        own += 1;
-                    } else {
-                        cross += 1;
-                    }
-                }
-            }
-        }
-        (own, cross)
+        posting_gain_split(
+            self.postings.get(&p),
+            &self.alive,
+            &self.instances,
+            target_idx,
+        )
     }
 
     /// Per-target gain vector: entry `t` counts the alive instances of
     /// target `t` containing `p`. One pass over `p`'s instance list.
     #[must_use]
     pub fn gain_vector(&self, p: Edge) -> Vec<usize> {
-        let mut v = vec![0usize; self.targets.len()];
-        if let Some(ids) = self.edge_to_instances.get(&p) {
-            for &id in ids {
-                if self.alive[id as usize] {
-                    v[self.instances[id as usize].target_idx] += 1;
-                }
-            }
-        }
-        v
+        posting_gain_vector(
+            self.postings.get(&p),
+            &self.alive,
+            &self.instances,
+            self.targets.len(),
+        )
     }
 
     /// Deletes edge `p`, killing every alive instance containing it.
     /// Returns the number of instances broken (= the realized `Δ_p`).
+    ///
+    /// Besides flipping alive flags this maintains the per-edge alive
+    /// counts and compacts the alive-candidate list when edges retire — the
+    /// whole-index walk the candidate set used to cost per round.
     pub fn delete_edge(&mut self, p: Edge) -> usize {
-        let Some(ids) = self.edge_to_instances.get(&p) else {
-            return 0;
-        };
-        let mut broken = 0usize;
-        // `ids` can't be borrowed while mutating `alive`; clone the short id
-        // list (instances per edge are few) rather than fighting the borrow.
-        let ids: Vec<InstanceId> = ids.clone();
-        for id in ids {
+        // Collect the kill set first: the posting map cannot be borrowed
+        // while other postings' counts are decremented below. The scratch
+        // buffer is reused across calls, so no allocation either way.
+        let mut killed = std::mem::take(&mut self.kill_scratch);
+        killed.clear();
+        if let Some(po) = self.postings.get(&p) {
+            killed.extend(po.ids.iter().filter(|&&id| self.alive[id as usize]));
+        }
+        let broken = killed.len();
+        let mut retired = false;
+        for &id in &killed {
             let idx = id as usize;
-            if self.alive[idx] {
-                self.alive[idx] = false;
-                self.per_target_alive[self.instances[idx].target_idx] -= 1;
-                self.alive_total -= 1;
-                broken += 1;
+            self.alive[idx] = false;
+            self.per_target_alive[self.instances[idx].target_idx] -= 1;
+            self.alive_total -= 1;
+            // Every edge of a killed instance loses one alive posting.
+            for e in self.instances[idx].edges() {
+                let po = self
+                    .postings
+                    .get_mut(e)
+                    .expect("instance edge must be posted");
+                po.alive -= 1;
+                retired |= po.alive == 0;
             }
         }
+        if retired {
+            // In-place compaction preserves sorted order; only rounds that
+            // actually retire candidates pay this pass.
+            let postings = &self.postings;
+            self.alive_candidates
+                .retain(|e| postings.get(e).is_some_and(|po| po.alive > 0));
+        }
+        self.kill_scratch = killed;
+        #[cfg(debug_assertions)]
+        self.check_invariants();
         broken
     }
 
     /// Edges that participate in at least one **alive** instance — the
     /// restricted candidate set of the scalable `-R` algorithms (Lemma 5).
-    /// Sorted canonically for deterministic iteration.
+    /// Sorted canonically; maintained incrementally by
+    /// [`CoverageIndex::delete_edge`], so this is a borrow, not a rebuild.
     #[must_use]
-    pub fn alive_candidate_edges(&self) -> Vec<Edge> {
-        let mut out: Vec<Edge> = self
-            .edge_to_instances
-            .iter()
-            .filter(|(_, ids)| ids.iter().any(|&id| self.alive[id as usize]))
-            .map(|(&e, _)| e)
-            .collect();
-        out.sort_unstable();
-        out
+    pub fn alive_candidate_edges(&self) -> &[Edge] {
+        &self.alive_candidates
     }
 
     /// All edges that ever participated in an instance (alive or dead),
     /// sorted. This is the static candidate superset `edges(W)`.
     #[must_use]
     pub fn all_candidate_edges(&self) -> Vec<Edge> {
-        let mut out: Vec<Edge> = self.edge_to_instances.keys().copied().collect();
+        let mut out: Vec<Edge> = self.postings.keys().copied().collect();
         out.sort_unstable();
         out
     }
@@ -215,7 +337,9 @@ impl CoverageIndex {
             .map(|(_, inst)| inst)
     }
 
-    /// Verifies internal consistency (counters vs alive flags). Test helper.
+    /// Verifies internal consistency (counters, alive counts, and the
+    /// candidate list vs the alive flags). Runs automatically after every
+    /// deletion in debug builds; release-mode rounds never pay this walk.
     pub fn check_invariants(&self) {
         let alive_count = self.alive.iter().filter(|&&a| a).count();
         assert_eq!(alive_count, self.alive_total, "alive_total out of sync");
@@ -226,6 +350,11 @@ impl CoverageIndex {
             }
         }
         assert_eq!(per_target, self.per_target_alive, "per-target out of sync");
+        assert_eq!(
+            verify_posting_map(&self.postings, &self.alive),
+            self.alive_candidates,
+            "alive-candidate list out of sync"
+        );
     }
 }
 
@@ -289,7 +418,7 @@ mod tests {
         idx.delete_edge(Edge::new(1, 3)); // kills target-0 instance
         assert_eq!(
             idx.alive_candidate_edges(),
-            vec![Edge::new(0, 3), Edge::new(2, 3)]
+            &[Edge::new(0, 3), Edge::new(2, 3)]
         );
     }
 
@@ -334,5 +463,25 @@ mod tests {
         idx.delete_edge(Edge::new(2, 3));
         assert_eq!(idx.alive_instances().count(), 1);
         assert_eq!(idx.alive_instances().next().unwrap().target_idx, 0);
+    }
+
+    #[test]
+    fn maintained_gains_track_deletions() {
+        // The O(1) gain counts must track an arbitrary deletion sequence
+        // exactly (cross-checked against the posting-walk in invariants).
+        let mut g = tpp_graph::generators::erdos_renyi_gnp(24, 0.3, 7);
+        let targets = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        let mut idx = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        while let Some(&p) = idx.alive_candidate_edges().first() {
+            let expect = idx.gain(p);
+            assert!(expect > 0, "candidate list must only hold alive edges");
+            assert_eq!(idx.delete_edge(p), expect);
+            idx.check_invariants();
+        }
+        assert_eq!(idx.total_similarity(), 0);
+        assert!(idx.alive_candidate_edges().is_empty());
     }
 }

@@ -27,9 +27,11 @@
 mod coverage;
 mod enumerate;
 mod instance;
+mod partitioned;
 mod pattern;
 
 pub use coverage::{CoverageIndex, InstanceId};
 pub use enumerate::{count_all_targets, count_target_subgraphs, enumerate_target_subgraphs};
 pub use instance::MotifInstance;
+pub use partitioned::PartitionedCoverageIndex;
 pub use pattern::Motif;

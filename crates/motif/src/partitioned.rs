@@ -1,0 +1,588 @@
+//! [`PartitionedCoverageIndex`]: the coverage index with its candidate-edge
+//! → motif-instance postings split across degree-balanced node-range
+//! partitions, so **commits scale like scans do**.
+//!
+//! The monolithic [`CoverageIndex`](crate::CoverageIndex) keeps one posting
+//! map and one alive-candidate list; every deletion that retires candidates
+//! pays a compaction pass over the *whole* list. Here the postings and the
+//! candidate list are partitioned by the owning shard of each edge (the
+//! shard whose node range contains the edge's lower endpoint — the same
+//! ownership discipline as `tpp_store::CsrShard::owns_edge`, over the same
+//! degree-balanced boundaries as `tpp_store::CsrGraph::shard_ranges`).
+//! A deletion therefore touches only the shards that actually contain edges
+//! of the broken instances, and the per-shard updates are independent: with
+//! `threads > 1` they run in parallel worker threads, one per dirty shard.
+//!
+//! Every result is **bit-identical for every shard count and every thread
+//! count**: the kill phase walks instances in posting order, per-shard
+//! update sets are disjoint by construction, and aggregate counts reduce in
+//! shard order.
+
+use crate::coverage::{build_postings, enumerate_instances, Posting};
+use crate::instance::MotifInstance;
+use crate::pattern::Motif;
+use tpp_graph::{Edge, FastMap, NeighborAccess, NodeId};
+
+pub use crate::coverage::InstanceId;
+
+/// Below this many count decrements a commit applies its shard updates
+/// inline: a handful of hash-map decrements costs tens of nanoseconds,
+/// while spawning scoped worker threads costs tens of microseconds.
+const MIN_PARALLEL_COMMIT_OPS: usize = 4096;
+
+/// One partition of the index: the postings and alive-candidate list of the
+/// edges this shard owns.
+#[derive(Debug, Clone, Default)]
+struct IndexShard {
+    /// Posting lists of the owned edges (instance ids + alive counts).
+    postings: FastMap<Edge, Posting>,
+    /// Sorted owned edges with at least one alive instance.
+    alive_candidates: Vec<Edge>,
+}
+
+impl IndexShard {
+    /// Applies one batch of alive-count decrements (one entry per killed
+    /// instance × owned edge) and compacts the candidate list if any edge
+    /// retired. Pure shard-local state: safe to run concurrently with other
+    /// shards' updates, and deterministic regardless of who runs it.
+    fn apply_decrements(&mut self, ops: &[Edge]) {
+        let mut retired = false;
+        for e in ops {
+            let po = self
+                .postings
+                .get_mut(e)
+                .expect("killed instance edge must be posted in its owner shard");
+            po.alive -= 1;
+            retired |= po.alive == 0;
+        }
+        if retired {
+            let postings = &self.postings;
+            self.alive_candidates
+                .retain(|e| postings.get(e).is_some_and(|po| po.alive > 0));
+        }
+    }
+}
+
+/// A [`CoverageIndex`](crate::CoverageIndex) whose postings are partitioned
+/// across degree-balanced node-range shards, with shard-parallel commits.
+///
+/// Scans read it exactly like the monolithic index (`gain` is an `O(1)`
+/// count lookup, `gain_vector`/`gain_split` walk one posting list);
+/// [`delete_edge`](Self::delete_edge) and the batch
+/// [`delete_edges`](Self::delete_edges) update only the dirty shards.
+#[derive(Debug, Clone)]
+pub struct PartitionedCoverageIndex {
+    motif: Motif,
+    targets: Vec<Edge>,
+    instances: Vec<MotifInstance>,
+    alive: Vec<bool>,
+    per_target_alive: Vec<usize>,
+    alive_total: usize,
+    /// Shard boundaries over the node space: shard `i` owns nodes
+    /// `bounds[i]..bounds[i + 1]` (and every edge whose lower endpoint
+    /// falls in that range). `bounds.len() == shards.len() + 1`.
+    bounds: Vec<NodeId>,
+    shards: Vec<IndexShard>,
+    /// Worker threads for the per-shard commit phase (1 = sequential).
+    threads: usize,
+    /// Reusable kill buffer (killed instance ids of the current commit).
+    kill_scratch: Vec<InstanceId>,
+    /// Reusable per-shard decrement-op buffers.
+    op_scratch: Vec<Vec<Edge>>,
+}
+
+impl PartitionedCoverageIndex {
+    /// Builds the index over `parts` degree-balanced partitions (the same
+    /// boundary computation as `tpp_store::CsrGraph::shard_ranges`, via
+    /// [`tpp_store::balanced_prefix_ranges`] over the degree prefix sum).
+    ///
+    /// `g` must already have all targets removed (phase 1). Shard count is
+    /// purely a performance knob: every query and deletion result is
+    /// bit-identical for every `parts` value.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or any target edge is still present in `g`.
+    #[must_use]
+    pub fn build<G: NeighborAccess>(g: &G, targets: &[Edge], motif: Motif, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        let (instances, per_target_alive) = enumerate_instances(g, targets, motif);
+
+        // Degree prefix sum over the node space — the CSR offset shape —
+        // cut into payload-balanced contiguous node ranges.
+        let n = g.node_count();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for u in 0..n {
+            acc += g.degree(u as NodeId) as u64;
+            prefix.push(acc);
+        }
+        let ranges = tpp_store::balanced_prefix_ranges(&prefix, parts);
+        let mut bounds: Vec<NodeId> = vec![0];
+        for r in &ranges {
+            bounds.push(r.end as NodeId);
+        }
+        if bounds.len() == 1 {
+            bounds.push(0); // empty node space still gets one (empty) shard
+        }
+        let shard_count = bounds.len() - 1;
+
+        // Partition the global posting map by edge ownership; per-shard
+        // candidate lists sort locally, and concatenate globally sorted
+        // because ownership follows ascending lower-endpoint ranges.
+        let mut shards: Vec<IndexShard> = vec![IndexShard::default(); shard_count];
+        let shard_of = |u: NodeId| -> usize {
+            bounds
+                .partition_point(|&b| b <= u)
+                .saturating_sub(1)
+                .min(shard_count - 1)
+        };
+        for (e, posting) in build_postings(&instances) {
+            shards[shard_of(e.u())].postings.insert(e, posting);
+        }
+        for shard in &mut shards {
+            shard.alive_candidates = shard.postings.keys().copied().collect();
+            shard.alive_candidates.sort_unstable();
+        }
+
+        let alive_total = instances.len();
+        let op_scratch = vec![Vec::new(); shard_count];
+        PartitionedCoverageIndex {
+            motif,
+            targets: targets.to_vec(),
+            alive: vec![true; instances.len()],
+            instances,
+            per_target_alive,
+            alive_total,
+            bounds,
+            shards,
+            threads: 1,
+            kill_scratch: Vec::new(),
+            op_scratch,
+        }
+    }
+
+    /// Sets the worker-thread count for the per-shard commit phase
+    /// (`1` = sequential). Purely a performance knob — deletions produce
+    /// bit-identical state for every value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn parts(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition boundaries as node ranges (ascending, covering the
+    /// node space the index was built over).
+    #[must_use]
+    pub fn shard_ranges(&self) -> Vec<std::ops::Range<NodeId>> {
+        self.bounds.windows(2).map(|w| w[0]..w[1]).collect()
+    }
+
+    /// Alive-candidate count per shard (reporting / balance diagnostics).
+    #[must_use]
+    pub fn shard_candidate_counts(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.alive_candidates.len())
+            .collect()
+    }
+
+    #[inline]
+    fn shard_of(&self, u: NodeId) -> usize {
+        self.bounds
+            .partition_point(|&b| b <= u)
+            .saturating_sub(1)
+            .min(self.shards.len() - 1)
+    }
+
+    /// The motif this index was built for.
+    #[must_use]
+    pub fn motif(&self) -> Motif {
+        self.motif
+    }
+
+    /// The target set, in index order.
+    #[must_use]
+    pub fn targets(&self) -> &[Edge] {
+        &self.targets
+    }
+
+    /// Total similarity `s(P, T)`: alive instances across all targets.
+    #[must_use]
+    pub fn total_similarity(&self) -> usize {
+        self.alive_total
+    }
+
+    /// Similarity of a single target: `s(P, t) = |W_t alive|`.
+    #[must_use]
+    pub fn target_similarity(&self, target_idx: usize) -> usize {
+        self.per_target_alive[target_idx]
+    }
+
+    /// Per-target similarity vector.
+    #[must_use]
+    pub fn similarities(&self) -> &[usize] {
+        &self.per_target_alive
+    }
+
+    /// Initial total similarity `s(∅, T)` (instances ever indexed).
+    #[must_use]
+    pub fn initial_similarity(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Dissimilarity gain `Δ_p`: `O(1)` lookup of the maintained alive
+    /// count in `p`'s owner shard.
+    #[must_use]
+    pub fn gain(&self, p: Edge) -> usize {
+        self.shards[self.shard_of(p.u())]
+            .postings
+            .get(&p)
+            .map_or(0, |po| po.alive as usize)
+    }
+
+    /// `(own, cross)` gain split relative to `target_idx` (CT/WT score).
+    #[must_use]
+    pub fn gain_split(&self, p: Edge, target_idx: usize) -> (usize, usize) {
+        crate::coverage::posting_gain_split(
+            self.shards[self.shard_of(p.u())].postings.get(&p),
+            &self.alive,
+            &self.instances,
+            target_idx,
+        )
+    }
+
+    /// Per-target gain vector for deleting `p`.
+    #[must_use]
+    pub fn gain_vector(&self, p: Edge) -> Vec<usize> {
+        crate::coverage::posting_gain_vector(
+            self.shards[self.shard_of(p.u())].postings.get(&p),
+            &self.alive,
+            &self.instances,
+            self.targets.len(),
+        )
+    }
+
+    /// Ids of the **alive** instances containing `p` — `p`'s current gain
+    /// set. Two candidates with disjoint gain sets break disjoint instances,
+    /// which is exactly the batch-commit admission test in `tpp-core`.
+    #[must_use]
+    pub fn alive_instance_ids(&self, p: Edge) -> Vec<InstanceId> {
+        self.shards[self.shard_of(p.u())]
+            .postings
+            .get(&p)
+            .map_or_else(Vec::new, |po| {
+                po.ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.alive[id as usize])
+                    .collect()
+            })
+    }
+
+    /// Deletes edge `p`, killing every alive instance containing it.
+    /// Returns the realized `Δ_p`. See [`delete_edges`](Self::delete_edges).
+    pub fn delete_edge(&mut self, p: Edge) -> usize {
+        self.delete_edges(&[p])[0]
+    }
+
+    /// Deletes a batch of edges, killing every alive instance containing
+    /// any of them; returns the per-edge broken counts in input order
+    /// (an instance containing several batch edges is charged to the first
+    /// one in input order).
+    ///
+    /// Three phases:
+    ///
+    /// 1. **kill** (sequential, tiny): walk each edge's posting list in its
+    ///    owner shard, flip alive flags, update per-target counters;
+    /// 2. **route**: group one alive-count decrement per killed instance ×
+    ///    instance edge by the edge's owner shard;
+    /// 3. **apply**: each dirty shard decrements its counts and compacts
+    ///    its candidate list — chunked across at most `threads` worker
+    ///    threads when the batch is large enough to amortize the spawns.
+    ///
+    /// Only the dirty shards are touched, and the result is bit-identical
+    /// for every shard and thread count.
+    pub fn delete_edges(&mut self, ps: &[Edge]) -> Vec<usize> {
+        let mut killed = std::mem::take(&mut self.kill_scratch);
+        killed.clear();
+        let mut broken_out = Vec::with_capacity(ps.len());
+
+        // Phase 1: kill, in input order (disjoint-field borrows: postings
+        // live in `shards`, flags in `alive` — no posting-list clone).
+        for &p in ps {
+            let s = self.shard_of(p.u());
+            let before = killed.len();
+            if let Some(po) = self.shards[s].postings.get(&p) {
+                for &id in &po.ids {
+                    let idx = id as usize;
+                    if self.alive[idx] {
+                        self.alive[idx] = false;
+                        self.per_target_alive[self.instances[idx].target_idx] -= 1;
+                        self.alive_total -= 1;
+                        killed.push(id);
+                    }
+                }
+            }
+            broken_out.push(killed.len() - before);
+        }
+
+        // Phase 2: route decrements to owner shards.
+        let mut ops = std::mem::take(&mut self.op_scratch);
+        for v in &mut ops {
+            v.clear();
+        }
+        for &id in &killed {
+            for &e in self.instances[id as usize].edges() {
+                ops[self.shard_of(e.u())].push(e);
+            }
+        }
+
+        // Phase 3: apply per dirty shard. Shard states are disjoint, so
+        // the outcome cannot depend on scheduling; parallelism is gated on
+        // the commit being big enough to amortize thread spawns (single
+        // greedy picks decrement a handful of counters — far below one
+        // spawn's cost), and worker count respects the thread budget: the
+        // dirty shards are chunked across at most `threads` workers, never
+        // one OS thread per shard.
+        let mut dirty: Vec<(&mut IndexShard, &Vec<Edge>)> = self
+            .shards
+            .iter_mut()
+            .zip(&ops)
+            .filter(|(_, shard_ops)| !shard_ops.is_empty())
+            .collect();
+        let total_ops: usize = dirty.iter().map(|(_, o)| o.len()).sum();
+        if self.threads > 1 && dirty.len() > 1 && total_ops >= MIN_PARALLEL_COMMIT_OPS {
+            let per_worker = dirty.len().div_ceil(self.threads);
+            std::thread::scope(|scope| {
+                for chunk in dirty.chunks_mut(per_worker) {
+                    scope.spawn(move || {
+                        for (shard, shard_ops) in chunk {
+                            shard.apply_decrements(shard_ops);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (shard, shard_ops) in dirty {
+                shard.apply_decrements(shard_ops);
+            }
+        }
+
+        self.kill_scratch = killed;
+        self.op_scratch = ops;
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+        broken_out
+    }
+
+    /// Edges participating in at least one alive instance, sorted
+    /// canonically: the concatenation of the per-shard candidate lists
+    /// (shard ownership follows ascending lower-endpoint ranges, so the
+    /// concatenation is globally sorted without any merge).
+    #[must_use]
+    pub fn alive_candidate_edges(&self) -> Vec<Edge> {
+        let total: usize = self.shards.iter().map(|s| s.alive_candidates.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.alive_candidates);
+        }
+        out
+    }
+
+    /// The per-shard alive-candidate slices, in shard order (zero-copy
+    /// alternative to [`alive_candidate_edges`](Self::alive_candidate_edges)).
+    pub fn alive_candidate_slices(&self) -> impl Iterator<Item = &[Edge]> + '_ {
+        self.shards.iter().map(|s| s.alive_candidates.as_slice())
+    }
+
+    /// All edges that ever participated in an instance (alive or dead),
+    /// sorted.
+    #[must_use]
+    pub fn all_candidate_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.postings.keys().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates alive instances (for reporting / verification).
+    pub fn alive_instances(&self) -> impl Iterator<Item = &MotifInstance> + '_ {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| self.alive[id])
+            .map(|(_, inst)| inst)
+    }
+
+    /// Verifies internal consistency: counters vs alive flags, per-shard
+    /// alive counts vs posting walks, candidate lists, and edge ownership.
+    /// Runs automatically after every deletion in debug builds; release
+    /// rounds never pay this walk.
+    pub fn check_invariants(&self) {
+        let alive_count = self.alive.iter().filter(|&&a| a).count();
+        assert_eq!(alive_count, self.alive_total, "alive_total out of sync");
+        let mut per_target = vec![0usize; self.targets.len()];
+        for (id, inst) in self.instances.iter().enumerate() {
+            if self.alive[id] {
+                per_target[inst.target_idx] += 1;
+            }
+        }
+        assert_eq!(per_target, self.per_target_alive, "per-target out of sync");
+        assert_eq!(self.bounds.len(), self.shards.len() + 1, "bounds arity");
+        for (s, shard) in self.shards.iter().enumerate() {
+            for &e in shard.postings.keys() {
+                assert_eq!(self.shard_of(e.u()), s, "edge {e} posted off-shard");
+            }
+            assert_eq!(
+                crate::coverage::verify_posting_map(&shard.postings, &self.alive),
+                shard.alive_candidates,
+                "candidate list of shard {s} out of sync"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverageIndex;
+    use tpp_graph::Graph;
+
+    fn fixture() -> (Graph, Vec<Edge>) {
+        let mut g = tpp_graph::generators::holme_kim(80, 4, 0.5, 11);
+        let targets = vec![Edge::new(0, 1), Edge::new(2, 5), Edge::new(3, 7)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        (g, targets)
+    }
+
+    #[test]
+    fn matches_monolithic_index_at_every_part_count() {
+        let (g, targets) = fixture();
+        for motif in Motif::ALL {
+            let mono = CoverageIndex::build(&g, &targets, motif);
+            for parts in [1usize, 2, 3, 7] {
+                let part = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+                assert_eq!(part.total_similarity(), mono.total_similarity());
+                assert_eq!(part.similarities(), mono.similarities());
+                assert_eq!(part.all_candidate_edges(), mono.all_candidate_edges());
+                assert_eq!(
+                    part.alive_candidate_edges(),
+                    mono.alive_candidate_edges(),
+                    "{motif} x{parts}"
+                );
+                for &p in mono.alive_candidate_edges() {
+                    assert_eq!(part.gain(p), mono.gain(p), "{motif} gain({p})");
+                    assert_eq!(part.gain_vector(p), mono.gain_vector(p));
+                    assert_eq!(part.gain_split(p, 0), mono.gain_split(p, 0));
+                }
+                part.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_agree_with_monolithic_for_all_parts_and_threads() {
+        let (g, targets) = fixture();
+        let mut mono = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        let mut parted: Vec<PartitionedCoverageIndex> = Vec::new();
+        for parts in [1usize, 4, 8] {
+            for threads in [1usize, 3] {
+                let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, parts);
+                idx.set_threads(threads);
+                parted.push(idx);
+            }
+        }
+        while let Some(&p) = mono.alive_candidate_edges().first() {
+            let broken = mono.delete_edge(p);
+            for idx in &mut parted {
+                assert_eq!(idx.delete_edge(p), broken, "delete({p})");
+                assert_eq!(idx.total_similarity(), mono.total_similarity());
+                assert_eq!(idx.alive_candidate_edges(), mono.alive_candidate_edges());
+            }
+        }
+        assert_eq!(mono.total_similarity(), 0);
+    }
+
+    #[test]
+    fn batch_delete_equals_sequential_on_disjoint_gain_sets() {
+        let (g, targets) = fixture();
+        let base = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 4);
+        // Assemble a batch with pairwise-disjoint gain sets, greedily.
+        let mut batch: Vec<Edge> = Vec::new();
+        let mut claimed: Vec<InstanceId> = Vec::new();
+        for p in base.alive_candidate_edges() {
+            let ids = base.alive_instance_ids(p);
+            if !ids.is_empty() && ids.iter().all(|id| !claimed.contains(id)) {
+                claimed.extend(ids);
+                batch.push(p);
+            }
+            if batch.len() == 4 {
+                break;
+            }
+        }
+        assert!(batch.len() >= 2, "fixture must admit a real batch");
+
+        let mut sequential = base.clone();
+        let seq_broken: Vec<usize> = batch.iter().map(|&p| sequential.delete_edge(p)).collect();
+        let mut batched = base.clone();
+        assert_eq!(batched.delete_edges(&batch), seq_broken);
+        assert_eq!(batched.total_similarity(), sequential.total_similarity());
+        assert_eq!(
+            batched.alive_candidate_edges(),
+            sequential.alive_candidate_edges()
+        );
+    }
+
+    #[test]
+    fn overlapping_batch_charges_shared_instances_once() {
+        // Two edges of the same triangle instance: the first in input order
+        // gets the kill, the second breaks only what is left.
+        let mut g = Graph::from_edges([(0u32, 1u32), (0, 2), (2, 1)]);
+        g.remove_edge(0, 1);
+        let mut idx = PartitionedCoverageIndex::build(&g, &[Edge::new(0, 1)], Motif::Triangle, 2);
+        let broken = idx.delete_edges(&[Edge::new(0, 2), Edge::new(1, 2)]);
+        assert_eq!(broken, vec![1, 0]);
+        assert_eq!(idx.total_similarity(), 0);
+    }
+
+    #[test]
+    fn empty_and_unknown_edges_are_harmless() {
+        let (g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 3);
+        let before = idx.total_similarity();
+        let mono = CoverageIndex::build(&g, &targets, Motif::Triangle);
+        assert_eq!(idx.gain(Edge::new(70, 79)), mono.gain(Edge::new(70, 79)));
+        assert_eq!(idx.gain(Edge::new(1000, 2000)), 0, "out-of-range edge");
+        assert_eq!(idx.delete_edges(&[]), Vec::<usize>::new());
+        assert_eq!(idx.delete_edge(Edge::new(1000, 2000)), 0);
+        assert_eq!(idx.total_similarity(), before);
+        let empty = PartitionedCoverageIndex::build(&Graph::new(0), &[], Motif::Triangle, 4);
+        assert_eq!(empty.total_similarity(), 0);
+        assert!(empty.alive_candidate_edges().is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_candidates_partition() {
+        let (g, targets) = fixture();
+        let idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Rectangle, 5);
+        let ranges = idx.shard_ranges();
+        assert_eq!(ranges.len(), idx.parts());
+        assert_eq!(ranges[0].start, 0);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let counts = idx.shard_candidate_counts();
+        let flat: Vec<Edge> = idx.alive_candidate_slices().flatten().copied().collect();
+        assert_eq!(counts.iter().sum::<usize>(), flat.len());
+        assert_eq!(flat, idx.alive_candidate_edges());
+    }
+}

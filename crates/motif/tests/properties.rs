@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use tpp_graph::{Edge, Graph};
-use tpp_motif::{count_all_targets, CoverageIndex, Motif};
+use tpp_motif::{count_all_targets, CoverageIndex, Motif, PartitionedCoverageIndex};
 
 /// Strategy: a random simple graph with `n in 8..=24` nodes and edge
 /// probability `p in 0.1..0.4`, plus 2 target pairs removed up front.
@@ -148,6 +148,54 @@ proptest! {
                 // gain vector consistency
                 let v = index.gain_vector(p);
                 prop_assert_eq!(v.iter().sum::<usize>(), index.gain(p));
+            }
+        }
+    }
+
+    /// Randomized delete sequences keep the partitioned index consistent
+    /// with a **freshly built** index on the mutated graph — for every
+    /// partition count and with the shard-parallel commit phase on: total
+    /// and per-target similarities, the O(1) gains, and the maintained
+    /// alive-candidate list all match a from-scratch build after every
+    /// deletion.
+    #[test]
+    fn partitioned_index_matches_fresh_build_after_deletions(
+        (g, targets) in instance_strategy(),
+        order in 0usize..1000,
+    ) {
+        for motif in MOTIFS {
+            let mut indexes: Vec<PartitionedCoverageIndex> = [1usize, 3, 6]
+                .iter()
+                .map(|&parts| {
+                    let mut idx = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+                    idx.set_threads(if parts == 6 { 3 } else { 1 });
+                    idx
+                })
+                .collect();
+            let mut g2 = g.clone();
+            let mut edges = g.edge_vec();
+            if edges.is_empty() { continue; }
+            let rot = order % edges.len();
+            edges.rotate_left(rot);
+            for e in edges.iter().take(5) {
+                let broken: Vec<usize> =
+                    indexes.iter_mut().map(|idx| idx.delete_edge(*e)).collect();
+                prop_assert!(broken.windows(2).all(|w| w[0] == w[1]),
+                    "partition counts disagree on delete({})", e);
+                g2.remove_edge(e.u(), e.v());
+                let fresh = CoverageIndex::build(&g2, &targets, motif);
+                let idx = &indexes[0];
+                prop_assert_eq!(idx.total_similarity(), fresh.total_similarity(),
+                    "motif {} diverged after deleting {}", motif, e);
+                prop_assert_eq!(idx.similarities(), fresh.similarities());
+                prop_assert_eq!(idx.alive_candidate_edges(),
+                    fresh.alive_candidate_edges().to_vec(), "candidates after {}", e);
+                for &p in fresh.alive_candidate_edges() {
+                    prop_assert_eq!(idx.gain(p), fresh.gain(p), "gain({}) stale", p);
+                    prop_assert_eq!(
+                        idx.alive_instance_ids(p).len(), idx.gain(p),
+                        "gain set of {} out of sync", p);
+                }
             }
         }
     }

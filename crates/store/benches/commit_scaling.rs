@@ -1,0 +1,191 @@
+//! Benchmark: the **commit phase** of a greedy round — deleting a protector
+//! edge from the coverage index and keeping the alive-candidate set current
+//! — under the monolithic and the partitioned index disciplines, on the
+//! `ba_50k` workload (Barabási–Albert, 50 000 nodes, m = 4, rectangle
+//! motif over 2 500 hidden targets).
+//!
+//! What is being compared:
+//!
+//! * `monolithic_commit` — `CoverageIndex::delete_edge`, one posting map
+//!   and one global alive-candidate list: every deletion that retires a
+//!   candidate pays a compaction pass over the **whole** list.
+//! * `partitioned_commit` — `PartitionedCoverageIndex::delete_edge` over
+//!   16 degree-balanced shards: the same deletions touch only the shards
+//!   owning edges of the broken instances, so compaction cost is bounded
+//!   by the dirty shards' lists (single-threaded here — the win is
+//!   structural, not parallelism).
+//! * `partitioned_commit_batch8` — the same deletion sequence through
+//!   `delete_edges` in batches of 8 (the engine's `select_batch(k, 8)`
+//!   commit shape): one routing + compaction pass per batch.
+//! * `clone_*` — the per-iteration index clone both commit benches pay, so
+//!   the JSON keeps the commit-only margins readable.
+//! * `rounds_sequential` vs `rounds_batch_j8` — 64 greedy commits driven
+//!   the round-loop way on the partitioned index: argmax-scan-per-commit
+//!   versus one scan per 8 disjoint-gain-set commits.
+//!
+//! Both disciplines are asserted to produce identical break counts and
+//! final state before anything is timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpp_graph::{Edge, Graph};
+use tpp_motif::{CoverageIndex, InstanceId, Motif, PartitionedCoverageIndex};
+
+const MOTIF: Motif = Motif::Rectangle;
+const PARTS: usize = 16;
+const DELETES: usize = 512;
+const BATCH_J: usize = 8;
+const ROUND_COMMITS: usize = 64;
+
+/// The ba_50k workload: released graph (targets removed) and target set.
+fn ba_50k() -> (Graph, Vec<Edge>) {
+    let mut g = tpp_graph::generators::barabasi_albert(50_000, 4, 17);
+    let all = g.edge_vec();
+    let mut targets: Vec<Edge> = (0..2_500).map(|i| all[(i * 499 + 7) % all.len()]).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    for t in &targets {
+        g.remove_edge(t.u(), t.v());
+    }
+    (g, targets)
+}
+
+/// A fixed, spread deletion sequence over the initial candidate set.
+fn deletion_sequence(index: &CoverageIndex, n: usize) -> Vec<Edge> {
+    let cands = index.alive_candidate_edges();
+    let n = n.min(cands.len());
+    (0..n).map(|i| cands[i * cands.len() / n]).collect()
+}
+
+/// 64 greedy commits, one argmax scan per commit (the sequential round
+/// shape, O(1) maintained gains).
+fn rounds_sequential(mut idx: PartitionedCoverageIndex) -> usize {
+    let mut broken = 0usize;
+    for _ in 0..ROUND_COMMITS {
+        let mut best: Option<(usize, Edge)> = None;
+        for slice in idx.alive_candidate_slices() {
+            for &e in slice {
+                let g = idx.gain(e);
+                if best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, e));
+                }
+            }
+        }
+        let Some((g, e)) = best else { break };
+        if g == 0 {
+            break;
+        }
+        broken += idx.delete_edge(e);
+    }
+    broken
+}
+
+/// The same number of commits, one scan per 8: each round accepts the
+/// top-8 candidates with pairwise-disjoint gain sets and commits them as
+/// one batch (the engine's `select_batch` commit shape).
+fn rounds_batch_j8(mut idx: PartitionedCoverageIndex) -> usize {
+    let mut broken = 0usize;
+    let mut committed = 0usize;
+    while committed < ROUND_COMMITS {
+        let mut scored: Vec<(usize, Edge)> = idx
+            .alive_candidate_slices()
+            .flatten()
+            .map(|&e| (idx.gain(e), e))
+            .collect();
+        scored.sort_unstable_by_key(|&(g, e)| (std::cmp::Reverse(g), e));
+        let mut batch: Vec<Edge> = Vec::with_capacity(BATCH_J);
+        let mut claimed: Vec<InstanceId> = Vec::new();
+        for &(g, e) in &scored {
+            if g == 0 || batch.len() >= BATCH_J.min(ROUND_COMMITS - committed) {
+                break;
+            }
+            let ids = idx.alive_instance_ids(e);
+            if batch.is_empty() || ids.iter().all(|id| !claimed.contains(id)) {
+                claimed.extend(ids);
+                batch.push(e);
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        committed += batch.len();
+        broken += idx.delete_edges(&batch).iter().sum::<usize>();
+    }
+    broken
+}
+
+fn bench_commit_scaling(c: &mut Criterion) {
+    let (g, targets) = ba_50k();
+    let mono = CoverageIndex::build(&g, &targets, MOTIF);
+    let mut part = PartitionedCoverageIndex::build(&g, &targets, MOTIF, PARTS);
+    part.set_threads(1); // the margin under test is structural, not threads
+    let deletes = deletion_sequence(&mono, DELETES);
+    assert!(deletes.len() >= 256, "workload must yield a real sequence");
+
+    // Both disciplines must agree exactly before anything is timed.
+    {
+        let (mut m, mut p) = (mono.clone(), part.clone());
+        let mut pb = part.clone();
+        let batched: usize = pb.delete_edges(&deletes).iter().sum();
+        let mut seq = 0usize;
+        for &e in &deletes {
+            let broken = m.delete_edge(e);
+            assert_eq!(broken, p.delete_edge(e), "disciplines diverged at {e}");
+            seq += broken;
+        }
+        assert!(seq > 0, "sequence must break instances");
+        assert_eq!(seq, batched, "batch total must equal sequential total");
+        assert_eq!(m.total_similarity(), p.total_similarity());
+        assert_eq!(m.alive_candidate_edges(), p.alive_candidate_edges());
+        assert_eq!(p.alive_candidate_edges(), pb.alive_candidate_edges());
+    }
+
+    let mut group = c.benchmark_group("commit_scaling");
+    group.sample_size(10);
+    group.bench_function("clone_monolithic", |b| {
+        b.iter(|| black_box(mono.clone()));
+    });
+    group.bench_function("clone_partitioned", |b| {
+        b.iter(|| black_box(part.clone()));
+    });
+    group.bench_function("monolithic_commit", |b| {
+        b.iter(|| {
+            let mut idx = mono.clone();
+            let mut broken = 0usize;
+            for &e in &deletes {
+                broken += idx.delete_edge(e);
+            }
+            black_box(broken)
+        });
+    });
+    group.bench_function("partitioned_commit", |b| {
+        b.iter(|| {
+            let mut idx = part.clone();
+            let mut broken = 0usize;
+            for &e in &deletes {
+                broken += idx.delete_edge(e);
+            }
+            black_box(broken)
+        });
+    });
+    group.bench_function("partitioned_commit_batch8", |b| {
+        b.iter(|| {
+            let mut idx = part.clone();
+            let mut broken = 0usize;
+            for chunk in deletes.chunks(BATCH_J) {
+                broken += idx.delete_edges(chunk).iter().sum::<usize>();
+            }
+            black_box(broken)
+        });
+    });
+    group.bench_function("rounds_sequential", |b| {
+        b.iter(|| black_box(rounds_sequential(part.clone())));
+    });
+    group.bench_function("rounds_batch_j8", |b| {
+        b.iter(|| black_box(rounds_batch_j8(part.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_scaling);
+criterion_main!(benches);
