@@ -25,6 +25,7 @@
 
 pub mod cli;
 pub mod evolution;
+pub mod fixtures;
 pub mod methods;
 pub mod output;
 pub mod tables;

@@ -72,6 +72,18 @@ impl Parsed {
         }
     }
 
+    /// Optional parsed numeric flag with default, **rejecting zero**: for
+    /// count-like knobs where `0` is a user error, not a sentinel (e.g.
+    /// `--batch`, `store build --threads`). The error names the flag and
+    /// states the floor.
+    pub fn positive_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        let value: usize = self.num_or(name, default)?;
+        if value == 0 {
+            return Err(format!("flag --{name} must be at least 1 (got 0)"));
+        }
+        Ok(value)
+    }
+
     /// Whether a boolean flag is present.
     #[must_use]
     pub fn has(&self, name: &str) -> bool {
@@ -123,5 +135,28 @@ mod tests {
         let p = parse(&strs(&["x", "--seed", "abc"])).unwrap();
         let err = p.num_or("seed", 0u64).unwrap_err();
         assert!(err.contains("abc"));
+    }
+
+    #[test]
+    fn positive_flags_reject_zero_with_a_clear_error() {
+        // `--batch 0` (and any other count-like knob) must fail loudly,
+        // naming the flag and the floor — not silently clamp or underflow.
+        let p = parse(&strs(&["protect", "g.txt", "--batch", "0"])).unwrap();
+        let err = p.positive_or("batch", 1).unwrap_err();
+        assert!(err.contains("--batch"), "error must name the flag: {err}");
+        assert!(
+            err.contains("at least 1"),
+            "error must state the floor: {err}"
+        );
+
+        // Valid values and defaults pass through unchanged.
+        let p = parse(&strs(&["protect", "g.txt", "--batch", "8"])).unwrap();
+        assert_eq!(p.positive_or("batch", 1).unwrap(), 8);
+        let p = parse(&strs(&["protect", "g.txt"])).unwrap();
+        assert_eq!(p.positive_or("batch", 1).unwrap(), 1);
+
+        // Garbage still reports the parse failure, not the zero check.
+        let p = parse(&strs(&["protect", "g.txt", "--batch", "x"])).unwrap();
+        assert!(p.positive_or("batch", 1).unwrap_err().contains('x'));
     }
 }

@@ -7,9 +7,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
 use tpp_core::{
-    celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
-    random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, wt_greedy, BudgetDivision,
-    GreedyConfig, ProtectionPlan, TppInstance,
+    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy_batch, divide_budget,
+    random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, wt_greedy_batch,
+    BudgetDivision, GreedyConfig, ProtectionPlan, TppInstance,
 };
 use tpp_graph::{parse_edge_list, write_edge_list, Edge, Graph};
 use tpp_linkpred::{evaluate_attack, sample_non_edges, Attacker, SimilarityIndex};
@@ -58,8 +58,13 @@ ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
 DIVISIONS:   tbd (default), dbd
 THREADS:     --threads 0 (default) uses every available core; plans are
              bit-identical for every thread count
-BATCH:       --batch J (sgb only) commits up to J non-interacting picks per
-             candidate scan; --batch 1 (default) is the exact greedy"
+BATCH:       --batch J commits up to J non-interacting picks per candidate
+             scan, for every greedy strategy: sgb/celf accept J pairwise-
+             disjoint gain sets per scan (celf pops J disjoint heap tops
+             per lazy refresh), ct/wt additionally cap each round's picks
+             by the charged targets' remaining budgets. --batch 1
+             (default) is the exact sequential greedy; J must be >= 1.
+             rd/rdt have no candidate scan and reject --batch"
 }
 
 fn load_graph(p: &Parsed) -> Result<Graph, String> {
@@ -167,20 +172,21 @@ fn protect(p: &Parsed) -> Result<(), String> {
     // single-core CI container degenerates to the sequential scan.
     let threads: usize = p.num_or("threads", 0usize)?;
     // Batch-commit round width: 1 = the exact sequential greedy; J > 1
-    // accepts up to J disjoint-gain-set picks per scan (SGB only).
-    let batch: usize = p.num_or("batch", 1usize)?;
-    if batch == 0 {
-        return Err("--batch must be at least 1".into());
-    }
-    if batch > 1 && algorithm != "sgb" {
+    // commits up to J disjoint-gain-set picks per scan — valid for every
+    // greedy strategy (sgb, celf, ct, wt); the random baselines have no
+    // scan to batch.
+    let batch: usize = p.positive_or("batch", 1)?;
+    if batch > 1 && matches!(algorithm, "rd" | "rdt") {
         return Err(format!(
-            "--batch {batch} requires --algorithm sgb (got {algorithm:?})"
+            "--batch {batch} requires a greedy algorithm (sgb, celf, ct, wt); \
+             {algorithm:?} has no candidate scan to batch"
         ));
     }
     let cfg = GreedyConfig::scalable(motif).with_threads(threads);
     let plan = match algorithm {
         "sgb" if batch > 1 => sgb_greedy_batch(&instance, budget, batch, &cfg),
         "sgb" => sgb_greedy(&instance, budget, &cfg),
+        "celf" if batch > 1 => celf_greedy_batch(&instance, budget, batch, &cfg),
         "celf" => celf_greedy(&instance, budget, &cfg),
         "ct" | "wt" => {
             let division = match p.get_or("division", "tbd") {
@@ -190,9 +196,9 @@ fn protect(p: &Parsed) -> Result<(), String> {
             };
             let budgets = divide_budget(division, budget, &instance, motif);
             if algorithm == "ct" {
-                ct_greedy(&instance, &budgets, &cfg).map_err(|e| e.to_string())?
+                ct_greedy_batch(&instance, &budgets, batch, &cfg).map_err(|e| e.to_string())?
             } else {
-                wt_greedy(&instance, &budgets, &cfg).map_err(|e| e.to_string())?
+                wt_greedy_batch(&instance, &budgets, batch, &cfg).map_err(|e| e.to_string())?
             }
         }
         "rd" => random_deletion(&instance, budget, motif, seed),
@@ -322,10 +328,7 @@ fn store(p: &Parsed) -> Result<(), String> {
             // Resolve every argument before the (potentially long) parse
             // and build, so arg errors are instant.
             let out = p.require("out")?;
-            let threads: usize = p.num_or("threads", 1usize)?;
-            if threads == 0 {
-                return Err("--threads must be at least 1".into());
-            }
+            let threads: usize = p.positive_or("threads", 1)?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
             let csr = tpp_store::CsrGraph::from_graph_parallel(&g, threads);
@@ -766,32 +769,40 @@ mod tests {
         }
         assert_eq!(plans[0], plans[1], "--batch 1 must be the exact greedy");
         assert!(plans[2].contains("SGB-Greedy"), "batched run still SGB");
-        // Guard rails: batch 0 and batch with a non-sgb algorithm.
-        for bad in [
-            vec![
+        // --batch is valid for every greedy strategy now.
+        for alg in ["celf", "ct", "wt"] {
+            let p = parse(&strs(&[
                 "protect",
                 graph_path.to_str().unwrap(),
                 "--budget",
-                "2",
+                "6",
                 "--random",
-                "2",
-                "--batch",
-                "0",
-            ],
-            vec![
-                "protect",
-                graph_path.to_str().unwrap(),
-                "--budget",
-                "2",
-                "--random",
-                "2",
-                "--batch",
-                "3",
+                "4",
                 "--algorithm",
-                "ct",
-            ],
+                alg,
+                "--batch",
+                "4",
+            ]))
+            .unwrap();
+            dispatch(&p).unwrap_or_else(|e| panic!("{alg} --batch 4: {e}"));
+        }
+        // Guard rails: batch 0, and batch with a scan-less baseline.
+        for (bad_flags, needle) in [
+            (vec!["--batch", "0"], "at least 1"),
+            (vec!["--batch", "3", "--algorithm", "rd"], "greedy"),
+            (vec!["--batch", "3", "--algorithm", "rdt"], "greedy"),
         ] {
-            assert!(dispatch(&parse(&strs(&bad)).unwrap()).is_err());
+            let mut args = vec![
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "2",
+                "--random",
+                "2",
+            ];
+            args.extend(bad_flags);
+            let err = dispatch(&parse(&strs(&args)).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in: {err}");
         }
     }
 

@@ -29,6 +29,34 @@ pub fn celf_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> P
     engine.into_global_plan(AlgorithmKind::CelfGreedy)
 }
 
+/// Runs the CELF + batch hybrid with global budget `k`: each lazy refresh
+/// phase pops up to `j` fresh heap tops whose gain sets are pairwise
+/// disjoint and commits them as one batch (see
+/// [`RoundEngine::run_global_lazy_batch`]); a conflicting top falls back
+/// to sequential re-evaluation in the next phase.
+///
+/// `j = 1` produces plans bit-identical to [`celf_greedy`] (and therefore
+/// to [`sgb_greedy`](crate::sgb_greedy)); larger `j` keeps every recorded
+/// gain exact but may order picks differently than the strictly
+/// sequential greedy would — the same trade as
+/// [`sgb_greedy_batch`](crate::sgb_greedy_batch), at CELF's fraction of
+/// the evaluations.
+#[must_use]
+pub fn celf_greedy_batch(
+    instance: &TppInstance,
+    k: usize,
+    j: usize,
+    config: &GreedyConfig,
+) -> ProtectionPlan {
+    let mut engine = RoundEngine::new(
+        AnyOracle::for_instance(instance, config),
+        config.candidates,
+        config.threads,
+    );
+    engine.run_global_lazy_batch(k, j);
+    engine.into_global_plan(AlgorithmKind::CelfGreedy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

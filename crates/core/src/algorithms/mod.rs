@@ -32,10 +32,10 @@ mod ct;
 mod sgb;
 mod wt;
 
-pub use celf::celf_greedy;
-pub use ct::ct_greedy;
+pub use celf::{celf_greedy, celf_greedy_batch};
+pub use ct::{ct_greedy, ct_greedy_batch};
 pub use sgb::{sgb_greedy, sgb_greedy_batch};
-pub use wt::wt_greedy;
+pub use wt::{wt_greedy, wt_greedy_batch};
 
 use crate::oracle::CandidatePolicy;
 use tpp_motif::Motif;

@@ -26,20 +26,45 @@ pub fn wt_greedy(
     budgets: &[usize],
     config: &GreedyConfig,
 ) -> Result<ProtectionPlan, TppError> {
+    wt_greedy_batch(instance, budgets, 1, config)
+}
+
+/// Runs WT-Greedy in **batch-commit rounds**: while a target's sub-budget
+/// lasts, each candidate scan commits up to `j` disjoint-gain-set picks
+/// charged to the current target (see
+/// [`RoundEngine::select_for_targets_batch`] — the open set is the single
+/// current target, so per-charged-target budget capping bounds the batch
+/// by the remaining sub-budget).
+///
+/// `j = 1` produces plans bit-identical to [`wt_greedy`]. A round that
+/// commits nothing means no candidate breaks anything anywhere — global
+/// exhaustion terminates the whole run, mirroring the sequential loop.
+///
+/// # Errors
+/// [`TppError::BudgetArityMismatch`] if `budgets.len() != |T|`.
+pub fn wt_greedy_batch(
+    instance: &TppInstance,
+    budgets: &[usize],
+    j: usize,
+    config: &GreedyConfig,
+) -> Result<ProtectionPlan, TppError> {
     if budgets.len() != instance.target_count() {
         return Err(TppError::BudgetArityMismatch {
             budgets: budgets.len(),
             targets: instance.target_count(),
         });
     }
+    let j = j.max(1);
     let mut engine = RoundEngine::new(
         AnyOracle::for_instance(instance, config),
         config.candidates,
         config.threads,
     );
     'targets: for (t, &budget) in budgets.iter().enumerate() {
-        for _ in 0..budget {
-            if engine.select_for_targets(&[t]).is_none() {
+        while engine.charged(t) < budget {
+            let remaining = budget - engine.charged(t);
+            let picks = engine.select_for_targets_batch(&[(t, remaining)], j.min(remaining));
+            if picks.is_empty() {
                 break 'targets;
             }
         }

@@ -26,6 +26,13 @@
 //! left-to-right scan for every thread count**. The determinism proptests
 //! pin this across all three oracles.
 //!
+//! Span *sizing* is adaptive: the engine's [`ScanTuner`] keeps an EWMA of
+//! the observed per-weight scan cost and cuts the next round's spans to a
+//! fixed wall-clock target, instead of a static spans-per-worker count
+//! over degree weights — cheap rounds stop over-cutting, expensive rounds
+//! stop under-cutting. The span plan is scheduling only; results are
+//! identical for every plan.
+//!
 //! ## Batch-commit rounds
 //!
 //! [`RoundEngine::select_batch`] amortizes the scan over up to `j` commits
@@ -37,12 +44,25 @@
 //! round (they stay in later rounds), and oracles that cannot enumerate
 //! gain sets degrade to one commit per round — the sequential fallback.
 //! `j = 1` is bit-identical to [`RoundEngine::run_global`].
+//!
+//! Every strategy is batch-aware, not just SGB:
+//!
+//! * [`RoundEngine::select_for_targets_batch`] runs CT/WT targeted rounds
+//!   with **per-charged-target disjointness** — accepted picks need
+//!   pairwise-disjoint gain sets (keeping every `(own, cross)` split
+//!   exact, per target, at commit) *and* must fit their charged target's
+//!   remaining budget this round;
+//! * [`RoundEngine::run_global_lazy_batch`] is the CELF + batch hybrid:
+//!   each lazy refresh phase pops up to `j` disjoint fresh heap tops and
+//!   commits them together, falling back to sequential re-evaluation when
+//!   a top conflicts.
 
 use crate::oracle::{CandidatePolicy, GainOracle, GainProbe};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::InstanceId;
 
@@ -95,22 +115,110 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Spans handed to the work-stealing scan per worker thread: enough that a
-/// worker finishing its cheap spans early can steal real work from the
-/// shared cursor, few enough that claim overhead stays negligible.
+/// Spans handed to the work-stealing scan per worker thread when no cost
+/// observation exists yet: enough that a worker finishing its cheap spans
+/// early can steal real work from the shared cursor, few enough that claim
+/// overhead stays negligible.
 const STEAL_SPANS_PER_WORKER: usize = 4;
 
+/// Upper bound on adaptively-chosen spans per worker: below the point where
+/// per-span claim overhead (one atomic fetch-add + one result slot) would
+/// show up against even microsecond-scale spans.
+const MAX_ADAPTIVE_SPANS_PER_WORKER: usize = 32;
+
+/// Conflict budget per batch-round pick slot: a batch round stops probing
+/// for more disjoint picks after `room ×` this many gain-set conflicts and
+/// commits what it has. Each conflict probe walks a posting list and
+/// allocates its id set, so an unbounded skip loop on a hub-dominated
+/// instance (where most gain sets overlap the top pick) could cost more
+/// than the sequential rounds the batch replaces. Purely a performance
+/// valve: a round always accepts at least the top pick, so progress and
+/// the documented greedy-feasibility are unaffected.
+const BATCH_CONFLICTS_PER_SLOT: usize = 16;
+
+/// Target wall-clock duration of one adaptively-sized span. Long enough to
+/// amortize span-claim overhead by orders of magnitude, short enough that a
+/// mispredicted span cannot serialize a round on one worker.
+const TARGET_SPAN_NANOS: f64 = 200_000.0;
+
+/// EWMA smoothing for the observed per-weight scan cost: heavy enough that
+/// one noisy round (page faults, scheduler hiccups) cannot swing the span
+/// plan, light enough to track the real cost drift as the index shrinks.
+const SCAN_COST_EWMA_ALPHA: f64 = 0.3;
+
+/// Running cost model of the work-stealing candidate scan: an EWMA of the
+/// **observed** nanoseconds per unit of candidate weight, fed back into the
+/// span plan of the next round.
+///
+/// Static degree weights predict *relative* candidate cost well but say
+/// nothing about absolute span duration, so a fixed spans-per-worker count
+/// either over-cuts cheap rounds (claim overhead) or under-cuts expensive
+/// ones (a mispredicted span serializes the round). The tuner closes the
+/// loop: after every parallel scan it folds `elapsed / total_weight` into
+/// the EWMA, and the next round cuts spans sized to `TARGET_SPAN_NANOS`
+/// each. Span sizing is **purely a scheduling decision** — span results
+/// reduce in span order, so plans stay bit-identical for every span plan
+/// (the thread-invariance proptests cover this path too).
+#[derive(Debug, Clone, Default)]
+pub struct ScanTuner {
+    /// EWMA of observed scan nanoseconds per unit weight; `None` until the
+    /// first parallel scan has been measured.
+    nanos_per_weight: Option<f64>,
+}
+
+impl ScanTuner {
+    /// Chooses the span count for a scan of `total_weight` across
+    /// `threads` workers: `STEAL_SPANS_PER_WORKER` per worker until a
+    /// cost observation exists, then enough spans that each is predicted
+    /// to take `TARGET_SPAN_NANOS`, clamped to
+    /// `threads..=threads * MAX_ADAPTIVE_SPANS_PER_WORKER`.
+    #[must_use]
+    pub fn spans_for(&self, threads: usize, total_weight: u64) -> usize {
+        let threads = threads.max(1);
+        match self.nanos_per_weight {
+            None => threads * STEAL_SPANS_PER_WORKER,
+            Some(npw) => {
+                let predicted = npw * total_weight as f64;
+                let ideal = (predicted / TARGET_SPAN_NANOS).ceil() as usize;
+                ideal.clamp(threads, threads * MAX_ADAPTIVE_SPANS_PER_WORKER)
+            }
+        }
+    }
+
+    /// Folds one observed scan (`total_weight` units in `elapsed`) into the
+    /// cost EWMA. Zero-weight scans are ignored.
+    pub fn record(&mut self, total_weight: u64, elapsed: std::time::Duration) {
+        if total_weight == 0 {
+            return;
+        }
+        let observed = elapsed.as_nanos() as f64 / total_weight as f64;
+        self.nanos_per_weight = Some(match self.nanos_per_weight {
+            None => observed,
+            Some(ewma) => SCAN_COST_EWMA_ALPHA * observed + (1.0 - SCAN_COST_EWMA_ALPHA) * ewma,
+        });
+    }
+
+    /// The current cost estimate in nanoseconds per weight unit (`None`
+    /// before the first observation) — exposed for diagnostics.
+    #[must_use]
+    pub fn nanos_per_weight(&self) -> Option<f64> {
+        self.nanos_per_weight
+    }
+}
+
 /// The work-stealing scaffold shared by [`sharded_argmax`] and
-/// [`sharded_map`]: cuts `items` into contiguous weight-balanced spans
-/// ([`STEAL_SPANS_PER_WORKER`] per worker), lets up to `threads` workers
-/// claim spans through one atomic cursor (each worker reusing one private
-/// `make_ctx` context), and returns every span's `run_span` result **in
-/// span order** — which worker ran a span is scheduling noise the caller
-/// never observes. This single implementation is what the engine's
+/// [`sharded_map`]: cuts `items` into at most `span_count` contiguous
+/// weight-balanced spans (never fewer than one per worker), lets up to
+/// `threads` workers claim spans through one atomic cursor (each worker
+/// reusing one private `make_ctx` context), and returns every span's
+/// `run_span` result **in span order** — which worker ran a span, and how
+/// many spans there were, is scheduling noise the caller never observes.
+/// This single implementation is what the engine's
 /// bit-identical-across-thread-counts guarantee rests on.
 fn steal_spans<T, C, R, M, F>(
     items: &[T],
     threads: usize,
+    span_count: usize,
     weights: Option<&[usize]>,
     make_ctx: M,
     run_span: F,
@@ -121,7 +229,7 @@ where
     M: Fn() -> C + Sync,
     F: Fn(&mut C, &[T]) -> R + Sync,
 {
-    let spans = ranges_for(items.len(), threads * STEAL_SPANS_PER_WORKER, weights);
+    let spans = ranges_for(items.len(), span_count.max(threads), weights);
     let workers = threads.min(spans.len());
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
@@ -181,6 +289,29 @@ where
     E: Fn(&mut C, T) -> Option<S> + Sync,
     B: Fn(&S, &S) -> bool + Sync,
 {
+    let spans = resolve_threads(threads) * STEAL_SPANS_PER_WORKER;
+    sharded_argmax_spans(items, threads, spans, weights, make_ctx, eval, better)
+}
+
+/// [`sharded_argmax`] with an explicit span count (e.g. from a
+/// [`ScanTuner`]); the span plan is pure scheduling — the returned
+/// maximizer is identical for every value.
+pub fn sharded_argmax_spans<T, C, S, M, E, B>(
+    items: &[T],
+    threads: usize,
+    span_count: usize,
+    weights: Option<&[usize]>,
+    make_ctx: M,
+    eval: E,
+    better: B,
+) -> Option<(S, T)>
+where
+    T: Copy + Send + Sync,
+    S: Send,
+    M: Fn() -> C + Sync,
+    E: Fn(&mut C, T) -> Option<S> + Sync,
+    B: Fn(&S, &S) -> bool + Sync,
+{
     fn scan<T: Copy, C, S>(
         chunk: &[T],
         ctx: &mut C,
@@ -205,9 +336,14 @@ where
     if threads <= 1 {
         return scan(items, &mut make_ctx(), &eval, &better);
     }
-    let span_best = steal_spans(items, threads, weights, &make_ctx, |ctx, chunk| {
-        scan(chunk, ctx, &eval, &better)
-    });
+    let span_best = steal_spans(
+        items,
+        threads,
+        span_count,
+        weights,
+        &make_ctx,
+        |ctx, chunk| scan(chunk, ctx, &eval, &better),
+    );
     // Canonical-order reduce over the span-ordered maxima.
     let mut best: Option<(S, T)> = None;
     for cb in span_best.into_iter().flatten() {
@@ -234,6 +370,26 @@ where
     M: Fn() -> C + Sync,
     E: Fn(&mut C, T) -> R + Sync,
 {
+    let spans = resolve_threads(threads) * STEAL_SPANS_PER_WORKER;
+    sharded_map_spans(items, threads, spans, weights, make_ctx, eval)
+}
+
+/// [`sharded_map`] with an explicit span count (e.g. from a [`ScanTuner`]);
+/// results come back in item order for every span plan.
+pub fn sharded_map_spans<T, C, R, M, E>(
+    items: &[T],
+    threads: usize,
+    span_count: usize,
+    weights: Option<&[usize]>,
+    make_ctx: M,
+    eval: E,
+) -> Vec<R>
+where
+    T: Copy + Send + Sync,
+    R: Send,
+    M: Fn() -> C + Sync,
+    E: Fn(&mut C, T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
@@ -242,12 +398,19 @@ where
         let mut ctx = make_ctx();
         return items.iter().map(|&i| eval(&mut ctx, i)).collect();
     }
-    let per_span = steal_spans(items, threads, weights, &make_ctx, |ctx, chunk| {
-        chunk
-            .iter()
-            .map(|&item| eval(ctx, item))
-            .collect::<Vec<R>>()
-    });
+    let per_span = steal_spans(
+        items,
+        threads,
+        span_count,
+        weights,
+        &make_ctx,
+        |ctx, chunk| {
+            chunk
+                .iter()
+                .map(|&item| eval(ctx, item))
+                .collect::<Vec<R>>()
+        },
+    );
     per_span.into_iter().flatten().collect()
 }
 
@@ -287,6 +450,9 @@ pub struct RoundEngine<O: GainOracle> {
     protectors: Vec<Edge>,
     steps: Vec<StepRecord>,
     per_target: Vec<Vec<Edge>>,
+    /// Adaptive span sizing for the work-stealing scan (scheduling only;
+    /// never observable in the plan).
+    tuner: ScanTuner,
 }
 
 impl<O: GainOracle + Sync> RoundEngine<O> {
@@ -309,7 +475,71 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             protectors: Vec::new(),
             steps: Vec::new(),
             per_target: vec![Vec::new(); targets],
+            tuner: ScanTuner::default(),
         }
+    }
+
+    /// The engine's adaptive scan-cost model (diagnostics).
+    #[must_use]
+    pub fn tuner(&self) -> &ScanTuner {
+        &self.tuner
+    }
+
+    /// Candidate weights plus their total, the inputs of the span plan.
+    fn candidate_weights(&self, candidates: &[Edge]) -> (Vec<usize>, u64) {
+        let weights: Vec<usize> = candidates
+            .iter()
+            .map(|&p| self.oracle.candidate_weight(p))
+            .collect();
+        let total = weights.iter().map(|&w| w as u64).sum();
+        (weights, total)
+    }
+
+    /// `Δ_p` for every candidate, in candidate order: sequential on the
+    /// oracle itself, otherwise a work-stealing scan over spans sized by
+    /// the [`ScanTuner`] (and feeding its next observation).
+    fn scan_deltas(&mut self, candidates: &[Edge]) -> Vec<usize> {
+        if self.threads <= 1 {
+            let probe: &mut dyn GainProbe = &mut self.oracle;
+            return candidates.iter().map(|&p| probe.delta(p)).collect();
+        }
+        let (weights, total) = self.candidate_weights(candidates);
+        let spans = self.tuner.spans_for(self.threads, total);
+        let started = Instant::now();
+        let oracle = &self.oracle;
+        let gains = sharded_map_spans(
+            candidates,
+            self.threads,
+            spans,
+            Some(&weights),
+            || oracle.probe(),
+            |probe, p| probe.delta(p),
+        );
+        self.tuner.record(total, started.elapsed());
+        gains
+    }
+
+    /// Per-target gain vectors for every candidate, in candidate order
+    /// (the targeted-round analogue of [`scan_deltas`](Self::scan_deltas)).
+    fn scan_delta_vectors(&mut self, candidates: &[Edge]) -> Vec<Vec<usize>> {
+        if self.threads <= 1 {
+            let probe: &mut dyn GainProbe = &mut self.oracle;
+            return candidates.iter().map(|&p| probe.delta_vector(p)).collect();
+        }
+        let (weights, total) = self.candidate_weights(candidates);
+        let spans = self.tuner.spans_for(self.threads, total);
+        let started = Instant::now();
+        let oracle = &self.oracle;
+        let vectors = sharded_map_spans(
+            candidates,
+            self.threads,
+            spans,
+            Some(&weights),
+            || oracle.probe(),
+            |probe, p| probe.delta_vector(p),
+        );
+        self.tuner.record(total, started.elapsed());
+        vectors
     }
 
     /// Read access to the oracle's committed state.
@@ -352,19 +582,21 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             }
             return best;
         }
-        let weights: Vec<usize> = candidates
-            .iter()
-            .map(|&p| self.oracle.candidate_weight(p))
-            .collect();
+        let (weights, total) = self.candidate_weights(&candidates);
+        let spans = self.tuner.spans_for(self.threads, total);
+        let started = Instant::now();
         let oracle = &self.oracle;
-        sharded_argmax(
+        let best = sharded_argmax_spans(
             &candidates,
             self.threads,
+            spans,
             Some(&weights),
             || oracle.probe(),
             |probe, p| eval(probe.as_mut(), p),
             better,
-        )
+        );
+        self.tuner.record(total, started.elapsed());
+        best
     }
 
     /// Commits protector `p`: deletes it through the oracle, pushes it to
@@ -404,6 +636,38 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// exhausted.
     pub fn run_global(&mut self, k: usize) {
         while self.picks() < k && self.select_global().is_some() {}
+    }
+
+    /// Commits an accepted disjoint batch through
+    /// [`GainOracle::commit_batch`] and records every pick — the commit
+    /// bookkeeping shared by all three batch modes (global, lazy,
+    /// targeted). Each pick is `(edge, expected gain, charged target,
+    /// own)`; disjointness is the caller's admission invariant, asserted
+    /// here against the realized break counts.
+    fn commit_accepted_batch(&mut self, picks: &[(Edge, usize, Option<usize>, Option<usize>)]) {
+        let edges: Vec<Edge> = picks.iter().map(|&(e, ..)| e).collect();
+        let mut sim = self.oracle.total_similarity();
+        let broken = self.oracle.commit_batch(&edges);
+        for (&(p, expected, charged, own), &broken) in picks.iter().zip(&broken) {
+            debug_assert_eq!(
+                broken, expected,
+                "disjoint batch gains must be exact at commit"
+            );
+            sim -= broken;
+            if let Some(t) = charged {
+                self.per_target[t].push(p);
+            }
+            self.protectors.push(p);
+            self.steps.push(StepRecord {
+                round: self.steps.len(),
+                protector: p,
+                charged_target: charged,
+                own_broken: own.unwrap_or(broken),
+                total_broken: broken,
+                similarity_after: sim,
+            });
+        }
+        debug_assert_eq!(sim, self.oracle.total_similarity());
     }
 
     /// Batch-commit rounds: runs until `k` picks are committed or gains
@@ -450,33 +714,19 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
         if candidates.is_empty() {
             return 0;
         }
-        let gains: Vec<usize> = if self.threads <= 1 {
-            let probe: &mut dyn GainProbe = &mut self.oracle;
-            candidates.iter().map(|&p| probe.delta(p)).collect()
-        } else {
-            let weights: Vec<usize> = candidates
-                .iter()
-                .map(|&p| self.oracle.candidate_weight(p))
-                .collect();
-            let oracle = &self.oracle;
-            sharded_map(
-                &candidates,
-                self.threads,
-                Some(&weights),
-                || oracle.probe(),
-                |probe, p| probe.delta(p),
-            )
-        };
+        let gains = self.scan_deltas(&candidates);
         // Canonical commit order: highest gain first, ties to the
         // canonically smallest edge — the sequential argmax, repeated.
         let mut order: Vec<usize> = (0..candidates.len()).collect();
         order.sort_unstable_by_key(|&i| (Reverse(gains[i]), candidates[i]));
 
-        let mut accepted: Vec<(Edge, usize)> = Vec::with_capacity(room);
+        let mut accepted: Vec<(Edge, usize, Option<usize>, Option<usize>)> =
+            Vec::with_capacity(room);
         let mut claimed: FastSet<InstanceId> = FastSet::default();
         // `true` once a pick's gain set is unknown: nothing further can be
         // proven disjoint, so the round degrades to sequential commits.
         let mut opaque = false;
+        let mut conflict_budget = room * BATCH_CONFLICTS_PER_SLOT;
         for &i in &order {
             if accepted.len() >= room {
                 break;
@@ -494,7 +744,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                         None => opaque = true,
                     }
                 }
-                accepted.push((p, gain));
+                accepted.push((p, gain, None, None));
             } else {
                 if opaque {
                     break;
@@ -502,38 +752,26 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                 match self.oracle.gain_set(p) {
                     Some(ids) if ids.iter().all(|id| !claimed.contains(id)) => {
                         claimed.extend(ids);
-                        accepted.push((p, gain));
+                        accepted.push((p, gain, None, None));
                     }
                     // Conflict (or unknowable): skip for this round; the
-                    // candidate stays live and is rescored next round.
-                    _ => {}
+                    // candidate stays live and is rescored next round. A
+                    // bounded number of conflict probes keeps a
+                    // hub-dominated round from out-costing the sequential
+                    // rounds it replaces.
+                    _ => {
+                        conflict_budget -= 1;
+                        if conflict_budget == 0 {
+                            break;
+                        }
+                    }
                 }
             }
         }
         if accepted.is_empty() {
             return 0;
         }
-
-        let edges: Vec<Edge> = accepted.iter().map(|&(e, _)| e).collect();
-        let mut sim = self.oracle.total_similarity();
-        let broken = self.oracle.commit_batch(&edges);
-        for ((p, gain), broken) in accepted.iter().zip(&broken) {
-            debug_assert_eq!(
-                *broken, *gain,
-                "disjoint batch gains must be exact at commit"
-            );
-            sim -= broken;
-            self.protectors.push(*p);
-            self.steps.push(StepRecord {
-                round: self.steps.len(),
-                protector: *p,
-                charged_target: None,
-                own_broken: *broken,
-                total_broken: *broken,
-                similarity_after: sim,
-            });
-        }
-        debug_assert_eq!(sim, self.oracle.total_similarity());
+        self.commit_accepted_batch(&accepted);
         accepted.len()
     }
 
@@ -548,23 +786,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             return;
         }
         let candidates = self.oracle.candidates(self.policy);
-        let gains: Vec<usize> = if self.threads <= 1 {
-            let probe: &mut dyn GainProbe = &mut self.oracle;
-            candidates.iter().map(|&p| probe.delta(p)).collect()
-        } else {
-            let weights: Vec<usize> = candidates
-                .iter()
-                .map(|&p| self.oracle.candidate_weight(p))
-                .collect();
-            let oracle = &self.oracle;
-            sharded_map(
-                &candidates,
-                self.threads,
-                Some(&weights),
-                || oracle.probe(),
-                |probe, p| probe.delta(p),
-            )
-        };
+        let gains = self.scan_deltas(&candidates);
         // Max-heap of (cached_gain, Reverse(edge), round_evaluated):
         // ordering by Reverse(edge) second pops the canonically smallest
         // edge on gain ties — the linear scan's tie-break exactly.
@@ -592,6 +814,93 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             let broken = self.commit_pick(p, None, None);
             debug_assert_eq!(broken, cached);
             round += 1;
+        }
+    }
+
+    /// The CELF + batch hybrid: the same lazy queue as
+    /// [`run_global_lazy`](Self::run_global_lazy), but each refresh phase
+    /// pops up to `j` **fresh** heap tops whose gain sets are pairwise
+    /// disjoint and commits them as one batch through
+    /// [`GainOracle::commit_batch`].
+    ///
+    /// A popped fresh top whose gain set conflicts with the accepted set
+    /// (or cannot be enumerated) is pushed back and the batch commits
+    /// early — the conflicting candidate falls back to sequential
+    /// re-evaluation in the next refresh phase, exactly like a stale
+    /// bound. Stale entries refresh against committed state as usual; the
+    /// round counter advances by the batch size at commit, so every cached
+    /// bound predating the batch is re-verified before it can win.
+    ///
+    /// Disjointness makes every accepted cached gain exact at commit
+    /// (the same argument as [`select_batch`](Self::select_batch)), and
+    /// `j = 1` delegates to the sequential lazy loop — bit-identical by
+    /// construction.
+    pub fn run_global_lazy_batch(&mut self, k: usize, j: usize) {
+        let j = j.max(1);
+        if j == 1 {
+            return self.run_global_lazy(k);
+        }
+        if k == 0 {
+            return;
+        }
+        let candidates = self.oracle.candidates(self.policy);
+        let gains = self.scan_deltas(&candidates);
+        let mut heap: BinaryHeap<(usize, Reverse<Edge>, usize)> = candidates
+            .into_iter()
+            .zip(gains)
+            .map(|(p, g)| (g, Reverse(p), 0usize))
+            .collect();
+        let mut round = 0usize;
+        while self.picks() < k {
+            let room = j.min(k - self.picks());
+            let mut accepted: Vec<(Edge, usize, Option<usize>, Option<usize>)> =
+                Vec::with_capacity(room);
+            let mut claimed: FastSet<InstanceId> = FastSet::default();
+            let mut opaque = false;
+            while accepted.len() < room {
+                let Some((cached, Reverse(p), evaluated_at)) = heap.pop() else {
+                    break;
+                };
+                if cached == 0 {
+                    break; // all remaining upper bounds are 0
+                }
+                if evaluated_at < round {
+                    let fresh = self.oracle.gain(p);
+                    debug_assert!(fresh <= cached, "submodularity violated");
+                    heap.push((fresh, Reverse(p), round));
+                    continue;
+                }
+                if accepted.is_empty() {
+                    // The fresh top is the exact sequential argmax.
+                    match self.oracle.gain_set(p) {
+                        Some(ids) => claimed.extend(ids),
+                        None => opaque = true,
+                    }
+                    accepted.push((p, cached, None, None));
+                    continue;
+                }
+                if opaque {
+                    heap.push((cached, Reverse(p), evaluated_at));
+                    break;
+                }
+                match self.oracle.gain_set(p) {
+                    Some(ids) if ids.iter().all(|id| !claimed.contains(id)) => {
+                        claimed.extend(ids);
+                        accepted.push((p, cached, None, None));
+                    }
+                    // Conflict (or unknowable): push the top back and fall
+                    // back to sequential re-evaluation next refresh phase.
+                    _ => {
+                        heap.push((cached, Reverse(p), evaluated_at));
+                        break;
+                    }
+                }
+            }
+            if accepted.is_empty() {
+                break;
+            }
+            self.commit_accepted_batch(&accepted);
+            round += accepted.len();
         }
     }
 
@@ -632,6 +941,148 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             own,
             cross,
         })
+    }
+
+    /// One **batch-aware** CT/WT round: scans every candidate once and
+    /// commits up to `room` picks together. `open` lists the open targets
+    /// as `(target, remaining budget)` pairs in ascending target order
+    /// (every `remaining >= 1`).
+    ///
+    /// Candidates are ordered by the canonical targeted score — `(own,
+    /// cross)` descending, ties to the smallest edge, each candidate
+    /// charged to the first open target maximizing its `(own, cross)` —
+    /// and accepted greedily under **per-charged-target disjointness**:
+    ///
+    /// * a pick's gain set (alive instances, [`GainOracle::gain_set`])
+    ///   must be disjoint from every already-accepted pick's, which keeps
+    ///   both components of every accepted `(own, cross)` split exact at
+    ///   commit (global disjointness alone is what makes SGB batches
+    ///   exact; targeted rounds additionally need the *per-target*
+    ///   decomposition of each set untouched, and disjoint sets guarantee
+    ///   exactly that);
+    /// * the picks charged to each target must fit its remaining budget —
+    ///   a candidate whose charged target is already full this round is
+    ///   skipped (it stays live and is rescored next round, when the
+    ///   closed target has left the open set).
+    ///
+    /// Accepted picks commit through one [`GainOracle::commit_batch`];
+    /// oracles that cannot enumerate gain sets degrade to one commit per
+    /// round. `room == 1` delegates to
+    /// [`select_for_targets`](Self::select_for_targets) — bit-identical by
+    /// construction. Returns the committed picks in commit order (empty =
+    /// global exhaustion: no candidate breaks anything).
+    pub fn select_for_targets_batch(
+        &mut self,
+        open: &[(usize, usize)],
+        room: usize,
+    ) -> Vec<TargetedPick> {
+        if open.is_empty() || room == 0 {
+            return Vec::new();
+        }
+        let open_targets: Vec<usize> = open.iter().map(|&(t, _)| t).collect();
+        if room == 1 {
+            // A batch of one *is* a sequential targeted round.
+            return self.select_for_targets(&open_targets).into_iter().collect();
+        }
+        let candidates = self.oracle.candidates(self.policy);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let vectors = self.scan_delta_vectors(&candidates);
+        // Score every candidate exactly as the sequential round does:
+        // charge to the first open target maximizing lexicographic
+        // (own, cross).
+        let scored: Vec<Option<(usize, usize, usize)>> = vectors
+            .iter()
+            .map(|v| {
+                let total: usize = v.iter().sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut local: Option<(usize, usize, usize)> = None;
+                for &t in &open_targets {
+                    let own = v[t];
+                    let cross = total - own;
+                    if local.is_none_or(|(bo, bc, _)| (own, cross) > (bo, bc)) {
+                        local = Some((own, cross, t));
+                    }
+                }
+                local
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..candidates.len())
+            .filter(|&i| scored[i].is_some())
+            .collect();
+        order.sort_unstable_by_key(|&i| {
+            let (own, cross, _) = scored[i].expect("filtered to scored candidates");
+            (Reverse(own), Reverse(cross), candidates[i])
+        });
+
+        // Per-target room left this round, indexed by target id.
+        let mut budget_left = vec![0usize; self.per_target.len()];
+        for &(t, remaining) in open {
+            budget_left[t] = remaining;
+        }
+        let mut accepted: Vec<(Edge, usize, usize, usize)> = Vec::with_capacity(room);
+        let mut claimed: FastSet<InstanceId> = FastSet::default();
+        let mut opaque = false;
+        let mut conflict_budget = room * BATCH_CONFLICTS_PER_SLOT;
+        for &i in &order {
+            if accepted.len() >= room {
+                break;
+            }
+            let (own, cross, t) = scored[i].expect("filtered to scored candidates");
+            let p = candidates[i];
+            if budget_left[t] == 0 {
+                continue; // target full this round: rescored next round
+            }
+            if accepted.is_empty() {
+                // The top pick is unconditionally the sequential round's.
+                match self.oracle.gain_set(p) {
+                    Some(ids) => claimed.extend(ids),
+                    None => opaque = true,
+                }
+                budget_left[t] -= 1;
+                accepted.push((p, own, cross, t));
+            } else {
+                if opaque {
+                    break;
+                }
+                match self.oracle.gain_set(p) {
+                    Some(ids) if ids.iter().all(|id| !claimed.contains(id)) => {
+                        claimed.extend(ids);
+                        budget_left[t] -= 1;
+                        accepted.push((p, own, cross, t));
+                    }
+                    // Conflict: skip for this round only, under the same
+                    // bounded probe budget as the global batch round.
+                    _ => {
+                        conflict_budget -= 1;
+                        if conflict_budget == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if accepted.is_empty() {
+            return Vec::new();
+        }
+
+        let records: Vec<(Edge, usize, Option<usize>, Option<usize>)> = accepted
+            .iter()
+            .map(|&(p, own, cross, t)| (p, own + cross, Some(t), Some(own)))
+            .collect();
+        self.commit_accepted_batch(&records);
+        accepted
+            .into_iter()
+            .map(|(p, own, cross, t)| TargetedPick {
+                protector: p,
+                target: t,
+                own,
+                cross,
+            })
+            .collect()
     }
 
     /// Finishes a global-budget run (SGB/CELF shape: no per-target

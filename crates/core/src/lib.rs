@@ -41,13 +41,14 @@ mod plan;
 mod problem;
 
 pub use algorithms::{
-    celf_greedy, ct_greedy, sgb_greedy, sgb_greedy_batch, wt_greedy, EvaluatorKind, GreedyConfig,
+    celf_greedy, celf_greedy_batch, ct_greedy, ct_greedy_batch, sgb_greedy, sgb_greedy_batch,
+    wt_greedy, wt_greedy_batch, EvaluatorKind, GreedyConfig,
 };
 pub use analysis::{analyze_protection, verify_plan, ProtectionReport};
 pub use baselines::{random_deletion, random_deletion_from_subgraphs};
 pub use budget::{divide_budget, BudgetDivision};
 pub use critical::critical_budget;
-pub use engine::{RoundEngine, TargetedPick};
+pub use engine::{RoundEngine, ScanTuner, TargetedPick};
 pub use error::TppError;
 pub use oracle::{
     AnyOracle, CandidatePolicy, GainOracle, GainProbe, IndexOracle, NaiveOracle, SnapshotOracle,

@@ -167,8 +167,30 @@ impl IndexOracle {
     /// Panics if `parts == 0`.
     #[must_use]
     pub fn with_partitions(released: &Graph, targets: &[Edge], motif: Motif, parts: usize) -> Self {
+        Self::with_partitions_and_threads(released, targets, motif, parts, 1)
+    }
+
+    /// Builds the oracle with explicit partition and build-thread counts:
+    /// the index is built **shard-parallel**
+    /// ([`PartitionedCoverageIndex::build_parallel`] — targets enumerate
+    /// directly into per-shard postings), bit-identical to the sequential
+    /// build for every `parts`/`threads` value. The thread budget carries
+    /// over to the commit phase (until the engine overrides it).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    #[must_use]
+    pub fn with_partitions_and_threads(
+        released: &Graph,
+        targets: &[Edge],
+        motif: Motif,
+        parts: usize,
+        threads: usize,
+    ) -> Self {
         IndexOracle {
-            index: PartitionedCoverageIndex::build(released, targets, motif, parts),
+            index: PartitionedCoverageIndex::build_parallel(
+                released, targets, motif, parts, threads,
+            ),
             graph: released.clone(),
         }
     }
@@ -520,9 +542,15 @@ impl<'a> AnyOracle<'a> {
         use crate::algorithms::EvaluatorKind;
         let (released, targets) = (instance.released(), instance.targets());
         match config.evaluator {
-            EvaluatorKind::Index => {
-                AnyOracle::Index(IndexOracle::new(released, targets, config.motif))
-            }
+            EvaluatorKind::Index => AnyOracle::Index(IndexOracle::with_partitions_and_threads(
+                released,
+                targets,
+                config.motif,
+                DEFAULT_INDEX_PARTITIONS,
+                // The scan thread budget doubles as the build budget: the
+                // shard-parallel build is bit-identical at every count.
+                crate::engine::resolve_threads(config.threads),
+            )),
             EvaluatorKind::NaiveRecount => {
                 AnyOracle::Naive(NaiveOracle::new(released, targets, config.motif))
             }

@@ -3,21 +3,20 @@
 //! budget-division laws on random instances.
 
 use proptest::prelude::*;
+use tpp_bench::fixtures::er_instance;
 use tpp_core::{
-    celf_greedy, critical_budget, ct_greedy, divide_budget, random_deletion,
-    random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, verify_plan, wt_greedy,
-    BudgetDivision, EvaluatorKind, GreedyConfig, TppInstance,
+    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy, ct_greedy_batch, divide_budget,
+    random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, verify_plan,
+    wt_greedy, wt_greedy_batch, BudgetDivision, EvaluatorKind, GreedyConfig, TppInstance,
 };
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::Motif;
 
 fn instance_strategy() -> impl Strategy<Value = TppInstance> {
-    (10usize..=22, 0u64..=5_000, 2usize..=4).prop_map(|(n, seed, tcount)| {
-        let p = 0.18 + (seed % 20) as f64 / 100.0;
-        let g = tpp_graph::generators::erdos_renyi_gnp(n, p, seed);
-        let tcount = tcount.min(g.edge_count());
-        TppInstance::with_random_targets(g, tcount.max(1), seed ^ 0xBEEF)
-    })
+    // The shared seeded-ER workload from tpp-bench::fixtures — quoting the
+    // (n, seed, tcount) triple reproduces a failing case anywhere.
+    (10usize..=22, 0u64..=5_000, 2usize..=4)
+        .prop_map(|(n, seed, tcount)| er_instance(n, seed, tcount))
 }
 
 fn check_feasible(instance: &TppInstance, plan: &tpp_core::ProtectionPlan, motif: Motif) {
@@ -274,6 +273,77 @@ proptest! {
             // CELF must still equal eager SGB under the same config.
             let sgb = sgb_greedy(&instance, k, &cfg);
             prop_assert_eq!(&sgb.protectors, &celf_base.protectors);
+        }
+    }
+
+    /// Batch-of-one rounds are bit-identical to the sequential rounds for
+    /// the targeted (CT/WT) and lazy (CELF) strategies too — the whole
+    /// plan, for every oracle kind and `threads ∈ {1, 2, 4}`.
+    #[test]
+    fn targeted_and_lazy_batch_of_one_is_bit_identical(
+        instance in instance_strategy(),
+        k in 1usize..=5,
+    ) {
+        let motif = Motif::Triangle;
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
+        for cfg in evaluator_configs(motif) {
+            let ct_seq = ct_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
+            let wt_seq = wt_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
+            let celf_seq = celf_greedy(&instance, k, &cfg.with_threads(1));
+            for threads in [1usize, 2, 4] {
+                let tcfg = cfg.with_threads(threads);
+                let ct_b = ct_greedy_batch(&instance, &budgets, 1, &tcfg).unwrap();
+                prop_assert_eq!(&ct_seq, &ct_b,
+                    "ct batch(1) {:?} x{} diverged", cfg.evaluator, threads);
+                let wt_b = wt_greedy_batch(&instance, &budgets, 1, &tcfg).unwrap();
+                prop_assert_eq!(&wt_seq, &wt_b,
+                    "wt batch(1) {:?} x{} diverged", cfg.evaluator, threads);
+                let celf_b = celf_greedy_batch(&instance, k, 1, &tcfg);
+                prop_assert_eq!(&celf_seq, &celf_b,
+                    "celf batch(1) {:?} x{} diverged", cfg.evaluator, threads);
+            }
+        }
+    }
+
+    /// `j > 1` batched targeted/lazy rounds: every per-step record stays
+    /// exact (disjointness-verified batches), budgets are respected, and
+    /// with exhaustive budgets the batched strategies reach exactly the
+    /// sequential strategies' protection level — the batched rounds are a
+    /// greedy-feasible commit order, never a lossy approximation.
+    #[test]
+    fn batched_plans_match_sequential_outcomes(
+        instance in instance_strategy(),
+        k in 1usize..=6,
+    ) {
+        let motif = Motif::Triangle;
+        let cfg = GreedyConfig::scalable(motif);
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
+        let generous = vec![usize::MAX / 2; instance.target_count()];
+        let ct_full = ct_greedy(&instance, &generous, &cfg).unwrap();
+        let wt_full = wt_greedy(&instance, &generous, &cfg).unwrap();
+        let celf_full = celf_greedy(&instance, usize::MAX, &cfg);
+        for j in [2usize, 8] {
+            // Limited budgets: feasibility and per-step exactness.
+            let ct = ct_greedy_batch(&instance, &budgets, j, &cfg).unwrap();
+            check_feasible(&instance, &ct, motif);
+            for (t, pt) in ct.per_target.iter().enumerate() {
+                prop_assert!(pt.len() <= budgets[t], "CT batch j={j} budget overrun at {t}");
+            }
+            let wt = wt_greedy_batch(&instance, &budgets, j, &cfg).unwrap();
+            check_feasible(&instance, &wt, motif);
+            for (t, pt) in wt.per_target.iter().enumerate() {
+                prop_assert!(pt.len() <= budgets[t], "WT batch j={j} budget overrun at {t}");
+            }
+            let celf = celf_greedy_batch(&instance, k, j, &cfg);
+            check_feasible(&instance, &celf, motif);
+            prop_assert!(celf.deletions() <= k);
+            // Exhaustive budgets: same protection level as sequential.
+            let ct_b = ct_greedy_batch(&instance, &generous, j, &cfg).unwrap();
+            prop_assert_eq!(ct_full.final_similarity, ct_b.final_similarity);
+            let wt_b = wt_greedy_batch(&instance, &generous, j, &cfg).unwrap();
+            prop_assert_eq!(wt_full.final_similarity, wt_b.final_similarity);
+            let celf_b = celf_greedy_batch(&instance, usize::MAX, j, &cfg);
+            prop_assert_eq!(celf_full.final_similarity, celf_b.final_similarity);
         }
     }
 }

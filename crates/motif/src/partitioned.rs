@@ -21,6 +21,7 @@
 use crate::coverage::{build_postings, enumerate_instances, Posting};
 use crate::instance::MotifInstance;
 use crate::pattern::Motif;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tpp_graph::{Edge, FastMap, NeighborAccess, NodeId};
 
 pub use crate::coverage::InstanceId;
@@ -29,6 +30,47 @@ pub use crate::coverage::InstanceId;
 /// inline: a handful of hash-map decrements costs tens of nanoseconds,
 /// while spawning scoped worker threads costs tens of microseconds.
 const MIN_PARALLEL_COMMIT_OPS: usize = 4096;
+
+/// Target chunks per worker for the shard-parallel build's enumeration
+/// phase: several per worker so the atomic-cursor claim loop absorbs
+/// per-target skew (hub targets enumerate orders of magnitude more
+/// instances than leaf targets).
+const TARGET_CHUNKS_PER_WORKER: usize = 4;
+
+/// Degree-prefix-balanced shard bounds over `g`'s node space — the
+/// boundary computation shared by both build paths (the CSR offset shape,
+/// cut into payload-balanced contiguous node ranges).
+fn degree_balanced_bounds<G: NeighborAccess>(g: &G, parts: usize) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0u64);
+    let mut acc = 0u64;
+    for u in 0..n {
+        acc += g.degree(u as NodeId) as u64;
+        prefix.push(acc);
+    }
+    let ranges = tpp_store::balanced_prefix_ranges(&prefix, parts);
+    let mut bounds: Vec<NodeId> = vec![0];
+    for r in &ranges {
+        bounds.push(r.end as NodeId);
+    }
+    if bounds.len() == 1 {
+        bounds.push(0); // empty node space still gets one (empty) shard
+    }
+    bounds
+}
+
+/// The shard owning node `u` under `bounds` (shard `i` spans
+/// `bounds[i]..bounds[i + 1]`; out-of-range nodes clamp to the last
+/// shard). **The** ownership lookup — the build paths and the commit path
+/// must route edges identically, so they all call this.
+#[inline]
+fn owner_shard(bounds: &[NodeId], u: NodeId) -> usize {
+    bounds
+        .partition_point(|&b| b <= u)
+        .saturating_sub(1)
+        .min(bounds.len().saturating_sub(2))
+}
 
 /// One partition of the index: the postings and alive-candidate list of the
 /// edges this shard owns.
@@ -107,38 +149,17 @@ impl PartitionedCoverageIndex {
         assert!(parts >= 1, "need at least one partition");
         let (instances, per_target_alive) = enumerate_instances(g, targets, motif);
 
-        // Degree prefix sum over the node space — the CSR offset shape —
-        // cut into payload-balanced contiguous node ranges.
-        let n = g.node_count();
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(0u64);
-        let mut acc = 0u64;
-        for u in 0..n {
-            acc += g.degree(u as NodeId) as u64;
-            prefix.push(acc);
-        }
-        let ranges = tpp_store::balanced_prefix_ranges(&prefix, parts);
-        let mut bounds: Vec<NodeId> = vec![0];
-        for r in &ranges {
-            bounds.push(r.end as NodeId);
-        }
-        if bounds.len() == 1 {
-            bounds.push(0); // empty node space still gets one (empty) shard
-        }
+        let bounds = degree_balanced_bounds(g, parts);
         let shard_count = bounds.len() - 1;
 
         // Partition the global posting map by edge ownership; per-shard
         // candidate lists sort locally, and concatenate globally sorted
         // because ownership follows ascending lower-endpoint ranges.
         let mut shards: Vec<IndexShard> = vec![IndexShard::default(); shard_count];
-        let shard_of = |u: NodeId| -> usize {
-            bounds
-                .partition_point(|&b| b <= u)
-                .saturating_sub(1)
-                .min(shard_count - 1)
-        };
         for (e, posting) in build_postings(&instances) {
-            shards[shard_of(e.u())].postings.insert(e, posting);
+            shards[owner_shard(&bounds, e.u())]
+                .postings
+                .insert(e, posting);
         }
         for shard in &mut shards {
             shard.alive_candidates = shard.postings.keys().copied().collect();
@@ -160,6 +181,206 @@ impl PartitionedCoverageIndex {
             kill_scratch: Vec::new(),
             op_scratch,
         }
+    }
+
+    /// The **shard-parallel build**: enumerates motif targets directly
+    /// into per-shard postings, with no monolithic posting map built and
+    /// split afterwards (what [`build`](Self::build) does).
+    ///
+    /// Two phases, both chunked across up to `threads` workers claiming
+    /// work through one atomic cursor:
+    ///
+    /// 1. **enumerate** — the target list is cut into contiguous chunks of
+    ///    near-equal endpoint-degree mass (`TARGET_CHUNKS_PER_WORKER`
+    ///    per worker); each chunk enumerates its targets' instances and
+    ///    routes every (instance, edge) pair straight to the owning
+    ///    shard's posting fragment under chunk-local instance ids;
+    /// 2. **merge** — each shard (shards are independent state) folds its
+    ///    fragments together **in chunk order**, shifting local ids by the
+    ///    chunk's global offset.
+    ///
+    /// Chunks are ascending target ranges and ids shift by chunk-order
+    /// offsets, so instance ids, posting id lists, alive counts, and
+    /// candidate lists come out **bit-identical to the sequential build
+    /// for every chunk, shard, and thread count** — pinned by the
+    /// differential build tests. `threads` also becomes the index's
+    /// commit-phase thread budget (as [`set_threads`](Self::set_threads)).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or any target edge is still present in `g`.
+    #[must_use]
+    pub fn build_parallel<G: NeighborAccess + Sync>(
+        g: &G,
+        targets: &[Edge],
+        motif: Motif,
+        parts: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        let threads = threads.max(1);
+        for t in targets {
+            assert!(
+                !g.has_edge(t.u(), t.v()),
+                "target {t} still present: run phase 1 (delete targets) before indexing"
+            );
+        }
+        let bounds = degree_balanced_bounds(g, parts);
+        let shard_count = bounds.len() - 1;
+        let shard_of = |u: NodeId| -> usize { owner_shard(&bounds, u) };
+
+        // Cut the target list into contiguous chunks of near-equal
+        // endpoint-degree mass (the enumeration-cost proxy).
+        let n = g.node_count();
+        let degree_of = |u: NodeId| -> usize {
+            if (u as usize) < n {
+                g.degree(u)
+            } else {
+                0
+            }
+        };
+        let mut prefix = Vec::with_capacity(targets.len() + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for t in targets {
+            acc += (degree_of(t.u()) + degree_of(t.v()) + 1) as u64;
+            prefix.push(acc);
+        }
+        let chunk_goal = (threads * TARGET_CHUNKS_PER_WORKER).min(targets.len().max(1));
+        let chunks = tpp_store::balanced_prefix_ranges(&prefix, chunk_goal);
+
+        // Phase 1: enumerate chunk targets directly into per-shard posting
+        // fragments under chunk-local instance ids.
+        struct ChunkBuild {
+            instances: Vec<MotifInstance>,
+            per_target: Vec<usize>,
+            /// Shard -> edge -> chunk-local ids of instances containing it.
+            fragments: Vec<FastMap<Edge, Vec<InstanceId>>>,
+        }
+        let enumerate_chunk = |range: &std::ops::Range<usize>| -> ChunkBuild {
+            let mut out = ChunkBuild {
+                instances: Vec::new(),
+                per_target: Vec::with_capacity(range.len()),
+                fragments: vec![FastMap::default(); shard_count],
+            };
+            for ti in range.clone() {
+                let t = targets[ti];
+                let found =
+                    crate::enumerate::enumerate_target_subgraphs(g, t.u(), t.v(), motif, ti);
+                out.per_target.push(found.len());
+                for inst in found {
+                    let local = out.instances.len() as InstanceId;
+                    for &e in inst.edges() {
+                        out.fragments[shard_of(e.u())]
+                            .entry(e)
+                            .or_default()
+                            .push(local);
+                    }
+                    out.instances.push(inst);
+                }
+            }
+            out
+        };
+        let chunk_outs: Vec<ChunkBuild> = if threads <= 1 || chunks.len() <= 1 {
+            chunks.iter().map(enumerate_chunk).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let workers = threads.min(chunks.len());
+            let mut tagged: Vec<(usize, ChunkBuild)> = std::thread::scope(|scope| {
+                let (cursor, chunks, enumerate_chunk) = (&cursor, &chunks, &enumerate_chunk);
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(range) = chunks.get(i) else { break };
+                                got.push((i, enumerate_chunk(range)));
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("build enumeration worker panicked"))
+                    .collect()
+            });
+            // Which worker enumerated a chunk is scheduling noise; chunk
+            // order is the deterministic target order.
+            tagged.sort_unstable_by_key(|&(i, _)| i);
+            tagged.into_iter().map(|(_, o)| o).collect()
+        };
+
+        // Chunk-order id offsets: concatenating chunk outputs reproduces
+        // the sequential enumeration order exactly.
+        let mut offsets = Vec::with_capacity(chunk_outs.len());
+        let mut total_instances = 0usize;
+        for out in &chunk_outs {
+            offsets.push(total_instances as InstanceId);
+            total_instances += out.instances.len();
+        }
+
+        // Phase 2: fold fragments into each shard in chunk order (per-edge
+        // id lists ascend exactly like the sequential build's); shards are
+        // disjoint state, chunked across the worker budget.
+        let mut shards: Vec<IndexShard> = vec![IndexShard::default(); shard_count];
+        let merge_shard = |s: usize, shard: &mut IndexShard| {
+            for (out, &off) in chunk_outs.iter().zip(&offsets) {
+                for (&e, local_ids) in &out.fragments[s] {
+                    let po = shard.postings.entry(e).or_insert_with(|| Posting {
+                        ids: Vec::new(),
+                        alive: 0,
+                    });
+                    po.ids.extend(local_ids.iter().map(|&id| id + off));
+                    po.alive += local_ids.len() as u32;
+                }
+            }
+            shard.alive_candidates = shard.postings.keys().copied().collect();
+            shard.alive_candidates.sort_unstable();
+        };
+        if threads <= 1 || shard_count <= 1 {
+            for (s, shard) in shards.iter_mut().enumerate() {
+                merge_shard(s, shard);
+            }
+        } else {
+            let per_worker = shard_count.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (w, chunk) in shards.chunks_mut(per_worker).enumerate() {
+                    let merge_shard = &merge_shard;
+                    scope.spawn(move || {
+                        for (k, shard) in chunk.iter_mut().enumerate() {
+                            merge_shard(w * per_worker + k, shard);
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut instances = Vec::with_capacity(total_instances);
+        let mut per_target_alive = Vec::with_capacity(targets.len());
+        for out in chunk_outs {
+            instances.extend(out.instances);
+            per_target_alive.extend(out.per_target);
+        }
+        debug_assert_eq!(per_target_alive.len(), targets.len());
+
+        let op_scratch = vec![Vec::new(); shard_count];
+        let built = PartitionedCoverageIndex {
+            motif,
+            targets: targets.to_vec(),
+            alive: vec![true; total_instances],
+            instances,
+            per_target_alive,
+            alive_total: total_instances,
+            bounds,
+            shards,
+            threads,
+            kill_scratch: Vec::new(),
+            op_scratch,
+        };
+        #[cfg(debug_assertions)]
+        built.check_invariants();
+        built
     }
 
     /// Sets the worker-thread count for the per-shard commit phase
@@ -193,10 +414,7 @@ impl PartitionedCoverageIndex {
 
     #[inline]
     fn shard_of(&self, u: NodeId) -> usize {
-        self.bounds
-            .partition_point(|&b| b <= u)
-            .saturating_sub(1)
-            .min(self.shards.len() - 1)
+        owner_shard(&self.bounds, u)
     }
 
     /// The motif this index was built for.

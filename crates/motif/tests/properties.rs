@@ -3,41 +3,16 @@
 //! graphs, plus index/recount equivalence under arbitrary deletion orders.
 
 use proptest::prelude::*;
+use tpp_bench::fixtures::er_released_workload;
 use tpp_graph::{Edge, Graph};
 use tpp_motif::{count_all_targets, CoverageIndex, Motif, PartitionedCoverageIndex};
 
-/// Strategy: a random simple graph with `n in 8..=24` nodes and edge
-/// probability `p in 0.1..0.4`, plus 2 target pairs removed up front.
+/// Strategy: a random simple graph with `n in 8..=24` nodes and
+/// seed-derived edge probability, plus deterministic target pairs removed
+/// up front — the shared workload from `tpp-bench::fixtures`.
 fn instance_strategy() -> impl Strategy<Value = (Graph, Vec<Edge>)> {
-    (8usize..=24, 0u64..=5_000, 1usize..=3).prop_map(|(n, seed, tcount)| {
-        let p = 0.1 + (seed % 30) as f64 / 100.0;
-        let mut g = tpp_graph::generators::erdos_renyi_gnp(n, p, seed);
-        // Deterministically derived target pairs (removed if present).
-        let mut targets = Vec::new();
-        let mut a = 0u32;
-        while targets.len() < tcount {
-            let b = a + 1 + (seed % 3) as u32;
-            if (b as usize) < n {
-                let e = Edge::new(a, b);
-                if !targets.contains(&e) {
-                    targets.push(e);
-                }
-            }
-            a += 2;
-            if a as usize >= n {
-                break;
-            }
-        }
-        prop_assume_holds(&targets);
-        for t in &targets {
-            g.remove_edge(t.u(), t.v());
-        }
-        (g, targets)
-    })
-}
-
-fn prop_assume_holds(targets: &[Edge]) {
-    assert!(!targets.is_empty());
+    (8usize..=24, 0u64..=5_000, 1usize..=3)
+        .prop_map(|(n, seed, tcount)| er_released_workload(n, seed, tcount))
 }
 
 fn total_similarity(g: &Graph, targets: &[Edge], motif: Motif) -> usize {
@@ -200,6 +175,63 @@ proptest! {
         }
     }
 
+    /// Differential build harness: the shard-parallel build (targets
+    /// enumerated directly into per-shard postings) equals the sequential
+    /// build — postings (via per-edge alive-instance-id lists), alive
+    /// counts, per-target similarities, and the candidate list — across
+    /// shard counts {1, 2, 4, 8} × build threads {1, 2, 4}, and stays
+    /// equal under a shared deletion sequence.
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential(
+        (g, targets) in instance_strategy(),
+        order in 0usize..1000,
+    ) {
+        for motif in MOTIFS {
+            for parts in [1usize, 2, 4, 8] {
+                let sequential = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+                for threads in [1usize, 2, 4] {
+                    let parallel = PartitionedCoverageIndex::build_parallel(
+                        &g, &targets, motif, parts, threads);
+                    prop_assert_eq!(parallel.parts(), sequential.parts());
+                    prop_assert_eq!(
+                        parallel.total_similarity(), sequential.total_similarity(),
+                        "{} x{} t{} total diverged", motif, parts, threads);
+                    prop_assert_eq!(parallel.similarities(), sequential.similarities());
+                    prop_assert_eq!(
+                        parallel.alive_candidate_edges(),
+                        sequential.alive_candidate_edges(),
+                        "{} x{} t{} candidates diverged", motif, parts, threads);
+                    prop_assert_eq!(
+                        parallel.all_candidate_edges(), sequential.all_candidate_edges());
+                    for p in sequential.alive_candidate_edges() {
+                        prop_assert_eq!(parallel.gain(p), sequential.gain(p));
+                        prop_assert_eq!(parallel.gain_vector(p), sequential.gain_vector(p));
+                        // Id-level posting equality, order included.
+                        prop_assert_eq!(
+                            parallel.alive_instance_ids(p),
+                            sequential.alive_instance_ids(p),
+                            "{} x{} t{} posting of {} diverged", motif, parts, threads, p);
+                    }
+                    parallel.check_invariants();
+
+                    // A shared deletion sequence keeps both builds equal.
+                    let (mut seq_del, mut par_del) = (sequential.clone(), parallel);
+                    let mut edges = g.edge_vec();
+                    if edges.is_empty() { continue; }
+                    let rot = order % edges.len();
+                    edges.rotate_left(rot);
+                    for e in edges.iter().take(4) {
+                        prop_assert_eq!(seq_del.delete_edge(*e), par_del.delete_edge(*e));
+                        prop_assert_eq!(
+                            seq_del.alive_candidate_edges(),
+                            par_del.alive_candidate_edges(),
+                            "candidates diverged after deleting {}", e);
+                    }
+                }
+            }
+        }
+    }
+
     /// Every enumerated instance has the right arity and all its edges
     /// really exist; and no instance contains a target link.
     #[test]
@@ -215,6 +247,41 @@ proptest! {
                         prop_assert!(!targets.contains(e), "instance uses target {e}");
                     }
                 }
+            }
+        }
+    }
+}
+
+/// The differential build harness at a scale where the parallel paths are
+/// real: enough targets that the enumeration phase cuts many chunks and
+/// the merge phase spans many shards per worker.
+#[test]
+fn parallel_build_matches_sequential_on_ba_workload() {
+    let (g, targets) = tpp_bench::fixtures::ba_released_workload(800, 4, 17, 60);
+    for motif in [Motif::Triangle, Motif::Rectangle] {
+        for parts in [1usize, 2, 4, 8] {
+            let sequential = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+            for threads in [1usize, 2, 4] {
+                let parallel =
+                    PartitionedCoverageIndex::build_parallel(&g, &targets, motif, parts, threads);
+                assert_eq!(
+                    parallel.total_similarity(),
+                    sequential.total_similarity(),
+                    "{motif} x{parts} t{threads}"
+                );
+                assert_eq!(parallel.similarities(), sequential.similarities());
+                assert_eq!(
+                    parallel.alive_candidate_edges(),
+                    sequential.alive_candidate_edges()
+                );
+                for p in sequential.alive_candidate_edges().into_iter().step_by(7) {
+                    assert_eq!(
+                        parallel.alive_instance_ids(p),
+                        sequential.alive_instance_ids(p),
+                        "{motif} x{parts} t{threads} posting of {p}"
+                    );
+                }
+                parallel.check_invariants();
             }
         }
     }

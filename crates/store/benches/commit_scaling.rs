@@ -19,16 +19,25 @@
 //!   commit shape): one routing + compaction pass per batch.
 //! * `clone_*` — the per-iteration index clone both commit benches pay, so
 //!   the JSON keeps the commit-only margins readable.
-//! * `rounds_sequential` vs `rounds_batch_j8` — 64 greedy commits driven
-//!   the round-loop way on the partitioned index: argmax-scan-per-commit
-//!   versus one scan per 8 disjoint-gain-set commits.
+//! * `rounds_sequential` vs `rounds_batch_j2` / `rounds_batch_j8` — 64
+//!   greedy commits driven the round-loop way on the partitioned index:
+//!   argmax-scan-per-commit versus one scan per 2 or 8 disjoint-gain-set
+//!   commits (the batch-width sweep).
+//! * `rounds_targeted_sequential` vs `rounds_targeted_batch_j8` — the same
+//!   64 commits as **targeted** (CT/WT-shaped) rounds: lexicographic
+//!   `(own, cross)` argmax per open target, versus 8 disjoint picks per
+//!   scan capped per charged target (this PR's batch-aware targeted
+//!   rounds, modeled directly on the index).
 //!
 //! Both disciplines are asserted to produce identical break counts and
 //! final state before anything is timed.
+//!
+//! The workload is the shared `ba_50k` fixture
+//! ([`tpp_bench::fixtures::ba_50k_rectangle`]).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tpp_graph::{Edge, Graph};
+use tpp_graph::Edge;
 use tpp_motif::{CoverageIndex, InstanceId, Motif, PartitionedCoverageIndex};
 
 const MOTIF: Motif = Motif::Rectangle;
@@ -36,19 +45,6 @@ const PARTS: usize = 16;
 const DELETES: usize = 512;
 const BATCH_J: usize = 8;
 const ROUND_COMMITS: usize = 64;
-
-/// The ba_50k workload: released graph (targets removed) and target set.
-fn ba_50k() -> (Graph, Vec<Edge>) {
-    let mut g = tpp_graph::generators::barabasi_albert(50_000, 4, 17);
-    let all = g.edge_vec();
-    let mut targets: Vec<Edge> = (0..2_500).map(|i| all[(i * 499 + 7) % all.len()]).collect();
-    targets.sort_unstable();
-    targets.dedup();
-    for t in &targets {
-        g.remove_edge(t.u(), t.v());
-    }
-    (g, targets)
-}
 
 /// A fixed, spread deletion sequence over the initial candidate set.
 fn deletion_sequence(index: &CoverageIndex, n: usize) -> Vec<Edge> {
@@ -80,10 +76,10 @@ fn rounds_sequential(mut idx: PartitionedCoverageIndex) -> usize {
     broken
 }
 
-/// The same number of commits, one scan per 8: each round accepts the
-/// top-8 candidates with pairwise-disjoint gain sets and commits them as
+/// The same number of commits, one scan per `j`: each round accepts the
+/// top-`j` candidates with pairwise-disjoint gain sets and commits them as
 /// one batch (the engine's `select_batch` commit shape).
-fn rounds_batch_j8(mut idx: PartitionedCoverageIndex) -> usize {
+fn rounds_batch(mut idx: PartitionedCoverageIndex, j: usize) -> usize {
     let mut broken = 0usize;
     let mut committed = 0usize;
     while committed < ROUND_COMMITS {
@@ -93,10 +89,10 @@ fn rounds_batch_j8(mut idx: PartitionedCoverageIndex) -> usize {
             .map(|&e| (idx.gain(e), e))
             .collect();
         scored.sort_unstable_by_key(|&(g, e)| (std::cmp::Reverse(g), e));
-        let mut batch: Vec<Edge> = Vec::with_capacity(BATCH_J);
+        let mut batch: Vec<Edge> = Vec::with_capacity(j);
         let mut claimed: Vec<InstanceId> = Vec::new();
         for &(g, e) in &scored {
-            if g == 0 || batch.len() >= BATCH_J.min(ROUND_COMMITS - committed) {
+            if g == 0 || batch.len() >= j.min(ROUND_COMMITS - committed) {
                 break;
             }
             let ids = idx.alive_instance_ids(e);
@@ -114,8 +110,82 @@ fn rounds_batch_j8(mut idx: PartitionedCoverageIndex) -> usize {
     broken
 }
 
+/// Advances past fully protected targets (the WT budget-loop shape).
+fn next_open_target(idx: &PartitionedCoverageIndex, from: usize) -> Option<usize> {
+    (from..idx.targets().len()).find(|&t| idx.target_similarity(t) > 0)
+}
+
+/// 64 targeted (CT/WT-shaped) commits, one lexicographic `(own, cross)`
+/// argmax scan per commit over the current open target.
+fn rounds_targeted_sequential(mut idx: PartitionedCoverageIndex) -> usize {
+    let mut broken = 0usize;
+    let mut t = 0usize;
+    for _ in 0..ROUND_COMMITS {
+        let Some(open) = next_open_target(&idx, t) else {
+            break;
+        };
+        t = open;
+        let mut best: Option<((usize, usize), Edge)> = None;
+        for slice in idx.alive_candidate_slices() {
+            for &e in slice {
+                let s = idx.gain_split(e, t);
+                if best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, e));
+                }
+            }
+        }
+        let Some((_, e)) = best else { break };
+        broken += idx.delete_edge(e);
+    }
+    broken
+}
+
+/// The same targeted commits, one scan per 8: accepts up to 8 picks in
+/// `(own desc, cross desc, edge)` order whose gain sets are pairwise
+/// disjoint — the batch-aware targeted round's commit shape.
+fn rounds_targeted_batch_j8(mut idx: PartitionedCoverageIndex) -> usize {
+    let mut broken = 0usize;
+    let mut committed = 0usize;
+    let mut t = 0usize;
+    while committed < ROUND_COMMITS {
+        let Some(open) = next_open_target(&idx, t) else {
+            break;
+        };
+        t = open;
+        let mut scored: Vec<((usize, usize), Edge)> = idx
+            .alive_candidate_slices()
+            .flatten()
+            .map(|&e| (idx.gain_split(e, t), e))
+            .collect();
+        scored.sort_unstable_by_key(|&((own, cross), e)| {
+            (std::cmp::Reverse(own), std::cmp::Reverse(cross), e)
+        });
+        let mut batch: Vec<Edge> = Vec::with_capacity(BATCH_J);
+        let mut claimed: Vec<InstanceId> = Vec::new();
+        for &(_, e) in &scored {
+            if batch.len() >= BATCH_J.min(ROUND_COMMITS - committed) {
+                break;
+            }
+            let ids = idx.alive_instance_ids(e);
+            if ids.is_empty() {
+                break; // sorted by split: nothing below breaks anything
+            }
+            if batch.is_empty() || ids.iter().all(|id| !claimed.contains(id)) {
+                claimed.extend(ids);
+                batch.push(e);
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        committed += batch.len();
+        broken += idx.delete_edges(&batch).iter().sum::<usize>();
+    }
+    broken
+}
+
 fn bench_commit_scaling(c: &mut Criterion) {
-    let (g, targets) = ba_50k();
+    let (g, targets) = tpp_bench::fixtures::ba_50k_rectangle();
     let mono = CoverageIndex::build(&g, &targets, MOTIF);
     let mut part = PartitionedCoverageIndex::build(&g, &targets, MOTIF, PARTS);
     part.set_threads(1); // the margin under test is structural, not threads
@@ -181,8 +251,17 @@ fn bench_commit_scaling(c: &mut Criterion) {
     group.bench_function("rounds_sequential", |b| {
         b.iter(|| black_box(rounds_sequential(part.clone())));
     });
+    group.bench_function("rounds_batch_j2", |b| {
+        b.iter(|| black_box(rounds_batch(part.clone(), 2)));
+    });
     group.bench_function("rounds_batch_j8", |b| {
-        b.iter(|| black_box(rounds_batch_j8(part.clone())));
+        b.iter(|| black_box(rounds_batch(part.clone(), BATCH_J)));
+    });
+    group.bench_function("rounds_targeted_sequential", |b| {
+        b.iter(|| black_box(rounds_targeted_sequential(part.clone())));
+    });
+    group.bench_function("rounds_targeted_batch_j8", |b| {
+        b.iter(|| black_box(rounds_targeted_batch_j8(part.clone())));
     });
     group.finish();
 }
