@@ -331,7 +331,8 @@ fn store(p: &Parsed) -> Result<(), String> {
             let threads: usize = p.positive_or("threads", 1)?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
-            let csr = tpp_store::CsrGraph::from_graph_parallel(&g, threads);
+            let exec = tpp_exec::Parallelism::new(threads);
+            let csr = tpp_store::CsrGraph::from_graph_parallel(&g, &exec);
             tpp_store::format::save(&csr, out).map_err(|e| e.to_string())?;
             let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
             println!(

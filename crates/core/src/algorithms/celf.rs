@@ -5,7 +5,7 @@
 //! evaluations; the `ablation_evaluators` bench quantifies the speedup.
 
 use super::GreedyConfig;
-use crate::engine::RoundEngine;
+use crate::engine::{Parallelism, RoundEngine};
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
@@ -20,10 +20,11 @@ use crate::problem::TppInstance;
 /// from skipped candidates just the same).
 #[must_use]
 pub fn celf_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     engine.run_global_lazy(k);
     engine.into_global_plan(AlgorithmKind::CelfGreedy)
@@ -48,10 +49,11 @@ pub fn celf_greedy_batch(
     j: usize,
     config: &GreedyConfig,
 ) -> ProtectionPlan {
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     engine.run_global_lazy_batch(k, j);
     engine.into_global_plan(AlgorithmKind::CelfGreedy)

@@ -3,7 +3,7 @@
 //! partition matroid, guaranteeing a `1/2` approximation (Theorem 4).
 
 use super::GreedyConfig;
-use crate::engine::RoundEngine;
+use crate::engine::{Parallelism, RoundEngine};
 use crate::error::TppError;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
@@ -56,10 +56,11 @@ pub fn ct_greedy_batch(
     }
     let n = budgets.len();
     let j = j.max(1);
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     loop {
         let open: Vec<(usize, usize)> = (0..n)

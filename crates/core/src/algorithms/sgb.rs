@@ -4,7 +4,7 @@
 //! (Lemmas 1–2).
 
 use super::GreedyConfig;
-use crate::engine::RoundEngine;
+use crate::engine::{Parallelism, RoundEngine};
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
@@ -18,10 +18,11 @@ use crate::problem::TppInstance;
 /// changing a single pick.
 #[must_use]
 pub fn sgb_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     engine.run_global(k);
     engine.into_global_plan(AlgorithmKind::SgbGreedy)
@@ -43,10 +44,11 @@ pub fn sgb_greedy_batch(
     j: usize,
     config: &GreedyConfig,
 ) -> ProtectionPlan {
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     engine.select_batch(k, j);
     engine.into_global_plan(AlgorithmKind::SgbGreedy)

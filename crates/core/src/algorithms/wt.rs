@@ -3,7 +3,7 @@
 //! the guarantee is `1 − e^{−(1−1/e)} ≈ 0.46` (Theorem 5).
 
 use super::GreedyConfig;
-use crate::engine::RoundEngine;
+use crate::engine::{Parallelism, RoundEngine};
 use crate::error::TppError;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
@@ -55,10 +55,11 @@ pub fn wt_greedy_batch(
         });
     }
     let j = j.max(1);
-    let mut engine = RoundEngine::new(
-        AnyOracle::for_instance(instance, config),
+    let exec = Parallelism::new(config.threads);
+    let mut engine = RoundEngine::with_parallelism(
+        AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
-        config.threads,
+        exec,
     );
     'targets: for (t, &budget) in budgets.iter().enumerate() {
         while engine.charged(t) < budget {

@@ -26,6 +26,13 @@
 //! left-to-right scan for every thread count**. The determinism proptests
 //! pin this across all three oracles.
 //!
+//! The workers themselves belong to a persistent [`Parallelism`] pool
+//! (`tpp-exec`), created **once** per run and plumbed through the engine
+//! into the oracle's commit and build phases — a k-round greedy run pays
+//! thread creation once, not once per round. [`Parallelism::steal_spans`]
+//! owns the claim-and-reduce scaffold; the engine only decides span
+//! sizing, scoring, and the reduce.
+//!
 //! Span *sizing* is adaptive: the engine's [`ScanTuner`] keeps an EWMA of
 //! the observed per-weight scan cost and cuts the next round's spans to a
 //! fixed wall-clock target, instead of a static spans-per-worker count
@@ -61,59 +68,16 @@ use crate::oracle::{CandidatePolicy, GainOracle, GainProbe};
 use crate::plan::{AlgorithmKind, ProtectionPlan, StepRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::InstanceId;
 
-/// Cuts `0..weights.len()` into at most `parts` contiguous ranges of
-/// near-equal total weight (every range non-empty, ranges ascending and
-/// covering the whole index space).
-///
-/// This is the candidate-list analogue of `CsrGraph::shard_ranges`, and
-/// delegates to the same boundary computation
-/// ([`tpp_store::balanced_prefix_ranges`]) after one prefix-sum pass over
-/// the weights: boundaries adapt to per-item cost so no worker inherits
-/// all the hubs.
-///
-/// # Panics
-/// Panics if `parts == 0`.
-#[must_use]
-pub fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
-    let mut prefix = Vec::with_capacity(weights.len() + 1);
-    let mut acc = 0u64;
-    prefix.push(0u64);
-    for &w in weights {
-        acc += w as u64;
-        prefix.push(acc);
-    }
-    tpp_store::balanced_prefix_ranges(&prefix, parts)
-}
-
-fn uniform_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
-    let chunk = len.div_ceil(parts.max(1)).max(1);
-    (0..len.div_ceil(chunk))
-        .map(|i| i * chunk..((i + 1) * chunk).min(len))
-        .collect()
-}
-
-fn ranges_for(len: usize, parts: usize, weights: Option<&[usize]>) -> Vec<std::ops::Range<usize>> {
-    match weights {
-        Some(w) => balanced_ranges(w, parts),
-        None => uniform_ranges(len, parts),
-    }
-}
-
-/// Resolves the `0 = all available cores` convention shared by every
-/// thread-count knob in the workspace.
-#[must_use]
-pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    }
-}
+// The scan's splitting math and its execution substrate live in
+// `tpp-exec` now; re-exported here because they are part of the engine's
+// public vocabulary (`balanced_ranges` is the candidate-list analogue of
+// `CsrGraph::shard_ranges`, delegating to the same
+// `tpp_exec::balanced_prefix_ranges` boundary computation).
+pub use tpp_exec::{balanced_ranges, resolve_threads, ExecPool, Parallelism};
 
 /// Spans handed to the work-stealing scan per worker thread when no cost
 /// observation exists yet: enough that a worker finishing its cheap spans
@@ -206,77 +170,26 @@ impl ScanTuner {
     }
 }
 
-/// The work-stealing scaffold shared by [`sharded_argmax`] and
-/// [`sharded_map`]: cuts `items` into at most `span_count` contiguous
-/// weight-balanced spans (never fewer than one per worker), lets up to
-/// `threads` workers claim spans through one atomic cursor (each worker
-/// reusing one private `make_ctx` context), and returns every span's
-/// `run_span` result **in span order** — which worker ran a span, and how
-/// many spans there were, is scheduling noise the caller never observes.
-/// This single implementation is what the engine's
-/// bit-identical-across-thread-counts guarantee rests on.
-fn steal_spans<T, C, R, M, F>(
-    items: &[T],
-    threads: usize,
-    span_count: usize,
-    weights: Option<&[usize]>,
-    make_ctx: M,
-    run_span: F,
-) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    M: Fn() -> C + Sync,
-    F: Fn(&mut C, &[T]) -> R + Sync,
-{
-    let spans = ranges_for(items.len(), span_count.max(threads), weights);
-    let workers = threads.min(spans.len());
-    let cursor = AtomicUsize::new(0);
-    let mut out: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
-        let (make_ctx, run_span) = (&make_ctx, &run_span);
-        let (cursor, spans) = (&cursor, &spans);
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move |_| {
-                    let mut ctx = make_ctx();
-                    let mut got = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(span) = spans.get(i) else { break };
-                        got.push((i, run_span(&mut ctx, &items[span.clone()])));
-                    }
-                    got
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    out.sort_unstable_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
-}
-
-/// First-maximizer-wins argmax over `items`, scanned by `threads` workers
+/// First-maximizer-wins argmax over `items`, scanned by `exec`'s workers
 /// under **work stealing**: the items are pre-cut into contiguous
 /// weight-balanced spans (several per worker, the same boundary discipline
 /// as `tpp_store::CsrGraph::shard_ranges`) and workers
 /// claim spans through one atomic cursor until none remain. Skewed rounds
 /// — where one span's candidates are far more expensive than predicted —
-/// therefore no longer serialize on the unlucky worker.
+/// therefore no longer serialize on the unlucky worker. Dispatch runs on
+/// the persistent executor pool ([`Parallelism::steal_spans`]): the
+/// workers are spawned once per pool, not once per scan.
 ///
 /// Each worker builds one private context with `make_ctx` (reused across
 /// every span it claims), scores spans left-to-right with `eval` (`None`
 /// skips an item), and keeps the first strict maximum under
 /// `better(new, best)`; span maxima reduce in span order. The result is
 /// therefore **identical to a sequential left-to-right scan** for every
-/// `threads` value and every claim interleaving — the property all the
+/// thread count and every claim interleaving — the property all the
 /// engine's determinism guarantees rest on.
 pub fn sharded_argmax<T, C, S, M, E, B>(
     items: &[T],
-    threads: usize,
+    exec: &Parallelism,
     weights: Option<&[usize]>,
     make_ctx: M,
     eval: E,
@@ -289,8 +202,8 @@ where
     E: Fn(&mut C, T) -> Option<S> + Sync,
     B: Fn(&S, &S) -> bool + Sync,
 {
-    let spans = resolve_threads(threads) * STEAL_SPANS_PER_WORKER;
-    sharded_argmax_spans(items, threads, spans, weights, make_ctx, eval, better)
+    let spans = exec.threads() * STEAL_SPANS_PER_WORKER;
+    sharded_argmax_spans(items, exec, spans, weights, make_ctx, eval, better)
 }
 
 /// [`sharded_argmax`] with an explicit span count (e.g. from a
@@ -298,7 +211,7 @@ where
 /// maximizer is identical for every value.
 pub fn sharded_argmax_spans<T, C, S, M, E, B>(
     items: &[T],
-    threads: usize,
+    exec: &Parallelism,
     span_count: usize,
     weights: Option<&[usize]>,
     make_ctx: M,
@@ -332,18 +245,12 @@ where
     if items.is_empty() {
         return None;
     }
-    let threads = resolve_threads(threads);
-    if threads <= 1 {
+    if exec.is_sequential() {
         return scan(items, &mut make_ctx(), &eval, &better);
     }
-    let span_best = steal_spans(
-        items,
-        threads,
-        span_count,
-        weights,
-        &make_ctx,
-        |ctx, chunk| scan(chunk, ctx, &eval, &better),
-    );
+    let span_best = exec.steal_spans(items, span_count, weights, &make_ctx, |ctx, chunk| {
+        scan(chunk, ctx, &eval, &better)
+    });
     // Canonical-order reduce over the span-ordered maxima.
     let mut best: Option<(S, T)> = None;
     for cb in span_best.into_iter().flatten() {
@@ -359,7 +266,7 @@ where
 /// item order regardless of thread count or claim interleaving.
 pub fn sharded_map<T, C, R, M, E>(
     items: &[T],
-    threads: usize,
+    exec: &Parallelism,
     weights: Option<&[usize]>,
     make_ctx: M,
     eval: E,
@@ -370,15 +277,15 @@ where
     M: Fn() -> C + Sync,
     E: Fn(&mut C, T) -> R + Sync,
 {
-    let spans = resolve_threads(threads) * STEAL_SPANS_PER_WORKER;
-    sharded_map_spans(items, threads, spans, weights, make_ctx, eval)
+    let spans = exec.threads() * STEAL_SPANS_PER_WORKER;
+    sharded_map_spans(items, exec, spans, weights, make_ctx, eval)
 }
 
 /// [`sharded_map`] with an explicit span count (e.g. from a [`ScanTuner`]);
 /// results come back in item order for every span plan.
 pub fn sharded_map_spans<T, C, R, M, E>(
     items: &[T],
-    threads: usize,
+    exec: &Parallelism,
     span_count: usize,
     weights: Option<&[usize]>,
     make_ctx: M,
@@ -393,24 +300,16 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = resolve_threads(threads);
-    if threads <= 1 {
+    if exec.is_sequential() {
         let mut ctx = make_ctx();
         return items.iter().map(|&i| eval(&mut ctx, i)).collect();
     }
-    let per_span = steal_spans(
-        items,
-        threads,
-        span_count,
-        weights,
-        &make_ctx,
-        |ctx, chunk| {
-            chunk
-                .iter()
-                .map(|&item| eval(ctx, item))
-                .collect::<Vec<R>>()
-        },
-    );
+    let per_span = exec.steal_spans(items, span_count, weights, &make_ctx, |ctx, chunk| {
+        chunk
+            .iter()
+            .map(|&item| eval(ctx, item))
+            .collect::<Vec<R>>()
+    });
     per_span.into_iter().flatten().collect()
 }
 
@@ -445,7 +344,9 @@ pub struct TargetedPick {
 pub struct RoundEngine<O: GainOracle> {
     oracle: O,
     policy: CandidatePolicy,
-    threads: usize,
+    /// The persistent executor every scan dispatches on (and, via
+    /// [`GainOracle::set_parallelism`], every commit too).
+    exec: Parallelism,
     initial_similarity: usize,
     protectors: Vec<Edge>,
     steps: Vec<StepRecord>,
@@ -456,21 +357,32 @@ pub struct RoundEngine<O: GainOracle> {
 }
 
 impl<O: GainOracle + Sync> RoundEngine<O> {
-    /// Builds an engine over `oracle`. `threads == 0` resolves to the
-    /// machine's available parallelism; every thread count produces
-    /// bit-identical plans.
+    /// Builds an engine over `oracle` with a fresh executor pool of
+    /// `threads` workers (`0` resolves to the machine's available
+    /// parallelism); every thread count produces bit-identical plans.
+    /// Callers that already hold a [`Parallelism`] handle (so the oracle
+    /// build and the engine share one pool) use
+    /// [`with_parallelism`](Self::with_parallelism) instead.
     #[must_use]
-    pub fn new(mut oracle: O, policy: CandidatePolicy, threads: usize) -> Self {
-        let threads = resolve_threads(threads);
+    pub fn new(oracle: O, policy: CandidatePolicy, threads: usize) -> Self {
+        Self::with_parallelism(oracle, policy, Parallelism::new(threads))
+    }
+
+    /// Builds an engine over `oracle` dispatching on `exec` — the one
+    /// executor handle shared by the scan, the oracle's commit phase
+    /// (plumbed via [`GainOracle::set_parallelism`]), and whatever built
+    /// the oracle.
+    #[must_use]
+    pub fn with_parallelism(mut oracle: O, policy: CandidatePolicy, exec: Parallelism) -> Self {
         // Commit-side parallelism (the shard-parallel partitioned index)
-        // shares the scan's thread budget.
-        oracle.set_commit_threads(threads);
+        // shares the scan's executor.
+        oracle.set_parallelism(&exec);
         let initial_similarity = oracle.total_similarity();
         let targets = oracle.target_count();
         RoundEngine {
             oracle,
             policy,
-            threads,
+            exec,
             initial_similarity,
             protectors: Vec::new(),
             steps: Vec::new(),
@@ -499,17 +411,17 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// oracle itself, otherwise a work-stealing scan over spans sized by
     /// the [`ScanTuner`] (and feeding its next observation).
     fn scan_deltas(&mut self, candidates: &[Edge]) -> Vec<usize> {
-        if self.threads <= 1 {
+        if self.exec.is_sequential() {
             let probe: &mut dyn GainProbe = &mut self.oracle;
             return candidates.iter().map(|&p| probe.delta(p)).collect();
         }
         let (weights, total) = self.candidate_weights(candidates);
-        let spans = self.tuner.spans_for(self.threads, total);
+        let spans = self.tuner.spans_for(self.exec.threads(), total);
         let started = Instant::now();
         let oracle = &self.oracle;
         let gains = sharded_map_spans(
             candidates,
-            self.threads,
+            &self.exec,
             spans,
             Some(&weights),
             || oracle.probe(),
@@ -522,17 +434,17 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// Per-target gain vectors for every candidate, in candidate order
     /// (the targeted-round analogue of [`scan_deltas`](Self::scan_deltas)).
     fn scan_delta_vectors(&mut self, candidates: &[Edge]) -> Vec<Vec<usize>> {
-        if self.threads <= 1 {
+        if self.exec.is_sequential() {
             let probe: &mut dyn GainProbe = &mut self.oracle;
             return candidates.iter().map(|&p| probe.delta_vector(p)).collect();
         }
         let (weights, total) = self.candidate_weights(candidates);
-        let spans = self.tuner.spans_for(self.threads, total);
+        let spans = self.tuner.spans_for(self.exec.threads(), total);
         let started = Instant::now();
         let oracle = &self.oracle;
         let vectors = sharded_map_spans(
             candidates,
-            self.threads,
+            &self.exec,
             spans,
             Some(&weights),
             || oracle.probe(),
@@ -569,7 +481,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
         better: impl Fn(&S, &S) -> bool + Sync,
     ) -> Option<(S, Edge)> {
         let candidates = self.oracle.candidates(self.policy);
-        if self.threads <= 1 {
+        if self.exec.is_sequential() {
             // The oracle is its own probe: no per-round scratch setup.
             let probe: &mut dyn GainProbe = &mut self.oracle;
             let mut best: Option<(S, Edge)> = None;
@@ -583,12 +495,12 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             return best;
         }
         let (weights, total) = self.candidate_weights(&candidates);
-        let spans = self.tuner.spans_for(self.threads, total);
+        let spans = self.tuner.spans_for(self.exec.threads(), total);
         let started = Instant::now();
         let oracle = &self.oracle;
         let best = sharded_argmax_spans(
             &candidates,
-            self.threads,
+            &self.exec,
             spans,
             Some(&weights),
             || oracle.probe(),
@@ -1135,7 +1047,6 @@ mod tests {
         // Degenerate inputs.
         assert!(balanced_ranges(&[], 4).is_empty());
         assert_eq!(balanced_ranges(&[5], 4), vec![0..1]);
-        assert_eq!(uniform_ranges(0, 3), Vec::<std::ops::Range<usize>>::new());
     }
 
     #[test]
@@ -1155,10 +1066,11 @@ mod tests {
                         best
                     }
                 });
-        for threads in [1usize, 2, 3, 4, 8, 97] {
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let exec = Parallelism::new(threads);
             let got = sharded_argmax(
                 &items,
-                threads,
+                &exec,
                 None,
                 || (),
                 |(), e| Some(score(&e)),
@@ -1170,7 +1082,7 @@ mod tests {
         let weights: Vec<usize> = items.iter().map(|e| 1 + e.u() as usize % 5).collect();
         let got = sharded_argmax(
             &items,
-            4,
+            &Parallelism::new(4),
             Some(&weights),
             || (),
             |(), e| Some(score(&e)),
@@ -1184,7 +1096,8 @@ mod tests {
         let items: Vec<Edge> = (0..41u32).map(|i| Edge::new(i, i + 1)).collect();
         let expect: Vec<u32> = items.iter().map(|e| e.u() * 2).collect();
         for threads in [1usize, 2, 5, 16] {
-            let got = sharded_map(&items, threads, None, || (), |(), e: Edge| e.u() * 2);
+            let exec = Parallelism::new(threads);
+            let got = sharded_map(&items, &exec, None, || (), |(), e: Edge| e.u() * 2);
             assert_eq!(got, expect, "threads = {threads}");
         }
     }
@@ -1192,13 +1105,20 @@ mod tests {
     #[test]
     fn sharded_argmax_skips_none_scores() {
         let items: Vec<Edge> = (0..10u32).map(|i| Edge::new(i, i + 1)).collect();
-        let none_at_all =
-            sharded_argmax(&items, 3, None, || (), |(), _| None::<usize>, |a, b| a > b);
+        let exec = Parallelism::new(3);
+        let none_at_all = sharded_argmax(
+            &items,
+            &exec,
+            None,
+            || (),
+            |(), _| None::<usize>,
+            |a, b| a > b,
+        );
         assert_eq!(none_at_all, None);
         assert_eq!(
             sharded_argmax::<Edge, (), usize, _, _, _>(
                 &[],
-                3,
+                &exec,
                 None,
                 || (),
                 |(), _| Some(1),

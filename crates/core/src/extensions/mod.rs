@@ -18,4 +18,4 @@ pub use node_privacy::{
 };
 pub use parallel::parallel_sgb_greedy;
 pub use switching::{backfire_rate, backfire_rate_parallel, random_switch, SwitchOutcome};
-pub use weighted::weighted_sgb_greedy;
+pub use weighted::{weighted_celf_greedy_batch, weighted_sgb_greedy, WeightedIndexOracle};

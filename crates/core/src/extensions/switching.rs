@@ -138,8 +138,12 @@ pub fn backfire_rate_parallel(
     // One seed range per worker, streamed — memory stays O(threads), not
     // O(trials), so hundred-million-trial estimates don't materialize a
     // seed vector. Counting is order-independent, so the estimate is
-    // bit-identical for every thread count.
-    let threads = crate::engine::resolve_threads(threads) as u64;
+    // bit-identical for every thread count. All ranges of this estimate
+    // share one executor pool (spawned here, per call — repeated
+    // estimates that want to amortize it can hold their own handle once
+    // a &Parallelism-taking variant is needed).
+    let exec = crate::engine::Parallelism::new(threads);
+    let threads = exec.threads() as u64;
     let chunk = trials.div_ceil(threads).max(1);
     let ranges: Vec<(u64, u64)> = (0..threads)
         .map(|i| (i * chunk, ((i + 1) * chunk).min(trials)))
@@ -147,7 +151,7 @@ pub fn backfire_rate_parallel(
         .collect();
     let counts: Vec<u64> = crate::engine::sharded_map(
         &ranges,
-        ranges.len(),
+        &exec,
         None,
         || (),
         |(), (lo, hi)| {

@@ -17,6 +17,7 @@
 //!   Setup is `O(1)` and the base is never cloned or mutated, so one
 //!   immutable snapshot can back many concurrent evaluations.
 
+use tpp_exec::Parallelism;
 use tpp_graph::{Edge, Graph, NeighborAccess};
 use tpp_motif::{count_target_subgraphs, InstanceId, Motif, PartitionedCoverageIndex};
 use tpp_store::DeltaView;
@@ -73,11 +74,12 @@ pub trait GainOracle {
         let _ = p;
         None
     }
-    /// Sets the worker-thread budget for commit-side parallelism (the
-    /// engine forwards its own thread count here). Purely a performance
-    /// knob; the default ignores it.
-    fn set_commit_threads(&mut self, threads: usize) {
-        let _ = threads;
+    /// Hands the oracle the executor for commit-side parallelism (the
+    /// engine forwards its own [`Parallelism`] handle here, so scans and
+    /// commits share one pool). Purely a performance knob; the default
+    /// ignores it.
+    fn set_parallelism(&mut self, exec: &Parallelism) {
+        let _ = exec;
     }
     /// Number of targets.
     fn target_count(&self) -> usize;
@@ -167,30 +169,28 @@ impl IndexOracle {
     /// Panics if `parts == 0`.
     #[must_use]
     pub fn with_partitions(released: &Graph, targets: &[Edge], motif: Motif, parts: usize) -> Self {
-        Self::with_partitions_and_threads(released, targets, motif, parts, 1)
+        Self::with_partitions_on(released, targets, motif, parts, &Parallelism::sequential())
     }
 
-    /// Builds the oracle with explicit partition and build-thread counts:
-    /// the index is built **shard-parallel**
+    /// Builds the oracle with an explicit partition count on a shared
+    /// executor: the index is built **shard-parallel**
     /// ([`PartitionedCoverageIndex::build_parallel`] — targets enumerate
     /// directly into per-shard postings), bit-identical to the sequential
-    /// build for every `parts`/`threads` value. The thread budget carries
-    /// over to the commit phase (until the engine overrides it).
+    /// build for every `parts` value and executor width. The handle
+    /// carries over to the commit phase (until the engine overrides it).
     ///
     /// # Panics
     /// Panics if `parts == 0`.
     #[must_use]
-    pub fn with_partitions_and_threads(
+    pub fn with_partitions_on(
         released: &Graph,
         targets: &[Edge],
         motif: Motif,
         parts: usize,
-        threads: usize,
+        exec: &Parallelism,
     ) -> Self {
         IndexOracle {
-            index: PartitionedCoverageIndex::build_parallel(
-                released, targets, motif, parts, threads,
-            ),
+            index: PartitionedCoverageIndex::build_parallel(released, targets, motif, parts, exec),
             graph: released.clone(),
         }
     }
@@ -253,8 +253,8 @@ impl GainOracle for IndexOracle {
         Some(self.index.alive_instance_ids(p))
     }
 
-    fn set_commit_threads(&mut self, threads: usize) {
-        self.index.set_threads(threads);
+    fn set_parallelism(&mut self, exec: &Parallelism) {
+        self.index.set_parallelism(exec.clone());
     }
 
     fn target_count(&self) -> usize {
@@ -533,23 +533,25 @@ pub enum AnyOracle<'a> {
 
 impl<'a> AnyOracle<'a> {
     /// Builds the oracle `config.evaluator` selects over the instance's
-    /// released graph and targets.
+    /// released graph and targets, on the run's shared executor — the
+    /// index build dispatches on the same pool the engine's scans and the
+    /// commit phase will (the shard-parallel build is bit-identical at
+    /// every pool width).
     #[must_use]
     pub fn for_instance(
         instance: &'a crate::problem::TppInstance,
         config: &crate::algorithms::GreedyConfig,
+        exec: &Parallelism,
     ) -> Self {
         use crate::algorithms::EvaluatorKind;
         let (released, targets) = (instance.released(), instance.targets());
         match config.evaluator {
-            EvaluatorKind::Index => AnyOracle::Index(IndexOracle::with_partitions_and_threads(
+            EvaluatorKind::Index => AnyOracle::Index(IndexOracle::with_partitions_on(
                 released,
                 targets,
                 config.motif,
                 DEFAULT_INDEX_PARTITIONS,
-                // The scan thread budget doubles as the build budget: the
-                // shard-parallel build is bit-identical at every count.
-                crate::engine::resolve_threads(config.threads),
+                exec,
             )),
             EvaluatorKind::NaiveRecount => {
                 AnyOracle::Naive(NaiveOracle::new(released, targets, config.motif))
@@ -608,8 +610,8 @@ impl GainOracle for AnyOracle<'_> {
         any_oracle_delegate!(self, o => o.gain_set(p))
     }
 
-    fn set_commit_threads(&mut self, threads: usize) {
-        any_oracle_delegate!(self, o => o.set_commit_threads(threads))
+    fn set_parallelism(&mut self, exec: &Parallelism) {
+        any_oracle_delegate!(self, o => o.set_parallelism(exec))
     }
 
     fn target_count(&self) -> usize {

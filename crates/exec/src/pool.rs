@@ -1,0 +1,605 @@
+//! The persistent work-stealing worker pool and its cheap cloneable
+//! [`Parallelism`] handle.
+
+use crate::ranges::ranges_for;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A dispatched task, type- and lifetime-erased for storage in the shared
+/// pool state. The raw pointer is only ever dereferenced between the epoch
+/// bump that installs it and the `active == 0` hand-back that
+/// [`ExecPool::run`] blocks on, so the borrow it erases is always live at
+/// every dereference site.
+struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared access from any thread is fine)
+// and the pointer itself is only a capability to that shared borrow, so
+// moving it across threads is sound.
+unsafe impl Send for TaskPtr {}
+
+/// Mutex-guarded pool state: the current job, its completion countdown,
+/// and the first panic payload of the dispatch.
+struct PoolState {
+    /// The installed task of the current dispatch (`None` while idle).
+    task: Option<TaskPtr>,
+    /// Dispatch counter; a worker runs one task per observed increment.
+    epoch: u64,
+    /// Workers still executing the current dispatch.
+    active: usize,
+    /// First worker panic of the current dispatch (re-raised by `run`).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once on drop; workers exit their wait loop and return.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next epoch (or shutdown).
+    work: Condvar,
+    /// The dispatcher waits here for `active` to reach zero.
+    done: Condvar,
+}
+
+/// A long-lived worker pool: `threads - 1` OS threads spawned **once** at
+/// construction, plus the dispatching thread itself, execute every
+/// [`run`](Self::run) call. This replaces the per-call
+/// `std::thread::scope` fan-outs the engine scan, the partitioned index,
+/// and the CSR snapshot build each used to own: a k-round greedy run now
+/// pays thread creation once, not k+ times.
+///
+/// # Determinism contract
+///
+/// The pool itself never orders results: [`run`](Self::run) hands every
+/// participant the same closure and an arbitrary participant id. All
+/// determinism lives one layer up, in the [`Parallelism`] combinators —
+/// they claim work through a shared atomic cursor (so *which* participant
+/// runs an item is scheduling noise) and reduce results **in item/span
+/// order**, which is what makes every caller bit-identical to its
+/// sequential path for every thread count. Nothing observable may depend
+/// on participant ids or claim interleavings; the proptests in this crate
+/// and the plan/build/commit equivalence suites downstream pin exactly
+/// that.
+///
+/// # Sequential pools
+///
+/// `ExecPool::new(1)` spawns no threads at all and
+/// [`run`](Self::run) degenerates to a plain inline call — the sequential
+/// path allocates nothing and takes no locks.
+///
+/// # Panics and re-entrancy
+///
+/// A panic in any participant (including the dispatcher's own share) is
+/// caught, the remaining participants finish their claimed work, and the
+/// first payload is re-raised from [`run`](Self::run) — the pool stays
+/// usable afterwards. Dispatching on a pool that is already mid-dispatch
+/// (from inside a running task, or from a second thread) panics
+/// immediately: one pool runs one job at a time.
+pub struct ExecPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    /// Guards against re-entrant / concurrent dispatch.
+    busy: AtomicBool,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecPool {
+    /// Builds a pool with `threads` total participants (`0` = all
+    /// available cores, per [`crate::resolve_threads`]). `threads - 1`
+    /// worker threads are spawned now and live until the pool drops.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = crate::resolve_threads(threads);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                task: None,
+                epoch: 0,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tpp-exec-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawning executor worker")
+            })
+            .collect();
+        ExecPool {
+            shared,
+            workers,
+            threads,
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Total participants of a dispatch: the spawned workers plus the
+    /// dispatching thread itself.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(participant_id)` once on **every** participant
+    /// (ids `0..threads()`, the dispatcher being `0`), blocking until all
+    /// of them return. Participants coordinate *work* among themselves
+    /// (typically through an atomic cursor — see the [`Parallelism`]
+    /// combinators); the pool only guarantees that each participant runs
+    /// the closure exactly once per dispatch.
+    ///
+    /// With one participant this is a plain inline `task(0)` call: no
+    /// allocation, no locks, no atomics.
+    ///
+    /// # Panics
+    /// Re-raises the first participant panic, and panics on re-entrant or
+    /// concurrent dispatch (see the type-level docs).
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            task(0);
+            return;
+        }
+        assert!(
+            !self.busy.swap(true, Ordering::Acquire),
+            "re-entrant ExecPool dispatch: this pool is already mid-dispatch \
+             (one pool runs one job at a time; nested dispatch must use a \
+             different pool or the sequential path)"
+        );
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let ptr: *const (dyn Fn(usize) + Sync) = task;
+            // SAFETY: this only erases the borrow's lifetime. The pointer
+            // is cleared below after `active` reaches zero, and `run` does
+            // not return (not even by unwinding) before that point, so no
+            // worker can observe it once `task`'s borrow expires.
+            let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
+            st.task = Some(TaskPtr(ptr));
+            st.epoch += 1;
+            st.active = self.threads - 1;
+            self.shared.work.notify_all();
+        }
+        // The dispatcher is participant 0; its own panic must not skip the
+        // join below (workers still borrow the task's captures).
+        let own = catch_unwind(AssertUnwindSafe(|| task(0)));
+        let worker_panic = {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            while st.active > 0 {
+                st = self.shared.done.wait(st).expect("pool state poisoned");
+            }
+            st.task = None;
+            st.panic.take()
+        };
+        self.busy.store(false, Ordering::Release);
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // Worker bodies catch task panics, so join only fails if the
+            // pool machinery itself is broken — surface that loudly.
+            handle.join().expect("executor worker died outside a task");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task.as_ref().expect("epoch advanced without task").0;
+                }
+                st = shared.work.wait(st).expect("pool state poisoned");
+            }
+        };
+        // SAFETY: the dispatcher keeps the closure alive until `active`
+        // reaches zero, which happens strictly after this call returns.
+        let task = unsafe { &*task };
+        let result = catch_unwind(AssertUnwindSafe(|| task(id)));
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Covariance-free `*mut T` wrapper so the [`Parallelism::for_each_mut`]
+/// closure (which must be `Sync`) can carry the slice base pointer to the
+/// workers.
+struct SlicePtr<T>(*mut T);
+
+impl<T> SlicePtr<T> {
+    /// Pointer to element `i`. Going through a method (rather than the raw
+    /// field) keeps closure capture on the `Sync` wrapper, not the bare
+    /// `*mut T`.
+    fn at(&self, i: usize) -> *mut T {
+        self.0.wrapping_add(i)
+    }
+}
+
+// SAFETY: the pointer is only a capability to the slice the caller holds
+// `&mut` over for the whole dispatch; disjoint-index access is enforced by
+// the claiming cursor (each index is claimed exactly once).
+unsafe impl<T: Send> Send for SlicePtr<T> {}
+// SAFETY: same argument — every dereference targets a distinct index.
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+/// A cheap cloneable handle to one [`ExecPool`], plumbed once from the
+/// thread-count knob (`tpp protect --threads`, `GreedyConfig::threads`)
+/// down through every parallel layer. Clones share the same pool — the
+/// engine's scans, the index's build and commits, and the snapshot build
+/// all dispatch onto the same spawn-once workers.
+///
+/// All three combinators are **deterministic**: work is claimed through an
+/// atomic cursor (so scheduling is free to be unfair) but results are
+/// assembled in item/span order, making every output bit-identical to the
+/// sequential path for every thread count. With `threads() == 1` every
+/// combinator runs inline on the caller with no extra allocation.
+#[derive(Clone)]
+pub struct Parallelism {
+    pool: Arc<ExecPool>,
+}
+
+impl std::fmt::Debug for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Parallelism")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+impl Parallelism {
+    /// A handle over a fresh pool with `threads` participants (`0` = all
+    /// available cores).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            pool: Arc::new(ExecPool::new(threads)),
+        }
+    }
+
+    /// The single-participant handle: every combinator runs inline on the
+    /// caller, allocation- and lock-free.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Participants per dispatch (at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// `true` when dispatch runs inline on the caller only.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads() <= 1
+    }
+
+    /// The underlying pool (for direct [`ExecPool::run`] dispatch).
+    #[must_use]
+    pub fn pool(&self) -> &ExecPool {
+        &self.pool
+    }
+
+    /// The determinism-critical claim/collect/sort scaffold shared by
+    /// [`run_indexed`](Self::run_indexed) and
+    /// [`steal_spans`](Self::steal_spans): indices `0..count` are claimed
+    /// through one atomic cursor, each participant reuses one private
+    /// context (created lazily on its first claimed index, so a
+    /// participant that arrives after the cursor is exhausted pays
+    /// nothing — contexts can be expensive scratch clones), and results
+    /// come back **in index order**. Callers guarantee `threads > 1` and
+    /// `count > 1`.
+    fn claim_in_order<C, R, M, W>(&self, count: usize, make_ctx: M, work: W) -> Vec<R>
+    where
+        R: Send,
+        M: Fn() -> C + Sync,
+        W: Fn(&mut C, usize) -> R + Sync,
+    {
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
+        self.pool.run(&|_| {
+            let mut ctx: Option<C> = None;
+            let mut got: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                got.push((i, work(ctx.get_or_insert_with(&make_ctx), i)));
+            }
+            if !got.is_empty() {
+                collected
+                    .lock()
+                    .expect("result collection poisoned")
+                    .extend(got);
+            }
+        });
+        let mut tagged = collected.into_inner().expect("result collection poisoned");
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Runs `work(i)` for every `i in 0..count` across the pool, indices
+    /// claimed work-stealing through one atomic cursor, and returns the
+    /// results **in index order** — which participant ran an index is
+    /// never observable. `count <= 1` (or a sequential handle) runs
+    /// inline.
+    pub fn run_indexed<R, W>(&self, count: usize, work: W) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(usize) -> R + Sync,
+    {
+        if self.threads() <= 1 || count <= 1 {
+            return (0..count).map(work).collect();
+        }
+        self.claim_in_order(count, || (), |(), i| work(i))
+    }
+
+    /// Runs `work(i, &mut items[i])` for every item, each index claimed by
+    /// exactly one participant — the executor form of "independent updates
+    /// to disjoint state" (per-shard index commits, disjoint output
+    /// windows of the CSR build). Order of execution is unspecified;
+    /// callers must not encode ordering in the per-item effects.
+    pub fn for_each_mut<T, W>(&self, items: &mut [T], work: W)
+    where
+        T: Send,
+        W: Fn(usize, &mut T) + Sync,
+    {
+        if self.threads() <= 1 || items.len() <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                work(i, item);
+            }
+            return;
+        }
+        let len = items.len();
+        let base = SlicePtr(items.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        self.pool.run(&|_| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            // SAFETY: `i < len` indexes the slice the caller holds `&mut`
+            // over for the whole dispatch, and the fetch-add hands each
+            // index to exactly one participant — no aliasing.
+            let item = unsafe { &mut *base.at(i) };
+            work(i, item);
+        });
+    }
+
+    /// The work-stealing span scaffold behind every candidate scan: cuts
+    /// `items` into at most `span_count` contiguous weight-balanced spans
+    /// (never fewer than one per participant), lets participants claim
+    /// spans through one atomic cursor (each reusing one private
+    /// `make_ctx` context, created lazily on its first claimed span), and
+    /// returns every span's `run_span` result **in span order** — which
+    /// participant ran a span, and how many participants there were, is
+    /// scheduling noise the caller never observes. This single
+    /// implementation is what the engine's
+    /// bit-identical-across-thread-counts guarantee rests on.
+    pub fn steal_spans<T, C, R, M, F>(
+        &self,
+        items: &[T],
+        span_count: usize,
+        weights: Option<&[usize]>,
+        make_ctx: M,
+        run_span: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, &[T]) -> R + Sync,
+    {
+        let threads = self.threads();
+        let spans = ranges_for(items.len(), span_count.max(threads), weights);
+        if threads <= 1 || spans.len() <= 1 {
+            let mut ctx = make_ctx();
+            return spans
+                .iter()
+                .map(|span| run_span(&mut ctx, &items[span.clone()]))
+                .collect();
+        }
+        // When heavy weight skew yields fewer spans than participants,
+        // the surplus participants still wake, find the cursor exhausted,
+        // and re-sleep — one lock round-trip each, no context creation
+        // (lazy), bounded single-digit microseconds per dispatch.
+        self.claim_in_order(spans.len(), make_ctx, |ctx, i| {
+            run_span(ctx, &items[spans[i].clone()])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Panic payloads are `&str` for literal messages and `String` for
+    /// formatted ones; tests accept either.
+    fn payload_text(payload: &Box<dyn std::any::Any + Send>) -> String {
+        payload.downcast_ref::<&str>().map_or_else(
+            || {
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default()
+            },
+            |s| (*s).to_string(),
+        )
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let exec = Parallelism::sequential();
+        assert_eq!(exec.threads(), 1);
+        assert!(exec.is_sequential());
+        let out = exec.run_indexed(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        // Nested dispatch on a sequential pool is plain recursion.
+        let nested = exec.run_indexed(3, |i| exec.run_indexed(2, move |j| i + j));
+        assert_eq!(nested, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn run_indexed_is_in_order_at_every_thread_count() {
+        for threads in [1usize, 2, 3, 4, 8] {
+            let exec = Parallelism::new(threads);
+            let out = exec.run_indexed(97, |i| i * i);
+            assert_eq!(
+                out,
+                (0..97).map(|i| i * i).collect::<Vec<_>>(),
+                "x{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_exactly_once() {
+        for threads in [1usize, 2, 4] {
+            let exec = Parallelism::new(threads);
+            let mut items: Vec<usize> = vec![0; 53];
+            exec.for_each_mut(&mut items, |i, slot| *slot += i + 1);
+            let expect: Vec<usize> = (1..=53).collect();
+            assert_eq!(items, expect, "x{threads}");
+        }
+    }
+
+    #[test]
+    fn zero_span_dispatch_is_a_no_op() {
+        let exec = Parallelism::new(3);
+        assert!(exec.run_indexed(0, |i| i).is_empty());
+        exec.for_each_mut(&mut Vec::<u8>::new(), |_, _| unreachable!());
+        let spans: Vec<usize> =
+            exec.steal_spans(&[] as &[u8], 8, None, || (), |(), chunk| chunk.len());
+        assert!(spans.is_empty());
+        // The pool is still healthy afterwards.
+        assert_eq!(exec.run_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let exec = Parallelism::new(4);
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_indexed(16, |i| {
+                assert!(i != 11, "poisoned item");
+                i
+            })
+        }));
+        let payload = attempt.expect_err("panic must propagate to the dispatcher");
+        let msg = payload_text(&payload);
+        assert!(msg.contains("poisoned item"), "got: {msg}");
+        // The dispatch that panicked is fully retired; the pool keeps
+        // serving.
+        assert_eq!(exec.run_indexed(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reentrant_dispatch_is_rejected() {
+        let exec = Parallelism::new(2);
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_indexed(4, |i| {
+                // Dispatching on the pool we are running on: rejected.
+                exec.run_indexed(2, |j| j).len() + i
+            })
+        }));
+        let payload = attempt.expect_err("re-entrant dispatch must panic");
+        let msg = payload_text(&payload);
+        assert!(msg.contains("re-entrant"), "got: {msg}");
+        // Rejection unwinds cleanly; the pool keeps serving.
+        assert_eq!(exec.run_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_while_idle_shuts_down_cleanly() {
+        // Never dispatched at all.
+        drop(ExecPool::new(4));
+        // Dispatched, then idle, then dropped.
+        let exec = Parallelism::new(3);
+        let _ = exec.run_indexed(8, |i| i);
+        drop(exec);
+        // Clones share one pool; dropping the last handle shuts it down.
+        let a = Parallelism::new(2);
+        let b = a.clone();
+        drop(a);
+        assert_eq!(b.run_indexed(2, |i| i), vec![0, 1]);
+        drop(b);
+    }
+
+    #[test]
+    fn steal_spans_reduces_in_span_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let seq: Vec<u64> = Parallelism::sequential().steal_spans(
+            &items,
+            16,
+            None,
+            || 0u64,
+            |acc, chunk| {
+                *acc += 1;
+                chunk.iter().map(|&x| u64::from(x)).sum::<u64>()
+            },
+        );
+        for threads in [2usize, 4, 7] {
+            let exec = Parallelism::new(threads);
+            for span_count in [1usize, 3, 16, 64] {
+                let got = exec.steal_spans(
+                    &items,
+                    span_count,
+                    None,
+                    || 0u64,
+                    |acc, chunk| {
+                        *acc += 1;
+                        chunk.iter().map(|&x| u64::from(x)).sum::<u64>()
+                    },
+                );
+                assert_eq!(
+                    got.iter().sum::<u64>(),
+                    seq.iter().sum::<u64>(),
+                    "x{threads} spans {span_count}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The range-balancing math every parallel layer splits work with.
+//!
+//! One boundary computation — [`balanced_prefix_ranges`] over a monotone
+//! prefix-sum table — backs `tpp_store::CsrGraph::shard_ranges`, the
+//! parallel snapshot build, the partitioned coverage index's target
+//! chunking, and (via [`balanced_ranges`] over candidate weights) the round
+//! engine's scan spans. It used to live in `tpp-store`; it moved here with
+//! the executor so the split and the dispatch share one crate.
+
+/// Cuts `0..prefix.len() - 1` items into up to `parts` contiguous ranges
+/// with near-equal weight, where `prefix` is a monotone prefix-sum table
+/// (`prefix[i]` = total weight of items `0..i`, so `prefix[0] == 0` — a
+/// CSR offset table is exactly this shape). Every returned range is
+/// non-empty, ranges ascend, and together they cover all items.
+///
+/// # Panics
+/// Panics if `parts == 0` or `prefix` is empty.
+#[must_use]
+pub fn balanced_prefix_ranges(prefix: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1, "need at least one range");
+    let n = prefix.len() - 1;
+    let total = *prefix.last().expect("prefix table is never empty");
+    let mut ranges = Vec::with_capacity(parts.min(n));
+    let mut start = 0usize;
+    for i in 1..=parts {
+        if start >= n {
+            break;
+        }
+        let end = if i == parts {
+            n
+        } else {
+            // First boundary whose cumulative weight reaches i/parts of
+            // the total, but always at least one item per range.
+            let quota = total * i as u64 / parts as u64;
+            let window = &prefix[start + 1..=n];
+            (start + 1 + window.partition_point(|&o| o < quota)).min(n)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Cuts `0..weights.len()` into at most `parts` contiguous ranges of
+/// near-equal total weight (every range non-empty, ranges ascending and
+/// covering the whole index space) — [`balanced_prefix_ranges`] after one
+/// prefix-sum pass over per-item weights.
+///
+/// # Panics
+/// Panics if `parts == 0`.
+#[must_use]
+pub fn balanced_ranges(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0u64);
+    for &w in weights {
+        acc += w as u64;
+        prefix.push(acc);
+    }
+    balanced_prefix_ranges(&prefix, parts)
+}
+
+/// Uniform contiguous ranges when no per-item weights are known.
+pub(crate) fn uniform_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = len.div_ceil(parts.max(1)).max(1);
+    (0..len.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Weight-balanced ranges when weights are known, uniform ranges otherwise.
+pub(crate) fn ranges_for(
+    len: usize,
+    parts: usize,
+    weights: Option<&[usize]>,
+) -> Vec<std::ops::Range<usize>> {
+    match weights {
+        Some(w) => balanced_ranges(w, parts),
+        None => uniform_ranges(len, parts),
+    }
+}
+
+/// Resolves the `0 = all available cores` convention shared by every
+/// thread-count knob in the workspace.
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ranges_cover_and_balance() {
+        let weights = vec![1usize, 9, 1, 1, 9, 1, 1, 9, 1, 1];
+        for parts in 1..=6 {
+            let ranges = balanced_ranges(&weights, parts);
+            assert!(ranges.len() <= parts);
+            let mut cursor = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(r.end > r.start, "empty range");
+                cursor = r.end;
+            }
+            assert_eq!(cursor, weights.len());
+        }
+        // Degenerate inputs.
+        assert!(balanced_ranges(&[], 4).is_empty());
+        assert_eq!(balanced_ranges(&[5], 4), vec![0..1]);
+        assert_eq!(uniform_ranges(0, 3), Vec::<std::ops::Range<usize>>::new());
+    }
+
+    #[test]
+    fn prefix_ranges_match_weight_ranges() {
+        let weights = [3usize, 0, 7, 2, 2, 11, 1];
+        let mut prefix = vec![0u64];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w as u64);
+        }
+        for parts in 1..=5 {
+            assert_eq!(
+                balanced_prefix_ranges(&prefix, parts),
+                balanced_ranges(&weights, parts),
+                "parts = {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_threads_passthrough_and_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

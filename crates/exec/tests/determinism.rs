@@ -1,0 +1,74 @@
+//! Property tests pinning the executor's determinism contract: every
+//! combinator's output is **bit-identical** to the sequential path for
+//! every thread count, span plan, and claim interleaving — the property
+//! all downstream plan/build/commit equivalence guarantees rest on.
+
+use proptest::prelude::*;
+use tpp_exec::Parallelism;
+
+/// Deterministic pseudo-random weights from a `(len, seed)` pair — the
+/// offline proptest shim has no collection strategies, so quoting the pair
+/// reproduces a failing case anywhere.
+fn weights_for(len: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) as usize % 32
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `steal_spans` over a persistent pool produces the sequential span
+    /// fold exactly, for threads {1, 2, 4} × arbitrary span counts ×
+    /// weighted and uniform splitting.
+    #[test]
+    fn steal_spans_matches_sequential(
+        len in 0usize..120,
+        seed in 0u64..10_000,
+        span_count in 1usize..24,
+        weighted in 0u8..2,
+    ) {
+        let weights = weights_for(len, seed);
+        let items: Vec<u64> = (0..weights.len() as u64).map(|i| i * 7 + 3).collect();
+        let w = (weighted == 1).then_some(weights.as_slice());
+        // Per-span partial sums plus per-span first element: sensitive to
+        // both span boundaries and span order.
+        let run = |_ctx: &mut (), chunk: &[u64]| -> (u64, Option<u64>) {
+            (chunk.iter().sum(), chunk.first().copied())
+        };
+        for threads in [2usize, 4] {
+            // The span plan is a pure function of `span_count.max(threads)`
+            // (never fewer spans than participants), so the sequential
+            // reference runs at the same effective span count.
+            let seq = Parallelism::sequential().steal_spans(
+                &items, span_count.max(threads), w, || (), run);
+            let exec = Parallelism::new(threads);
+            let par = exec.steal_spans(&items, span_count, w, || (), run);
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+            // The same handle reused again (pool persistence) stays exact.
+            let again = exec.steal_spans(&items, span_count, w, || (), run);
+            prop_assert_eq!(&seq, &again, "reused pool, threads = {}", threads);
+        }
+    }
+
+    /// `run_indexed` returns index-ordered results and `for_each_mut`
+    /// applies exactly one update per slot, for threads {1, 2, 4}.
+    #[test]
+    fn indexed_and_mut_dispatch_are_deterministic(count in 0usize..150) {
+        let expect: Vec<usize> = (0..count).map(|i| i.wrapping_mul(31) ^ 5).collect();
+        for threads in [1usize, 2, 4] {
+            let exec = Parallelism::new(threads);
+            let got = exec.run_indexed(count, |i| i.wrapping_mul(31) ^ 5);
+            prop_assert_eq!(&expect, &got, "run_indexed x{}", threads);
+            let mut slots = vec![0usize; count];
+            exec.for_each_mut(&mut slots, |i, s| *s += i.wrapping_mul(31) ^ 5);
+            prop_assert_eq!(&expect, &slots, "for_each_mut x{}", threads);
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //! degree-balanced boundaries as `tpp_store::CsrGraph::shard_ranges`).
 //! A deletion therefore touches only the shards that actually contain edges
 //! of the broken instances, and the per-shard updates are independent: with
-//! `threads > 1` they run in parallel worker threads, one per dirty shard.
+//! a parallel [`Parallelism`] handle they run concurrently on the shared
+//! executor pool (`tpp-exec`) — spawn-once workers, not per-commit threads.
 //!
 //! Every result is **bit-identical for every shard count and every thread
 //! count**: the kill phase walks instances in posting order, per-shard
@@ -21,14 +22,15 @@
 use crate::coverage::{build_postings, enumerate_instances, Posting};
 use crate::instance::MotifInstance;
 use crate::pattern::Motif;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use tpp_exec::Parallelism;
 use tpp_graph::{Edge, FastMap, NeighborAccess, NodeId};
 
 pub use crate::coverage::InstanceId;
 
 /// Below this many count decrements a commit applies its shard updates
 /// inline: a handful of hash-map decrements costs tens of nanoseconds,
-/// while spawning scoped worker threads costs tens of microseconds.
+/// and even a pooled dispatch (wake workers, claim shards, join) costs
+/// single-digit microseconds.
 const MIN_PARALLEL_COMMIT_OPS: usize = 4096;
 
 /// Target chunks per worker for the shard-parallel build's enumeration
@@ -125,8 +127,9 @@ pub struct PartitionedCoverageIndex {
     /// falls in that range). `bounds.len() == shards.len() + 1`.
     bounds: Vec<NodeId>,
     shards: Vec<IndexShard>,
-    /// Worker threads for the per-shard commit phase (1 = sequential).
-    threads: usize,
+    /// Executor handle for the per-shard commit phase (sequential handles
+    /// run commits inline). Clones of the index share the same pool.
+    exec: Parallelism,
     /// Reusable kill buffer (killed instance ids of the current commit).
     kill_scratch: Vec<InstanceId>,
     /// Reusable per-shard decrement-op buffers.
@@ -177,7 +180,7 @@ impl PartitionedCoverageIndex {
             alive_total,
             bounds,
             shards,
-            threads: 1,
+            exec: Parallelism::sequential(),
             kill_scratch: Vec::new(),
             op_scratch,
         }
@@ -187,8 +190,8 @@ impl PartitionedCoverageIndex {
     /// into per-shard postings, with no monolithic posting map built and
     /// split afterwards (what [`build`](Self::build) does).
     ///
-    /// Two phases, both chunked across up to `threads` workers claiming
-    /// work through one atomic cursor:
+    /// Two phases, both dispatched on `exec`'s shared executor pool
+    /// (`tpp-exec`), work claimed through one atomic cursor:
     ///
     /// 1. **enumerate** — the target list is cut into contiguous chunks of
     ///    near-equal endpoint-degree mass (`TARGET_CHUNKS_PER_WORKER`
@@ -203,8 +206,9 @@ impl PartitionedCoverageIndex {
     /// offsets, so instance ids, posting id lists, alive counts, and
     /// candidate lists come out **bit-identical to the sequential build
     /// for every chunk, shard, and thread count** — pinned by the
-    /// differential build tests. `threads` also becomes the index's
-    /// commit-phase thread budget (as [`set_threads`](Self::set_threads)).
+    /// differential build tests. The handle also becomes the index's
+    /// commit-phase executor (as
+    /// [`set_parallelism`](Self::set_parallelism)).
     ///
     /// # Panics
     /// Panics if `parts == 0` or any target edge is still present in `g`.
@@ -214,10 +218,10 @@ impl PartitionedCoverageIndex {
         targets: &[Edge],
         motif: Motif,
         parts: usize,
-        threads: usize,
+        exec: &Parallelism,
     ) -> Self {
         assert!(parts >= 1, "need at least one partition");
-        let threads = threads.max(1);
+        let threads = exec.threads();
         for t in targets {
             assert!(
                 !g.has_edge(t.u(), t.v()),
@@ -280,36 +284,12 @@ impl PartitionedCoverageIndex {
             }
             out
         };
-        let chunk_outs: Vec<ChunkBuild> = if threads <= 1 || chunks.len() <= 1 {
-            chunks.iter().map(enumerate_chunk).collect()
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let workers = threads.min(chunks.len());
-            let mut tagged: Vec<(usize, ChunkBuild)> = std::thread::scope(|scope| {
-                let (cursor, chunks, enumerate_chunk) = (&cursor, &chunks, &enumerate_chunk);
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            let mut got = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(range) = chunks.get(i) else { break };
-                                got.push((i, enumerate_chunk(range)));
-                            }
-                            got
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("build enumeration worker panicked"))
-                    .collect()
-            });
-            // Which worker enumerated a chunk is scheduling noise; chunk
-            // order is the deterministic target order.
-            tagged.sort_unstable_by_key(|&(i, _)| i);
-            tagged.into_iter().map(|(_, o)| o).collect()
-        };
+        // Executor dispatch: chunks are claimed work-stealing and the
+        // results come back in chunk order — which worker enumerated a
+        // chunk is scheduling noise; chunk order is the deterministic
+        // target order.
+        let chunk_outs: Vec<ChunkBuild> =
+            exec.run_indexed(chunks.len(), |i| enumerate_chunk(&chunks[i]));
 
         // Chunk-order id offsets: concatenating chunk outputs reproduces
         // the sequential enumeration order exactly.
@@ -338,23 +318,7 @@ impl PartitionedCoverageIndex {
             shard.alive_candidates = shard.postings.keys().copied().collect();
             shard.alive_candidates.sort_unstable();
         };
-        if threads <= 1 || shard_count <= 1 {
-            for (s, shard) in shards.iter_mut().enumerate() {
-                merge_shard(s, shard);
-            }
-        } else {
-            let per_worker = shard_count.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (w, chunk) in shards.chunks_mut(per_worker).enumerate() {
-                    let merge_shard = &merge_shard;
-                    scope.spawn(move || {
-                        for (k, shard) in chunk.iter_mut().enumerate() {
-                            merge_shard(w * per_worker + k, shard);
-                        }
-                    });
-                }
-            });
-        }
+        exec.for_each_mut(&mut shards, |s, shard| merge_shard(s, shard));
 
         let mut instances = Vec::with_capacity(total_instances);
         let mut per_target_alive = Vec::with_capacity(targets.len());
@@ -374,7 +338,7 @@ impl PartitionedCoverageIndex {
             alive_total: total_instances,
             bounds,
             shards,
-            threads,
+            exec: exec.clone(),
             kill_scratch: Vec::new(),
             op_scratch,
         };
@@ -383,11 +347,11 @@ impl PartitionedCoverageIndex {
         built
     }
 
-    /// Sets the worker-thread count for the per-shard commit phase
-    /// (`1` = sequential). Purely a performance knob — deletions produce
-    /// bit-identical state for every value.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+    /// Sets the executor handle for the per-shard commit phase (a
+    /// sequential handle runs commits inline). Purely a performance knob —
+    /// deletions produce bit-identical state for every handle.
+    pub fn set_parallelism(&mut self, exec: Parallelism) {
+        self.exec = exec;
     }
 
     /// Number of partitions.
@@ -561,12 +525,11 @@ impl PartitionedCoverageIndex {
         }
 
         // Phase 3: apply per dirty shard. Shard states are disjoint, so
-        // the outcome cannot depend on scheduling; parallelism is gated on
-        // the commit being big enough to amortize thread spawns (single
-        // greedy picks decrement a handful of counters — far below one
-        // spawn's cost), and worker count respects the thread budget: the
-        // dirty shards are chunked across at most `threads` workers, never
-        // one OS thread per shard.
+        // the outcome cannot depend on scheduling; the pooled dispatch is
+        // gated on the commit being big enough to amortize waking the
+        // executor's workers (single greedy picks decrement a handful of
+        // counters — below even a pooled dispatch's cost). Each dirty
+        // shard is claimed by exactly one worker of the shared pool.
         let mut dirty: Vec<(&mut IndexShard, &Vec<Edge>)> = self
             .shards
             .iter_mut()
@@ -574,16 +537,9 @@ impl PartitionedCoverageIndex {
             .filter(|(_, shard_ops)| !shard_ops.is_empty())
             .collect();
         let total_ops: usize = dirty.iter().map(|(_, o)| o.len()).sum();
-        if self.threads > 1 && dirty.len() > 1 && total_ops >= MIN_PARALLEL_COMMIT_OPS {
-            let per_worker = dirty.len().div_ceil(self.threads);
-            std::thread::scope(|scope| {
-                for chunk in dirty.chunks_mut(per_worker) {
-                    scope.spawn(move || {
-                        for (shard, shard_ops) in chunk {
-                            shard.apply_decrements(shard_ops);
-                        }
-                    });
-                }
+        if !self.exec.is_sequential() && dirty.len() > 1 && total_ops >= MIN_PARALLEL_COMMIT_OPS {
+            self.exec.for_each_mut(&mut dirty, |_, (shard, shard_ops)| {
+                shard.apply_decrements(shard_ops);
             });
         } else {
             for (shard, shard_ops) in dirty {
@@ -715,7 +671,7 @@ mod tests {
         for parts in [1usize, 4, 8] {
             for threads in [1usize, 3] {
                 let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, parts);
-                idx.set_threads(threads);
+                idx.set_parallelism(Parallelism::new(threads));
                 parted.push(idx);
             }
         }

@@ -143,7 +143,9 @@ proptest! {
                 .iter()
                 .map(|&parts| {
                     let mut idx = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
-                    idx.set_threads(if parts == 6 { 3 } else { 1 });
+                    idx.set_parallelism(tpp_exec::Parallelism::new(
+                        if parts == 6 { 3 } else { 1 },
+                    ));
                     idx
                 })
                 .collect();
@@ -191,7 +193,7 @@ proptest! {
                 let sequential = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
                 for threads in [1usize, 2, 4] {
                     let parallel = PartitionedCoverageIndex::build_parallel(
-                        &g, &targets, motif, parts, threads);
+                        &g, &targets, motif, parts, &tpp_exec::Parallelism::new(threads));
                     prop_assert_eq!(parallel.parts(), sequential.parts());
                     prop_assert_eq!(
                         parallel.total_similarity(), sequential.total_similarity(),
@@ -262,8 +264,13 @@ fn parallel_build_matches_sequential_on_ba_workload() {
         for parts in [1usize, 2, 4, 8] {
             let sequential = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
             for threads in [1usize, 2, 4] {
-                let parallel =
-                    PartitionedCoverageIndex::build_parallel(&g, &targets, motif, parts, threads);
+                let parallel = PartitionedCoverageIndex::build_parallel(
+                    &g,
+                    &targets,
+                    motif,
+                    parts,
+                    &tpp_exec::Parallelism::new(threads),
+                );
                 assert_eq!(
                     parallel.total_similarity(),
                     sequential.total_similarity(),

@@ -188,7 +188,8 @@ fn bench_commit_scaling(c: &mut Criterion) {
     let (g, targets) = tpp_bench::fixtures::ba_50k_rectangle();
     let mono = CoverageIndex::build(&g, &targets, MOTIF);
     let mut part = PartitionedCoverageIndex::build(&g, &targets, MOTIF, PARTS);
-    part.set_threads(1); // the margin under test is structural, not threads
+    // The margin under test is structural, not threads.
+    part.set_parallelism(tpp_exec::Parallelism::sequential());
     let deletes = deletion_sequence(&mono, DELETES);
     assert!(deletes.len() >= 256, "workload must yield a real sequence");
 

@@ -26,11 +26,14 @@ fn bench_csr_build(c: &mut Criterion) {
             b.iter(|| black_box(CsrGraph::from_graph(black_box(g))));
         });
         for threads in [2usize, 4, 8] {
+            // One persistent pool per thread count, reused by every timed
+            // build — the executor's whole point.
+            let exec = tpp_exec::Parallelism::new(threads);
             group.bench_with_input(
                 BenchmarkId::new(format!("from_graph_parallel_t{threads}"), name),
                 g,
                 |b, g| {
-                    b.iter(|| black_box(CsrGraph::from_graph_parallel(black_box(g), threads)));
+                    b.iter(|| black_box(CsrGraph::from_graph_parallel(black_box(g), &exec)));
                 },
             );
         }

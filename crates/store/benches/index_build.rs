@@ -38,8 +38,9 @@ fn bench_index_build(c: &mut Criterion) {
         assert_eq!(split.total_similarity(), mono.total_similarity());
         assert_eq!(split.alive_candidate_edges(), mono.alive_candidate_edges());
         for threads in [1usize, 2, 4] {
+            let exec = tpp_exec::Parallelism::new(threads);
             let direct =
-                PartitionedCoverageIndex::build_parallel(&g, &targets, MOTIF, PARTS, threads);
+                PartitionedCoverageIndex::build_parallel(&g, &targets, MOTIF, PARTS, &exec);
             assert_eq!(direct.total_similarity(), mono.total_similarity());
             assert_eq!(direct.similarities(), split.similarities());
             assert_eq!(
@@ -59,10 +60,13 @@ fn bench_index_build(c: &mut Criterion) {
         b.iter(|| black_box(PartitionedCoverageIndex::build(&g, &targets, MOTIF, PARTS)));
     });
     for threads in [1usize, 2, 4] {
+        // One persistent pool per thread count, shared by every timed
+        // build.
+        let exec = tpp_exec::Parallelism::new(threads);
         group.bench_function(format!("partitioned_direct_t{threads}"), |b| {
             b.iter(|| {
                 black_box(PartitionedCoverageIndex::build_parallel(
-                    &g, &targets, MOTIF, PARTS, threads,
+                    &g, &targets, MOTIF, PARTS, &exec,
                 ))
             });
         });

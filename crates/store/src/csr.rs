@@ -7,6 +7,7 @@
 //! [`crate::DeltaView`] overlays, never in the snapshot itself.
 
 use crate::error::StoreError;
+use tpp_exec::Parallelism;
 use tpp_graph::{Edge, Graph, NeighborAccess, NodeId};
 
 /// An immutable CSR snapshot of a simple undirected graph.
@@ -42,25 +43,23 @@ impl CsrGraph {
         CsrGraph { offsets, neighbors }
     }
 
-    /// Snapshot of a [`Graph`] with the neighbor array filled by `threads`
-    /// worker threads over disjoint node ranges.
+    /// Snapshot of a [`Graph`] with the neighbor array filled by the
+    /// executor's workers over disjoint node ranges.
     ///
     /// The offset table is a sequential prefix sum (`O(n)`, memory-bound);
     /// the payload copy — the dominant cost on big graphs — is
     /// embarrassingly parallel because every node's slice lands in a
-    /// disjoint region of the output array.
+    /// disjoint region of the output array. Dispatch goes through the
+    /// shared [`Parallelism`] pool (`tpp-exec`): the workers are spawned
+    /// once per pool, not once per build.
     ///
     /// Small payloads (under ~1M adjacency entries) fall back to the
-    /// sequential copy: thread spawn costs more than the memcpy it saves
-    /// below that point (measured in the `csr_build` bench).
-    ///
-    /// # Panics
-    /// Panics if `threads == 0`.
+    /// sequential copy: even a pooled dispatch costs more than the memcpy
+    /// it saves below that point (measured in the `csr_build` bench).
     #[must_use]
-    pub fn from_graph_parallel(g: &Graph, threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker thread");
+    pub fn from_graph_parallel(g: &Graph, exec: &Parallelism) -> Self {
         let n = g.node_count();
-        if threads == 1 || g.degree_sum() < 1_000_000 {
+        if exec.is_sequential() || g.degree_sum() < 1_000_000 {
             return Self::from_graph(g);
         }
         let mut offsets = Vec::with_capacity(n + 1);
@@ -75,26 +74,30 @@ impl CsrGraph {
         // Carve the output array into degree-balanced windows at node
         // boundaries — the same partition-range split that backs
         // [`CsrGraph::shards`] — so every worker copies a near-equal share
-        // of the payload regardless of degree skew.
-        std::thread::scope(|scope| {
+        // of the payload regardless of degree skew. Each window is a
+        // disjoint `&mut` slice, so the executor's claimed-index dispatch
+        // applies.
+        {
+            let mut windows: Vec<(std::ops::Range<usize>, &mut [NodeId])> = Vec::new();
             let mut rest: &mut [NodeId] = &mut neighbors;
             let mut consumed = 0usize;
-            for range in balanced_node_ranges(&offsets, threads) {
+            for range in balanced_node_ranges(&offsets, exec.threads()) {
                 let span = (offsets[range.end] - offsets[range.start]) as usize;
                 let (window, tail) = rest.split_at_mut(span);
                 rest = tail;
                 debug_assert_eq!(consumed, offsets[range.start] as usize);
                 consumed += span;
-                scope.spawn(move || {
-                    let mut cursor = 0usize;
-                    for u in range {
-                        let nbrs = g.neighbors(u as NodeId);
-                        window[cursor..cursor + nbrs.len()].copy_from_slice(nbrs);
-                        cursor += nbrs.len();
-                    }
-                });
+                windows.push((range, window));
             }
-        });
+            exec.for_each_mut(&mut windows, |_, (range, window)| {
+                let mut cursor = 0usize;
+                for u in range.clone() {
+                    let nbrs = g.neighbors(u as NodeId);
+                    window[cursor..cursor + nbrs.len()].copy_from_slice(nbrs);
+                    cursor += nbrs.len();
+                }
+            });
+        }
         CsrGraph { offsets, neighbors }
     }
 
@@ -337,47 +340,14 @@ impl CsrGraph {
     }
 }
 
-/// Cuts `0..prefix.len() - 1` items into up to `parts` contiguous ranges
-/// with near-equal weight, where `prefix` is a monotone prefix-sum table
-/// (`prefix[i]` = total weight of items `0..i`, so `prefix[0] == 0` — the
-/// CSR offset table is exactly this shape). Every returned range is
-/// non-empty, ranges ascend, and together they cover all items.
-///
-/// This single boundary computation backs [`CsrGraph::shard_ranges`], the
-/// parallel snapshot build, and (via a prefix sum over candidate weights)
-/// the round engine's scan chunking in `tpp-core`.
-///
-/// # Panics
-/// Panics if `parts == 0` or `prefix` is empty.
-#[must_use]
-pub fn balanced_prefix_ranges(prefix: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
-    balanced_node_ranges(prefix, parts)
-}
+/// The one boundary computation behind [`CsrGraph::shard_ranges`], the
+/// parallel snapshot build, and the round engine's scan chunking in
+/// `tpp-core`. It lives in `tpp-exec` now (re-exported here for API
+/// continuity): the split and the dispatch share one crate.
+pub use tpp_exec::balanced_prefix_ranges;
 
-pub(crate) fn balanced_node_ranges(offsets: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
-    assert!(parts >= 1, "need at least one shard");
-    let n = offsets.len() - 1;
-    let total = *offsets.last().expect("offset table is never empty");
-    let mut ranges = Vec::with_capacity(parts.min(n));
-    let mut start = 0usize;
-    for i in 1..=parts {
-        if start >= n {
-            break;
-        }
-        let end = if i == parts {
-            n
-        } else {
-            // First boundary whose cumulative payload reaches i/parts of
-            // the total, but always at least one node per range.
-            let quota = total * i as u64 / parts as u64;
-            let window = &offsets[start + 1..=n];
-            (start + 1 + window.partition_point(|&o| o < quota)).min(n)
-        };
-        ranges.push(start..end);
-        start = end;
-    }
-    ranges
-}
+/// Internal alias kept for the CSR offset-table call sites.
+pub(crate) use tpp_exec::balanced_prefix_ranges as balanced_node_ranges;
 
 impl From<&Graph> for CsrGraph {
     fn from(g: &Graph) -> Self {
@@ -449,8 +419,12 @@ mod tests {
         assert!(g.degree_sum() >= 1_000_000, "fixture under threshold");
         let seq = CsrGraph::from_graph(&g);
         for threads in [1, 2, 3, 8] {
-            let par = CsrGraph::from_graph_parallel(&g, threads);
+            let exec = Parallelism::new(threads);
+            let par = CsrGraph::from_graph_parallel(&g, &exec);
             assert_eq!(seq, par, "threads = {threads}");
+            // The pool is persistent: a second build through the same
+            // handle must be identical too.
+            assert_eq!(seq, CsrGraph::from_graph_parallel(&g, &exec));
         }
         seq.check_invariants();
     }

@@ -44,7 +44,7 @@ proptest! {
         let csr = CsrGraph::from_graph(&g);
         csr.check_invariants();
         prop_assert_eq!(csr.to_graph(), g.clone());
-        let par = CsrGraph::from_graph_parallel(&g, 4);
+        let par = CsrGraph::from_graph_parallel(&g, &tpp_exec::Parallelism::new(4));
         prop_assert_eq!(&csr, &par);
         assert_reads_agree(&csr, &g);
     }
@@ -197,7 +197,7 @@ fn arenas_scale_round_trip_with_parallel_build() {
     // One larger fixed case: the Arenas-email stand-in (1,133 nodes,
     // 5,451 edges) through parallel build, disk format, and back.
     let g = tpp_datasets::arenas_email_like(1);
-    let csr = CsrGraph::from_graph_parallel(&g, 8);
+    let csr = CsrGraph::from_graph_parallel(&g, &tpp_exec::Parallelism::new(8));
     csr.check_invariants();
     assert_eq!(csr.to_graph(), g);
 
