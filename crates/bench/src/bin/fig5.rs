@@ -42,5 +42,18 @@ fn main() {
             &format!("fig5_{}.csv", result.motif),
             &timing_csv(&result),
         );
+
+        // One instrumented SGB-R run per motif, emitting the same stats
+        // schema as `tpp protect --stats` for bench-driver ingestion.
+        let obs = tpp_obs::Recorder::enabled();
+        let cfg = tpp_core::GreedyConfig::scalable(motif).with_obs(obs.clone());
+        let instance =
+            tpp_core::TppInstance::with_random_targets(arenas_email_like(args.seed), 20, args.seed);
+        let _ = tpp_core::sgb_greedy(&instance, *k_grid.last().unwrap(), &cfg);
+        tpp_bench::write_stats_json(
+            &args.out_dir,
+            &format!("fig5_{}_stats.json", result.motif),
+            &obs,
+        );
     }
 }

@@ -34,6 +34,8 @@ pub mod timing;
 pub use cli::ExpArgs;
 pub use evolution::{run_evolution, thin_grid, EvolutionConfig, EvolutionResult};
 pub use methods::Method;
-pub use output::{evolution_csv, timing_csv, utility_csv, utility_table_text, write_result_file};
+pub use output::{
+    evolution_csv, timing_csv, utility_csv, utility_table_text, write_result_file, write_stats_json,
+};
 pub use tables::{run_utility_row, TableConfig, UtilityRow};
 pub use timing::{run_timing, speedup, TimingConfig, TimingResult};

@@ -87,6 +87,19 @@ pub fn write_result_file(dir: &str, name: &str, content: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Writes an enabled recorder's telemetry into `dir/name` — the same JSON
+/// schema as `tpp protect --stats`, so bench-driver tooling can ingest
+/// both. Returns `false` (writing nothing) for a disabled recorder.
+pub fn write_stats_json(dir: &str, name: &str, recorder: &tpp_obs::Recorder) -> bool {
+    match recorder.to_json_pretty() {
+        Some(json) => {
+            write_result_file(dir, name, &json);
+            true
+        }
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +146,31 @@ mod tests {
         write_result_file(dir.to_str().unwrap(), "probe.csv", "a,b\n1,2\n");
         let read = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
         assert_eq!(read, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn stats_json_writes_only_for_enabled_recorders() {
+        let dir = std::env::temp_dir().join("tpp-bench-test");
+        let disabled = tpp_obs::Recorder::disabled();
+        assert!(!write_stats_json(
+            dir.to_str().unwrap(),
+            "no.json",
+            &disabled
+        ));
+
+        let obs = tpp_obs::Recorder::enabled();
+        obs.stats().unwrap().round.rounds.inc();
+        assert!(write_stats_json(dir.to_str().unwrap(), "stats.json", &obs));
+        let json = std::fs::read_to_string(dir.join("stats.json")).unwrap();
+        for key in [
+            "\"round\"",
+            "\"index\"",
+            "\"exec\"",
+            "\"store\"",
+            "\"attack\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("\"rounds\": 1"));
     }
 }

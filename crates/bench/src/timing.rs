@@ -4,7 +4,6 @@
 
 use crate::methods::Method;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 use tpp_core::TppInstance;
 use tpp_graph::Graph;
 use tpp_motif::Motif;
@@ -72,11 +71,14 @@ where
             };
             let mut points = Vec::with_capacity(k_grid.len());
             for &k in k_grid {
-                let start = Instant::now();
-                let plan = method.run(&instance, k, config.motif, scalable, config.seed);
-                let secs = start.elapsed().as_secs_f64();
+                // Shared span-timing primitive from tpp-obs: one clock
+                // read on each side of the run, same as the engine's own
+                // phase timers.
+                let (plan, elapsed) = tpp_obs::timed(|| {
+                    method.run(&instance, k, config.motif, scalable, config.seed)
+                });
                 std::hint::black_box(plan.final_similarity);
-                points.push((k, secs));
+                points.push((k, elapsed.as_secs_f64()));
             }
             series.push(TimingSeries { label, points });
         }

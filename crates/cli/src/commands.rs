@@ -12,9 +12,10 @@ use tpp_core::{
     BudgetDivision, GreedyConfig, ProtectionPlan, TppInstance,
 };
 use tpp_graph::{parse_edge_list, write_edge_list, Edge, Graph};
-use tpp_linkpred::{evaluate_attack, sample_non_edges, Attacker, SimilarityIndex};
+use tpp_linkpred::{evaluate_attack_on, sample_non_edges, Attacker, SimilarityIndex};
 use tpp_metrics::{compute_utility, utility_loss, UtilityConfig};
 use tpp_motif::Motif;
+use tpp_obs::Recorder;
 
 /// Runs a subcommand; returns an error message for the shell on failure.
 pub fn dispatch(p: &Parsed) -> Result<(), String> {
@@ -45,8 +46,9 @@ USAGE:
   tpp protect  <edgelist> --budget K [--motif M] [--algorithm A] [--division D]
                [--targets u-v,u-v | --random N] [--seed S] [--threads T]
                [--batch J] [--out released.txt] [--plan plan.json]
+               [--stats stats.json|-]
   tpp attack   <edgelist> --targets u-v,... [--attacker cn|jaccard|...|katz]
-               [--negatives N] [--seed S]
+               [--negatives N] [--seed S] [--threads T] [--stats stats.json|-]
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
   tpp utility  <original> <released> [--full] [--seed S]
   tpp store build   <edgelist> --out FILE.csr [--threads N]
@@ -64,7 +66,59 @@ BATCH:       --batch J commits up to J non-interacting picks per candidate
              per lazy refresh), ct/wt additionally cap each round's picks
              by the charged targets' remaining budgets. --batch 1
              (default) is the exact sequential greedy; J must be >= 1.
-             rd/rdt have no candidate scan and reject --batch"
+             rd/rdt have no candidate scan and reject --batch
+STATS:       --stats FILE (or - for stdout) writes one JSON document with
+             per-round scan/commit timings, coverage-index commit stats,
+             executor dispatch/steal counters, and load phase times.
+             Telemetry never changes the plan: runs with and without
+             --stats are bit-identical"
+}
+
+/// Where `--stats` telemetry goes: `-` for stdout, anything else a file.
+enum StatsOut {
+    Stdout,
+    File(String),
+}
+
+/// Parses `--stats <path|->`. A file destination is opened immediately so
+/// an unwritable path fails before the (potentially long) run, not after.
+fn parse_stats_flag(p: &Parsed) -> Result<Option<StatsOut>, String> {
+    match p.flags.get("stats") {
+        None => Ok(None),
+        Some(s) if s == "-" => Ok(Some(StatsOut::Stdout)),
+        Some(path) => {
+            std::fs::File::create(path)
+                .map_err(|e| format!("cannot write --stats file {path}: {e}"))?;
+            Ok(Some(StatsOut::File(path.clone())))
+        }
+    }
+}
+
+/// Serializes the recorder to its destination.
+fn emit_stats(out: &StatsOut, recorder: &Recorder) -> Result<(), String> {
+    let json = recorder
+        .to_json_pretty()
+        .ok_or("--stats requires an enabled recorder (internal error)")?;
+    match out {
+        StatsOut::Stdout => println!("{json}"),
+        StatsOut::File(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing --stats file {path}: {e}"))?;
+            println!("stats -> {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Loads the edge list with its parse wall time reported into the
+/// recorder's store section (a disabled recorder never reads the clock).
+fn load_graph_observed(p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
+    let t0 = recorder.is_enabled().then(std::time::Instant::now);
+    let g = load_graph(p)?;
+    if let (Some(t0), Some(st)) = (t0, recorder.stats()) {
+        st.store.loads.inc();
+        st.store.parse_ns.add_duration(t0.elapsed());
+    }
+    Ok(g)
 }
 
 fn load_graph(p: &Parsed) -> Result<Graph, String> {
@@ -159,7 +213,13 @@ struct PlanFile<'a> {
 }
 
 fn protect(p: &Parsed) -> Result<(), String> {
-    let g = load_graph(p)?;
+    let stats_out = parse_stats_flag(p)?;
+    let recorder = if stats_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let g = load_graph_observed(p, &recorder)?;
     let motif = parse_motif(p)?;
     let budget: usize = p.require("budget")?.parse().map_err(|_| "bad --budget")?;
     let seed: u64 = p.num_or("seed", 2020u64)?;
@@ -182,7 +242,9 @@ fn protect(p: &Parsed) -> Result<(), String> {
              {algorithm:?} has no candidate scan to batch"
         ));
     }
-    let cfg = GreedyConfig::scalable(motif).with_threads(threads);
+    let cfg = GreedyConfig::scalable(motif)
+        .with_threads(threads)
+        .with_obs(recorder.clone());
     let plan = match algorithm {
         "sgb" if batch > 1 => sgb_greedy_batch(&instance, budget, batch, &cfg),
         "sgb" => sgb_greedy(&instance, budget, &cfg),
@@ -239,11 +301,20 @@ fn protect(p: &Parsed) -> Result<(), String> {
         std::fs::write(plan_path, json).map_err(|e| e.to_string())?;
         println!("plan -> {plan_path}");
     }
+    if let Some(out) = &stats_out {
+        emit_stats(out, &recorder)?;
+    }
     Ok(())
 }
 
 fn attack(p: &Parsed) -> Result<(), String> {
-    let g = load_graph(p)?;
+    let stats_out = parse_stats_flag(p)?;
+    let recorder = if stats_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let g = load_graph_observed(p, &recorder)?;
     let targets = parse_targets(p, &g)?;
     // Attacked graph = as-released: hide any target edges still present.
     let mut released = g.clone();
@@ -265,7 +336,10 @@ fn attack(p: &Parsed) -> Result<(), String> {
         return Err(format!("unknown attacker {name:?}"));
     };
 
-    let outcome = evaluate_attack(&released, &targets, &negatives, attacker);
+    // 0 = all available cores; rankings are bit-identical regardless.
+    let threads: usize = p.num_or("threads", 0usize)?;
+    let exec = tpp_exec::Parallelism::with_recorder(threads, recorder.clone());
+    let outcome = evaluate_attack_on(&released, &targets, &negatives, attacker, &exec);
     println!("attacker:       {}", outcome.attacker);
     println!("auc:            {:.4}", outcome.auc);
     println!("precision@|T|:  {:.4}", outcome.precision_at_t);
@@ -274,6 +348,9 @@ fn attack(p: &Parsed) -> Result<(), String> {
         println!("verdict: targets fully hidden from this attacker");
     } else {
         println!("verdict: residual evidence remains");
+    }
+    if let Some(out) = &stats_out {
+        emit_stats(out, &recorder)?;
     }
     Ok(())
 }
@@ -805,6 +882,147 @@ mod tests {
             let err = dispatch(&parse(&strs(&args)).unwrap()).unwrap_err();
             assert!(err.contains(needle), "expected {needle:?} in: {err}");
         }
+    }
+
+    #[test]
+    fn protect_stats_flag_emits_telemetry_without_changing_the_plan() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-stats.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "150",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let mut plans = Vec::new();
+        let stats_path = dir.join("protect-stats.json");
+        for (label, with_stats) in [("plain", false), ("stats", true)] {
+            let plan_path = dir.join(format!("plan-{label}.json"));
+            let mut args = vec![
+                "protect".to_string(),
+                graph_path.to_str().unwrap().to_string(),
+                "--budget".to_string(),
+                "5".to_string(),
+                "--random".to_string(),
+                "4".to_string(),
+                "--plan".to_string(),
+                plan_path.to_str().unwrap().to_string(),
+            ];
+            if with_stats {
+                args.push("--stats".to_string());
+                args.push(stats_path.to_str().unwrap().to_string());
+            }
+            dispatch(&parse(&args).unwrap()).unwrap();
+            plans.push(std::fs::read_to_string(&plan_path).unwrap());
+        }
+        // Telemetry must be invisible in the plan: byte-identical output.
+        assert_eq!(plans[0], plans[1], "--stats changed the plan");
+        // And the stats document carries every section with real content.
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        for key in [
+            "\"round\"",
+            "\"index\"",
+            "\"exec\"",
+            "\"store\"",
+            "\"attack\"",
+        ] {
+            assert!(stats.contains(key), "missing {key} in: {stats}");
+        }
+        for field in [
+            "\"rounds\"",
+            "\"scan_ns\"",
+            "\"commit_ns\"",
+            "\"commits\"",
+            "\"loads\"",
+        ] {
+            assert!(stats.contains(field), "missing {field} in: {stats}");
+        }
+        // The run above did real work, so the round section must be live.
+        let rounds_line = stats
+            .lines()
+            .find(|l| l.contains("\"rounds\""))
+            .expect("rounds field present");
+        assert!(
+            !rounds_line.contains(": 0"),
+            "protect run recorded zero rounds: {rounds_line}"
+        );
+    }
+
+    #[test]
+    fn attack_stats_flag_and_threads() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-attack-stats.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let stats_path = dir.join("attack-stats.json");
+        dispatch(
+            &parse(&strs(&[
+                "attack",
+                graph_path.to_str().unwrap(),
+                "--targets",
+                "0-1",
+                "--negatives",
+                "50",
+                "--threads",
+                "2",
+                "--stats",
+                stats_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(stats.contains("\"attack\""));
+        assert!(stats.contains("\"evaluations\": 1"), "got: {stats}");
+        assert!(stats.contains("\"pairs_scored\": 51"), "got: {stats}");
+    }
+
+    #[test]
+    fn stats_flag_rejects_unwritable_path_before_running() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-stats-err.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let err = dispatch(
+            &parse(&strs(&[
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "2",
+                "--targets",
+                "0-1",
+                "--stats",
+                "/no/such/dir/stats.json",
+            ]))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--stats"), "error must name the flag: {err}");
     }
 
     #[test]

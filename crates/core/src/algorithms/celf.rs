@@ -5,7 +5,7 @@
 //! evaluations; the `ablation_evaluators` bench quantifies the speedup.
 
 use super::GreedyConfig;
-use crate::engine::{Parallelism, RoundEngine};
+use crate::engine::RoundEngine;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
@@ -20,7 +20,7 @@ use crate::problem::TppInstance;
 /// from skipped candidates just the same).
 #[must_use]
 pub fn celf_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
@@ -49,7 +49,7 @@ pub fn celf_greedy_batch(
     j: usize,
     config: &GreedyConfig,
 ) -> ProtectionPlan {
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,

@@ -3,7 +3,7 @@
 //! partition matroid, guaranteeing a `1/2` approximation (Theorem 4).
 
 use super::GreedyConfig;
-use crate::engine::{Parallelism, RoundEngine};
+use crate::engine::RoundEngine;
 use crate::error::TppError;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
@@ -56,7 +56,7 @@ pub fn ct_greedy_batch(
     }
     let n = budgets.len();
     let j = j.max(1);
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,

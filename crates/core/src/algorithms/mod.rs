@@ -38,7 +38,9 @@ pub use sgb::{sgb_greedy, sgb_greedy_batch};
 pub use wt::{wt_greedy, wt_greedy_batch};
 
 use crate::oracle::CandidatePolicy;
+use tpp_exec::Parallelism;
 use tpp_motif::Motif;
+use tpp_obs::Recorder;
 
 /// Which gain-evaluation machinery to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +55,38 @@ pub enum EvaluatorKind {
     DeltaRecount,
 }
 
+/// Observability settings for a greedy run: which [`Recorder`] the round
+/// engine, the coverage index, and the executor report into.
+///
+/// The default ([`Recorder::disabled`]) is a no-op handle: every recording
+/// site reduces to one `Option` branch, so uninstrumented runs stay on the
+/// pre-instrumentation hot path and produce bit-identical plans (pinned by
+/// the stats-parity proptest).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// The telemetry sink. Enabled recorders are cheap `Arc` handles;
+    /// clone the one handle everywhere the same run should report.
+    pub recorder: Recorder,
+}
+
+impl ObsConfig {
+    /// Stats collection into a fresh recorder.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObsConfig {
+            recorder: Recorder::enabled(),
+        }
+    }
+
+    /// No stats collection (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        ObsConfig::default()
+    }
+}
+
 /// Configuration shared by all greedy algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GreedyConfig {
     /// The motif defining target subgraphs.
     pub motif: Motif,
@@ -66,6 +98,8 @@ pub struct GreedyConfig {
     /// available cores). Plans are bit-identical for every value — the
     /// round engine reduces sharded chunks in candidate order.
     pub threads: usize,
+    /// Telemetry sink (disabled by default; surfaced by `tpp --stats`).
+    pub obs: ObsConfig,
 }
 
 impl GreedyConfig {
@@ -79,6 +113,7 @@ impl GreedyConfig {
             candidates: CandidatePolicy::AllEdges,
             evaluator: EvaluatorKind::NaiveRecount,
             threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -91,6 +126,7 @@ impl GreedyConfig {
             candidates: CandidatePolicy::SubgraphEdges,
             evaluator: EvaluatorKind::Index,
             threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -105,6 +141,7 @@ impl GreedyConfig {
             candidates: CandidatePolicy::SubgraphEdges,
             evaluator: EvaluatorKind::DeltaRecount,
             threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -118,6 +155,7 @@ impl GreedyConfig {
             candidates: CandidatePolicy::AllEdges,
             evaluator: EvaluatorKind::Index,
             threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -128,6 +166,24 @@ impl GreedyConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Returns the config reporting telemetry into `recorder`. Purely an
+    /// observability knob: the plan stays bit-identical (pinned by the
+    /// stats-parity proptest).
+    #[must_use]
+    pub fn with_obs(mut self, recorder: Recorder) -> Self {
+        self.obs = ObsConfig { recorder };
+        self
+    }
+
+    /// The executor handle a run of this config dispatches on: `threads`
+    /// participants, reporting into the config's recorder. Every algorithm
+    /// builds its engine through this, so one `--stats` knob observes the
+    /// scan, the index, and the pool alike.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::with_recorder(self.threads, self.obs.recorder.clone())
     }
 
     /// Suffix for report labels: `""` for plain, `"-R"` for scalable.

@@ -4,7 +4,7 @@
 //! (Lemmas 1–2).
 
 use super::GreedyConfig;
-use crate::engine::{Parallelism, RoundEngine};
+use crate::engine::RoundEngine;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
 use crate::problem::TppInstance;
@@ -18,7 +18,7 @@ use crate::problem::TppInstance;
 /// changing a single pick.
 #[must_use]
 pub fn sgb_greedy(instance: &TppInstance, k: usize, config: &GreedyConfig) -> ProtectionPlan {
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,
@@ -44,7 +44,7 @@ pub fn sgb_greedy_batch(
     j: usize,
     config: &GreedyConfig,
 ) -> ProtectionPlan {
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,

@@ -3,7 +3,7 @@
 //! the guarantee is `1 − e^{−(1−1/e)} ≈ 0.46` (Theorem 5).
 
 use super::GreedyConfig;
-use crate::engine::{Parallelism, RoundEngine};
+use crate::engine::RoundEngine;
 use crate::error::TppError;
 use crate::oracle::AnyOracle;
 use crate::plan::{AlgorithmKind, ProtectionPlan};
@@ -55,7 +55,7 @@ pub fn wt_greedy_batch(
         });
     }
     let j = j.max(1);
-    let exec = Parallelism::new(config.threads);
+    let exec = config.parallelism();
     let mut engine = RoundEngine::with_parallelism(
         AnyOracle::for_instance(instance, config, &exec),
         config.candidates,

@@ -71,6 +71,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::InstanceId;
+use tpp_obs::Recorder;
 
 // The scan's splitting math and its execution substrate live in
 // `tpp-exec` now; re-exported here because they are part of the engine's
@@ -354,6 +355,11 @@ pub struct RoundEngine<O: GainOracle> {
     /// Adaptive span sizing for the work-stealing scan (scheduling only;
     /// never observable in the plan).
     tuner: ScanTuner,
+    /// Telemetry sink, taken from the executor handle at construction so
+    /// one `--stats` knob observes scans, commits, and dispatches alike.
+    /// Disabled recorders cost one branch per round, nothing per
+    /// candidate, and no allocation on the scan hot path.
+    obs: Recorder,
 }
 
 impl<O: GainOracle + Sync> RoundEngine<O> {
@@ -379,6 +385,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
         oracle.set_parallelism(&exec);
         let initial_similarity = oracle.total_similarity();
         let targets = oracle.target_count();
+        let obs = exec.recorder().clone();
         RoundEngine {
             oracle,
             policy,
@@ -388,6 +395,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             steps: Vec::new(),
             per_target: vec![Vec::new(); targets],
             tuner: ScanTuner::default(),
+            obs,
         }
     }
 
@@ -412,8 +420,15 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// the [`ScanTuner`] (and feeding its next observation).
     fn scan_deltas(&mut self, candidates: &[Edge]) -> Vec<usize> {
         if self.exec.is_sequential() {
+            let t0 = self.obs.is_enabled().then(Instant::now);
             let probe: &mut dyn GainProbe = &mut self.oracle;
-            return candidates.iter().map(|&p| probe.delta(p)).collect();
+            let gains: Vec<usize> = candidates.iter().map(|&p| probe.delta(p)).collect();
+            if let (Some(t0), Some(st)) = (t0, self.obs.stats()) {
+                st.round.scans.inc();
+                st.round.candidates_probed.add(candidates.len() as u64);
+                st.round.scan_ns.record_duration(t0.elapsed());
+            }
+            return gains;
         }
         let (weights, total) = self.candidate_weights(candidates);
         let spans = self.tuner.spans_for(self.exec.threads(), total);
@@ -427,7 +442,14 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             || oracle.probe(),
             |probe, p| probe.delta(p),
         );
-        self.tuner.record(total, started.elapsed());
+        let elapsed = started.elapsed();
+        self.tuner.record(total, elapsed);
+        if let Some(st) = self.obs.stats() {
+            st.round.scans.inc();
+            st.round.candidates_probed.add(candidates.len() as u64);
+            st.round.scan_ns.record_duration(elapsed);
+            st.round.scan_spans.record(spans as u64);
+        }
         gains
     }
 
@@ -435,8 +457,16 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// (the targeted-round analogue of [`scan_deltas`](Self::scan_deltas)).
     fn scan_delta_vectors(&mut self, candidates: &[Edge]) -> Vec<Vec<usize>> {
         if self.exec.is_sequential() {
+            let t0 = self.obs.is_enabled().then(Instant::now);
             let probe: &mut dyn GainProbe = &mut self.oracle;
-            return candidates.iter().map(|&p| probe.delta_vector(p)).collect();
+            let vectors: Vec<Vec<usize>> =
+                candidates.iter().map(|&p| probe.delta_vector(p)).collect();
+            if let (Some(t0), Some(st)) = (t0, self.obs.stats()) {
+                st.round.scans.inc();
+                st.round.candidates_probed.add(candidates.len() as u64);
+                st.round.scan_ns.record_duration(t0.elapsed());
+            }
+            return vectors;
         }
         let (weights, total) = self.candidate_weights(candidates);
         let spans = self.tuner.spans_for(self.exec.threads(), total);
@@ -450,7 +480,14 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             || oracle.probe(),
             |probe, p| probe.delta_vector(p),
         );
-        self.tuner.record(total, started.elapsed());
+        let elapsed = started.elapsed();
+        self.tuner.record(total, elapsed);
+        if let Some(st) = self.obs.stats() {
+            st.round.scans.inc();
+            st.round.candidates_probed.add(candidates.len() as u64);
+            st.round.scan_ns.record_duration(elapsed);
+            st.round.scan_spans.record(spans as u64);
+        }
         vectors
     }
 
@@ -482,6 +519,7 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     ) -> Option<(S, Edge)> {
         let candidates = self.oracle.candidates(self.policy);
         if self.exec.is_sequential() {
+            let t0 = self.obs.is_enabled().then(Instant::now);
             // The oracle is its own probe: no per-round scratch setup.
             let probe: &mut dyn GainProbe = &mut self.oracle;
             let mut best: Option<(S, Edge)> = None;
@@ -491,6 +529,11 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                         best = Some((s, p));
                     }
                 }
+            }
+            if let (Some(t0), Some(st)) = (t0, self.obs.stats()) {
+                st.round.scans.inc();
+                st.round.candidates_probed.add(candidates.len() as u64);
+                st.round.scan_ns.record_duration(t0.elapsed());
             }
             return best;
         }
@@ -507,7 +550,14 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
             |probe, p| eval(probe.as_mut(), p),
             better,
         );
-        self.tuner.record(total, started.elapsed());
+        let elapsed = started.elapsed();
+        self.tuner.record(total, elapsed);
+        if let Some(st) = self.obs.stats() {
+            st.round.scans.inc();
+            st.round.candidates_probed.add(candidates.len() as u64);
+            st.round.scan_ns.record_duration(elapsed);
+            st.round.scan_spans.record(spans as u64);
+        }
         best
     }
 
@@ -515,7 +565,12 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     /// the plan, and records the audit step. Returns the realized break
     /// count.
     pub fn commit_pick(&mut self, p: Edge, charged: Option<usize>, own: Option<usize>) -> usize {
+        let t0 = self.obs.is_enabled().then(Instant::now);
         let broken = self.oracle.commit(p);
+        if let (Some(t0), Some(st)) = (t0, self.obs.stats()) {
+            st.round.rounds.inc();
+            st.round.commit_ns.record_duration(t0.elapsed());
+        }
         if let Some(t) = charged {
             self.per_target[t].push(p);
         }
@@ -559,7 +614,15 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
     fn commit_accepted_batch(&mut self, picks: &[(Edge, usize, Option<usize>, Option<usize>)]) {
         let edges: Vec<Edge> = picks.iter().map(|&(e, ..)| e).collect();
         let mut sim = self.oracle.total_similarity();
+        let t0 = self.obs.is_enabled().then(Instant::now);
         let broken = self.oracle.commit_batch(&edges);
+        if let (Some(t0), Some(st)) = (t0, self.obs.stats()) {
+            st.round.rounds.inc();
+            st.round.commit_ns.record_duration(t0.elapsed());
+            if picks.len() > 1 {
+                st.round.batch_commits.inc();
+            }
+        }
         for (&(p, expected, charged, own), &broken) in picks.iter().zip(&broken) {
             debug_assert_eq!(
                 broken, expected,
@@ -653,7 +716,12 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                 if room > 1 {
                     match self.oracle.gain_set(p) {
                         Some(ids) => claimed.extend(ids),
-                        None => opaque = true,
+                        None => {
+                            opaque = true;
+                            if let Some(st) = self.obs.stats() {
+                                st.round.sequential_fallbacks.inc();
+                            }
+                        }
                     }
                 }
                 accepted.push((p, gain, None, None));
@@ -672,6 +740,9 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                     // hub-dominated round from out-costing the sequential
                     // rounds it replaces.
                     _ => {
+                        if let Some(st) = self.obs.stats() {
+                            st.round.batch_conflicts.inc();
+                        }
                         conflict_budget -= 1;
                         if conflict_budget == 0 {
                             break;
@@ -786,7 +857,12 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                     // The fresh top is the exact sequential argmax.
                     match self.oracle.gain_set(p) {
                         Some(ids) => claimed.extend(ids),
-                        None => opaque = true,
+                        None => {
+                            opaque = true;
+                            if let Some(st) = self.obs.stats() {
+                                st.round.sequential_fallbacks.inc();
+                            }
+                        }
                     }
                     accepted.push((p, cached, None, None));
                     continue;
@@ -803,6 +879,9 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                     // Conflict (or unknowable): push the top back and fall
                     // back to sequential re-evaluation next refresh phase.
                     _ => {
+                        if let Some(st) = self.obs.stats() {
+                            st.round.batch_conflicts.inc();
+                        }
                         heap.push((cached, Reverse(p), evaluated_at));
                         break;
                     }
@@ -952,7 +1031,12 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                 // The top pick is unconditionally the sequential round's.
                 match self.oracle.gain_set(p) {
                     Some(ids) => claimed.extend(ids),
-                    None => opaque = true,
+                    None => {
+                        opaque = true;
+                        if let Some(st) = self.obs.stats() {
+                            st.round.sequential_fallbacks.inc();
+                        }
+                    }
                 }
                 budget_left[t] -= 1;
                 accepted.push((p, own, cross, t));
@@ -969,6 +1053,9 @@ impl<O: GainOracle + Sync> RoundEngine<O> {
                     // Conflict: skip for this round only, under the same
                     // bounded probe budget as the global batch round.
                     _ => {
+                        if let Some(st) = self.obs.stats() {
+                            st.round.batch_conflicts.inc();
+                        }
                         conflict_budget -= 1;
                         if conflict_budget == 0 {
                             break;

@@ -7,7 +7,8 @@ use tpp_bench::fixtures::er_instance;
 use tpp_core::{
     celf_greedy, celf_greedy_batch, critical_budget, ct_greedy, ct_greedy_batch, divide_budget,
     random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, verify_plan,
-    wt_greedy, wt_greedy_batch, BudgetDivision, EvaluatorKind, GreedyConfig, TppInstance,
+    wt_greedy, wt_greedy_batch, BudgetDivision, EvaluatorKind, GreedyConfig, ObsConfig,
+    TppInstance,
 };
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::Motif;
@@ -198,9 +199,9 @@ proptest! {
         let motif = Motif::Triangle;
         let mut reference: Option<tpp_core::ProtectionPlan> = None;
         for cfg in evaluator_configs(motif) {
-            let base = sgb_greedy(&instance, k, &cfg.with_threads(1));
+            let base = sgb_greedy(&instance, k, &cfg.clone().with_threads(1));
             for threads in [2usize, 4] {
-                let par = sgb_greedy(&instance, k, &cfg.with_threads(threads));
+                let par = sgb_greedy(&instance, k, &cfg.clone().with_threads(threads));
                 prop_assert_eq!(&base, &par,
                     "sgb {:?} x{} diverged", cfg.evaluator, threads);
             }
@@ -228,9 +229,9 @@ proptest! {
     ) {
         let motif = Motif::Triangle;
         for cfg in evaluator_configs(motif) {
-            let sequential = sgb_greedy(&instance, k, &cfg.with_threads(1));
+            let sequential = sgb_greedy(&instance, k, &cfg.clone().with_threads(1));
             for threads in [1usize, 2, 4] {
-                let batch = sgb_greedy_batch(&instance, k, 1, &cfg.with_threads(threads));
+                let batch = sgb_greedy_batch(&instance, k, 1, &cfg.clone().with_threads(threads));
                 prop_assert_eq!(&sequential, &batch,
                     "select_batch(k, 1) {:?} x{} diverged", cfg.evaluator, threads);
             }
@@ -243,7 +244,7 @@ proptest! {
             let full_batch = sgb_greedy_batch(&instance, usize::MAX, j, &cfg);
             prop_assert_eq!(full_seq.final_similarity, full_batch.final_similarity);
             for threads in [1usize, 2] {
-                let plan = sgb_greedy_batch(&instance, k, j, &cfg.with_threads(threads));
+                let plan = sgb_greedy_batch(&instance, k, j, &cfg.clone().with_threads(threads));
                 check_feasible(&instance, &plan, motif);
                 prop_assert!(plan.deletions() <= k);
             }
@@ -260,13 +261,13 @@ proptest! {
         let motif = Motif::Triangle;
         let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
         for cfg in evaluator_configs(motif) {
-            let ct_base = ct_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
-            let celf_base = celf_greedy(&instance, k, &cfg.with_threads(1));
+            let ct_base = ct_greedy(&instance, &budgets, &cfg.clone().with_threads(1)).unwrap();
+            let celf_base = celf_greedy(&instance, k, &cfg.clone().with_threads(1));
             for threads in [2usize, 4] {
-                let ct_par = ct_greedy(&instance, &budgets, &cfg.with_threads(threads)).unwrap();
+                let ct_par = ct_greedy(&instance, &budgets, &cfg.clone().with_threads(threads)).unwrap();
                 prop_assert_eq!(&ct_base, &ct_par,
                     "ct {:?} x{} diverged", cfg.evaluator, threads);
-                let celf_par = celf_greedy(&instance, k, &cfg.with_threads(threads));
+                let celf_par = celf_greedy(&instance, k, &cfg.clone().with_threads(threads));
                 prop_assert_eq!(&celf_base, &celf_par,
                     "celf {:?} x{} diverged", cfg.evaluator, threads);
             }
@@ -287,11 +288,11 @@ proptest! {
         let motif = Motif::Triangle;
         let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
         for cfg in evaluator_configs(motif) {
-            let ct_seq = ct_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
-            let wt_seq = wt_greedy(&instance, &budgets, &cfg.with_threads(1)).unwrap();
-            let celf_seq = celf_greedy(&instance, k, &cfg.with_threads(1));
+            let ct_seq = ct_greedy(&instance, &budgets, &cfg.clone().with_threads(1)).unwrap();
+            let wt_seq = wt_greedy(&instance, &budgets, &cfg.clone().with_threads(1)).unwrap();
+            let celf_seq = celf_greedy(&instance, k, &cfg.clone().with_threads(1));
             for threads in [1usize, 2, 4] {
-                let tcfg = cfg.with_threads(threads);
+                let tcfg = cfg.clone().with_threads(threads);
                 let ct_b = ct_greedy_batch(&instance, &budgets, 1, &tcfg).unwrap();
                 prop_assert_eq!(&ct_seq, &ct_b,
                     "ct batch(1) {:?} x{} diverged", cfg.evaluator, threads);
@@ -301,6 +302,50 @@ proptest! {
                 let celf_b = celf_greedy_batch(&instance, k, 1, &tcfg);
                 prop_assert_eq!(&celf_seq, &celf_b,
                     "celf batch(1) {:?} x{} diverged", cfg.evaluator, threads);
+            }
+        }
+    }
+
+    /// The observability contract: enabling stats collection never changes
+    /// a plan. For every oracle kind, strategy shape (eager, batched,
+    /// targeted, lazy), and `threads ∈ {1, 2, 4}`, the plan produced with
+    /// an enabled recorder is **bit-identical** to the
+    /// `Recorder::disabled()` plan — telemetry is read-only on the run.
+    #[test]
+    fn stats_collection_never_changes_plans(
+        instance in instance_strategy(),
+        k in 1usize..=4,
+    ) {
+        let motif = Motif::Triangle;
+        let budgets = divide_budget(BudgetDivision::Tbd, k, &instance, motif);
+        for cfg in evaluator_configs(motif) {
+            for threads in [1usize, 2, 4] {
+                let plain = cfg.clone().with_threads(threads);
+                let obs = GreedyConfig { obs: ObsConfig::enabled(), ..plain.clone() };
+                prop_assert_eq!(
+                    sgb_greedy(&instance, k, &plain),
+                    sgb_greedy(&instance, k, &obs),
+                    "sgb {:?} x{} diverged under stats", cfg.evaluator, threads);
+                prop_assert_eq!(
+                    sgb_greedy_batch(&instance, k, 3, &plain),
+                    sgb_greedy_batch(&instance, k, 3, &obs),
+                    "sgb batch {:?} x{} diverged under stats", cfg.evaluator, threads);
+                prop_assert_eq!(
+                    ct_greedy(&instance, &budgets, &plain).unwrap(),
+                    ct_greedy(&instance, &budgets, &obs).unwrap(),
+                    "ct {:?} x{} diverged under stats", cfg.evaluator, threads);
+                prop_assert_eq!(
+                    celf_greedy_batch(&instance, k, 2, &plain),
+                    celf_greedy_batch(&instance, k, 2, &obs),
+                    "celf batch {:?} x{} diverged under stats", cfg.evaluator, threads);
+                // The observed run actually recorded: the engine counted
+                // its committed rounds (unless nothing was committable).
+                let recorder = &obs.obs.recorder;
+                let st = recorder.stats().expect("enabled recorder has stats");
+                let plan = sgb_greedy(&instance, k, &obs);
+                prop_assert!(
+                    st.round.rounds.get() > 0 || plan.deletions() == 0,
+                    "enabled recorder saw no rounds");
             }
         }
     }

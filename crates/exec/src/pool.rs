@@ -5,6 +5,7 @@ use crate::ranges::ranges_for;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use tpp_obs::{Recorder, SpanTimer};
 
 /// A dispatched task, type- and lifetime-erased for storage in the shared
 /// pool state. The raw pointer is only ever dereferenced between the epoch
@@ -272,6 +273,10 @@ unsafe impl<T: Send> Sync for SlicePtr<T> {}
 #[derive(Clone)]
 pub struct Parallelism {
     pool: Arc<ExecPool>,
+    /// Telemetry sink for dispatch latency and claim balance; the
+    /// disabled default keeps every combinator on its pre-instrumentation
+    /// path (one `Option` branch per dispatch, nothing per item).
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Parallelism {
@@ -295,7 +300,33 @@ impl Parallelism {
     pub fn new(threads: usize) -> Self {
         Parallelism {
             pool: Arc::new(ExecPool::new(threads)),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// A handle over a fresh pool that reports dispatch telemetry (latency
+    /// histogram, per-participant claim counts, steal/idle balance) into
+    /// `recorder`. With `Recorder::disabled()` this is exactly
+    /// [`Parallelism::new`].
+    #[must_use]
+    pub fn with_recorder(threads: usize, recorder: Recorder) -> Self {
+        let handle = Parallelism {
+            pool: Arc::new(ExecPool::new(threads)),
+            recorder,
+        };
+        if let Some(stats) = handle.recorder.stats() {
+            stats.exec.threads.set_max(handle.threads() as u64);
+        }
+        handle
+    }
+
+    /// The telemetry sink this handle (and every clone) reports into.
+    /// Downstream layers that receive a `Parallelism` reach their own
+    /// stats sections through it, so one knob threads observability
+    /// through engine, index, and store alike.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The single-participant handle: every combinator runs inline on the
@@ -338,9 +369,11 @@ impl Parallelism {
         M: Fn() -> C + Sync,
         W: Fn(&mut C, usize) -> R + Sync,
     {
+        let stats = self.recorder.stats();
+        let dispatch_span = SpanTimer::hist(stats.map(|s| &s.exec.dispatch_ns));
         let cursor = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
-        self.pool.run(&|_| {
+        self.pool.run(&|pid| {
             let mut ctx: Option<C> = None;
             let mut got: Vec<(usize, R)> = Vec::new();
             loop {
@@ -350,6 +383,17 @@ impl Parallelism {
                 }
                 got.push((i, work(ctx.get_or_insert_with(&make_ctx), i)));
             }
+            if let Some(st) = stats {
+                let claimed = got.len() as u64;
+                st.exec.claims_per_participant.record(claimed);
+                st.exec.items_claimed.add(claimed);
+                if pid != 0 {
+                    st.exec.items_stolen.add(claimed);
+                }
+                if claimed == 0 {
+                    st.exec.idle_participants.inc();
+                }
+            }
             if !got.is_empty() {
                 collected
                     .lock()
@@ -357,6 +401,10 @@ impl Parallelism {
                     .extend(got);
             }
         });
+        if let Some(st) = stats {
+            st.exec.dispatches.inc();
+        }
+        dispatch_span.stop();
         let mut tagged = collected.into_inner().expect("result collection poisoned");
         tagged.sort_unstable_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, r)| r).collect()
@@ -397,17 +445,38 @@ impl Parallelism {
         let len = items.len();
         let base = SlicePtr(items.as_mut_ptr());
         let cursor = AtomicUsize::new(0);
-        self.pool.run(&|_| loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= len {
-                break;
+        let stats = self.recorder.stats();
+        let dispatch_span = SpanTimer::hist(stats.map(|s| &s.exec.dispatch_ns));
+        self.pool.run(&|pid| {
+            let mut claimed = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // SAFETY: `i < len` indexes the slice the caller holds
+                // `&mut` over for the whole dispatch, and the fetch-add
+                // hands each index to exactly one participant — no
+                // aliasing.
+                let item = unsafe { &mut *base.at(i) };
+                work(i, item);
+                claimed += 1;
             }
-            // SAFETY: `i < len` indexes the slice the caller holds `&mut`
-            // over for the whole dispatch, and the fetch-add hands each
-            // index to exactly one participant — no aliasing.
-            let item = unsafe { &mut *base.at(i) };
-            work(i, item);
+            if let Some(st) = stats {
+                st.exec.claims_per_participant.record(claimed);
+                st.exec.items_claimed.add(claimed);
+                if pid != 0 {
+                    st.exec.items_stolen.add(claimed);
+                }
+                if claimed == 0 {
+                    st.exec.idle_participants.inc();
+                }
+            }
         });
+        if let Some(st) = stats {
+            st.exec.dispatches.inc();
+        }
+        dispatch_span.stop();
     }
 
     /// The work-stealing span scaffold behind every candidate scan: cuts
@@ -566,6 +635,27 @@ mod tests {
         drop(a);
         assert_eq!(b.run_indexed(2, |i| i), vec![0, 1]);
         drop(b);
+    }
+
+    #[test]
+    fn recorder_sees_dispatches_and_claims() {
+        let rec = Recorder::enabled();
+        let exec = Parallelism::with_recorder(3, rec.clone());
+        let out = exec.run_indexed(40, |i| i);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        let st = rec.stats().unwrap();
+        assert_eq!(st.exec.threads.get(), 3);
+        assert_eq!(st.exec.dispatches.get(), 1);
+        assert_eq!(st.exec.items_claimed.get(), 40);
+        assert_eq!(st.exec.dispatch_ns.count(), 1);
+        let mut items = vec![0u8; 9];
+        exec.for_each_mut(&mut items, |_, slot| *slot = 1);
+        assert_eq!(st.exec.dispatches.get(), 2);
+        assert_eq!(st.exec.items_claimed.get(), 49);
+        // A sequential recorded handle runs inline: no dispatches counted.
+        let seq = Parallelism::with_recorder(1, rec.clone());
+        let _ = seq.run_indexed(8, |i| i);
+        assert_eq!(st.exec.dispatches.get(), 2);
     }
 
     #[test]

@@ -9,8 +9,15 @@ use crate::scores::SimilarityIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tpp_exec::Parallelism;
 use tpp_graph::{Edge, Graph, NodeId};
 use tpp_motif::{count_target_subgraphs, Motif};
+
+/// Spans per worker for the pair-scoring sweep — enough stealable slack
+/// to absorb degree skew (hub pairs cost more under every attacker)
+/// without shrinking spans into dispatch overhead.
+const SCORE_SPANS_PER_WORKER: usize = 4;
 
 /// A scoring strategy for a candidate missing link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,8 +109,52 @@ pub fn sample_non_edges(g: &Graph, count: usize, exclude: &[Edge], seed: u64) ->
     out
 }
 
+/// Scores every pair in `pairs` against `g`, in pair order: sequential
+/// handles score inline; parallel handles cut the pairs into contiguous
+/// weight-balanced spans (weight `deg(u) + deg(v) + 1`, the dominant cost
+/// factor for every attacker kind), claim them work-stealing, and flatten
+/// the per-span results **in span order** — so the score vector is
+/// bit-identical at every thread count.
+fn score_pairs(g: &Graph, pairs: &[Edge], attacker: Attacker, exec: &Parallelism) -> Vec<f64> {
+    let stats = exec.recorder().stats();
+    let t0 = stats.map(|_| Instant::now());
+    let scores: Vec<f64> = if exec.is_sequential() || pairs.len() <= 1 {
+        pairs
+            .iter()
+            .map(|e| attacker.score(g, e.u(), e.v()))
+            .collect()
+    } else {
+        let weights: Vec<usize> = pairs
+            .iter()
+            .map(|e| g.degree(e.u()) + g.degree(e.v()) + 1)
+            .collect();
+        let spans = exec.threads() * SCORE_SPANS_PER_WORKER;
+        exec.steal_spans(
+            pairs,
+            spans,
+            Some(&weights),
+            || (),
+            |(), span| {
+                span.iter()
+                    .map(|e| attacker.score(g, e.u(), e.v()))
+                    .collect::<Vec<f64>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    if let (Some(t0), Some(st)) = (t0, stats) {
+        st.attack.pairs_scored.add(pairs.len() as u64);
+        st.attack.score_ns.add_duration(t0.elapsed());
+    }
+    scores
+}
+
 /// Simulates `attacker` on the released graph `g`: targets (true hidden
 /// links) are scored against `negatives` (non-links) and ranked.
+/// Sequential reference entry point — delegates to
+/// [`evaluate_attack_on`] with a sequential executor.
 #[must_use]
 pub fn evaluate_attack(
     g: &Graph,
@@ -111,14 +162,29 @@ pub fn evaluate_attack(
     negatives: &[Edge],
     attacker: Attacker,
 ) -> AttackOutcome {
-    let target_scores: Vec<f64> = targets
-        .iter()
-        .map(|t| attacker.score(g, t.u(), t.v()))
-        .collect();
-    let negative_scores: Vec<f64> = negatives
-        .iter()
-        .map(|e| attacker.score(g, e.u(), e.v()))
-        .collect();
+    evaluate_attack_on(g, targets, negatives, attacker, &Parallelism::sequential())
+}
+
+/// Like [`evaluate_attack`], with pair scoring sharded across `exec`'s
+/// workers. Rankings (and the whole outcome) are **bit-identical** for
+/// every thread count: span-ordered reduction makes the score vectors
+/// equal to the sequential scan's, and the AUC / precision ranking logic
+/// runs on those vectors sequentially. When `exec` carries an enabled
+/// recorder, the attack section counts evaluations, pairs scored, and
+/// scoring wall time.
+#[must_use]
+pub fn evaluate_attack_on(
+    g: &Graph,
+    targets: &[Edge],
+    negatives: &[Edge],
+    attacker: Attacker,
+    exec: &Parallelism,
+) -> AttackOutcome {
+    if let Some(st) = exec.recorder().stats() {
+        st.attack.evaluations.inc();
+    }
+    let target_scores: Vec<f64> = score_pairs(g, targets, attacker, exec);
+    let negative_scores: Vec<f64> = score_pairs(g, negatives, attacker, exec);
 
     // AUC by exhaustive pair comparison (sizes here are small).
     let mut wins = 0.0f64;
@@ -279,6 +345,60 @@ mod tests {
         assert_eq!(outcome.precision_at_t, 0.0);
         assert_eq!(outcome.auc, 0.5);
         assert!(outcome.targets_fully_hidden());
+    }
+
+    #[test]
+    fn parallel_attack_rankings_are_bit_identical_across_threads() {
+        let (released, _, targets) = scenario();
+        let negatives = sample_non_edges(&released, 200, &targets, 5);
+        for attacker in [
+            Attacker::Index(SimilarityIndex::CommonNeighbors),
+            Attacker::Index(SimilarityIndex::AdamicAdar),
+            Attacker::MotifCount(Motif::Triangle),
+            Attacker::Katz(0.05, 3),
+        ] {
+            let base = evaluate_attack(&released, &targets, &negatives, attacker);
+            for threads in [1usize, 2, 4] {
+                let exec = Parallelism::new(threads);
+                let par = evaluate_attack_on(&released, &targets, &negatives, attacker, &exec);
+                // Bit-identical, not approximately equal: the span-ordered
+                // reduce must reproduce the sequential score vector exactly.
+                assert_eq!(
+                    base.target_scores,
+                    par.target_scores,
+                    "{} x{threads}",
+                    attacker.name()
+                );
+                assert_eq!(base.auc.to_bits(), par.auc.to_bits());
+                assert_eq!(base.precision_at_t.to_bits(), par.precision_at_t.to_bits());
+                assert_eq!(
+                    base.mean_target_score.to_bits(),
+                    par.mean_target_score.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_counts_attack_evaluations() {
+        let (released, _, targets) = scenario();
+        let negatives = sample_non_edges(&released, 50, &targets, 9);
+        let obs = tpp_obs::Recorder::enabled();
+        let exec = Parallelism::with_recorder(2, obs.clone());
+        let outcome = evaluate_attack_on(
+            &released,
+            &targets,
+            &negatives,
+            Attacker::Index(SimilarityIndex::CommonNeighbors),
+            &exec,
+        );
+        assert!(outcome.auc > 0.0);
+        let st = obs.stats().unwrap();
+        assert_eq!(st.attack.evaluations.get(), 1);
+        assert_eq!(
+            st.attack.pairs_scored.get(),
+            (targets.len() + negatives.len()) as u64
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod katz;
 pub mod ranking;
 pub mod scores;
 
-pub use attack::{evaluate_attack, sample_non_edges, AttackOutcome, Attacker};
+pub use attack::{evaluate_attack, evaluate_attack_on, sample_non_edges, AttackOutcome, Attacker};
 pub use counterexamples::{
     addition_similarity_delta, fig7_cases, fig7_graph, fig7_protectors, fig8_graph,
     find_ra_submodularity_violation, index_fails_monotonicity, MonotonicityCase,

@@ -89,7 +89,8 @@ impl IndexShard {
     /// instance × owned edge) and compacts the candidate list if any edge
     /// retired. Pure shard-local state: safe to run concurrently with other
     /// shards' updates, and deterministic regardless of who runs it.
-    fn apply_decrements(&mut self, ops: &[Edge]) {
+    /// Returns whether a candidate-list compaction ran.
+    fn apply_decrements(&mut self, ops: &[Edge]) -> bool {
         let mut retired = false;
         for e in ops {
             let po = self
@@ -104,6 +105,7 @@ impl IndexShard {
             self.alive_candidates
                 .retain(|e| postings.get(e).is_some_and(|po| po.alive > 0));
         }
+        retired
     }
 }
 
@@ -221,6 +223,8 @@ impl PartitionedCoverageIndex {
         exec: &Parallelism,
     ) -> Self {
         assert!(parts >= 1, "need at least one partition");
+        let stats = exec.recorder().stats();
+        let build_span = tpp_obs::SpanTimer::counter(stats.map(|s| &s.index.build_ns));
         let threads = exec.threads();
         for t in targets {
             assert!(
@@ -288,8 +292,11 @@ impl PartitionedCoverageIndex {
         // results come back in chunk order — which worker enumerated a
         // chunk is scheduling noise; chunk order is the deterministic
         // target order.
+        let enumerate_span =
+            tpp_obs::SpanTimer::counter(stats.map(|s| &s.index.build_enumerate_ns));
         let chunk_outs: Vec<ChunkBuild> =
             exec.run_indexed(chunks.len(), |i| enumerate_chunk(&chunks[i]));
+        enumerate_span.stop();
 
         // Chunk-order id offsets: concatenating chunk outputs reproduces
         // the sequential enumeration order exactly.
@@ -318,7 +325,9 @@ impl PartitionedCoverageIndex {
             shard.alive_candidates = shard.postings.keys().copied().collect();
             shard.alive_candidates.sort_unstable();
         };
+        let merge_span = tpp_obs::SpanTimer::counter(stats.map(|s| &s.index.build_merge_ns));
         exec.for_each_mut(&mut shards, |s, shard| merge_shard(s, shard));
+        merge_span.stop();
 
         let mut instances = Vec::with_capacity(total_instances);
         let mut per_target_alive = Vec::with_capacity(targets.len());
@@ -342,6 +351,10 @@ impl PartitionedCoverageIndex {
             kill_scratch: Vec::new(),
             op_scratch,
         };
+        if let Some(st) = stats {
+            st.index.builds.inc();
+        }
+        build_span.stop();
         #[cfg(debug_assertions)]
         built.check_invariants();
         built
@@ -490,6 +503,7 @@ impl PartitionedCoverageIndex {
     /// Only the dirty shards are touched, and the result is bit-identical
     /// for every shard and thread count.
     pub fn delete_edges(&mut self, ps: &[Edge]) -> Vec<usize> {
+        let stats = self.exec.recorder().stats();
         let mut killed = std::mem::take(&mut self.kill_scratch);
         killed.clear();
         let mut broken_out = Vec::with_capacity(ps.len());
@@ -537,13 +551,34 @@ impl PartitionedCoverageIndex {
             .filter(|(_, shard_ops)| !shard_ops.is_empty())
             .collect();
         let total_ops: usize = dirty.iter().map(|(_, o)| o.len()).sum();
-        if !self.exec.is_sequential() && dirty.len() > 1 && total_ops >= MIN_PARALLEL_COMMIT_OPS {
+        let dirty_count = dirty.len();
+        let parallel =
+            !self.exec.is_sequential() && dirty.len() > 1 && total_ops >= MIN_PARALLEL_COMMIT_OPS;
+        if parallel {
             self.exec.for_each_mut(&mut dirty, |_, (shard, shard_ops)| {
-                shard.apply_decrements(shard_ops);
+                // Counters are atomic, so compactions report safely from
+                // whichever worker claimed the shard.
+                if shard.apply_decrements(shard_ops) {
+                    if let Some(st) = stats {
+                        st.index.compactions.inc();
+                    }
+                }
             });
         } else {
             for (shard, shard_ops) in dirty {
-                shard.apply_decrements(shard_ops);
+                if shard.apply_decrements(shard_ops) {
+                    if let Some(st) = stats {
+                        st.index.compactions.inc();
+                    }
+                }
+            }
+        }
+        if let Some(st) = stats {
+            st.index.commits.inc();
+            st.index.instances_killed.record(killed.len() as u64);
+            st.index.dirty_shards.record(dirty_count as u64);
+            if parallel {
+                st.index.parallel_commits.inc();
             }
         }
 
@@ -742,6 +777,26 @@ mod tests {
         let empty = PartitionedCoverageIndex::build(&Graph::new(0), &[], Motif::Triangle, 4);
         assert_eq!(empty.total_similarity(), 0);
         assert!(empty.alive_candidate_edges().is_empty());
+    }
+
+    #[test]
+    fn recorder_counts_builds_and_commits_without_changing_results() {
+        let (g, targets) = fixture();
+        let rec = tpp_obs::Recorder::enabled();
+        let exec = tpp_exec::Parallelism::with_recorder(2, rec.clone());
+        let mut observed =
+            PartitionedCoverageIndex::build_parallel(&g, &targets, Motif::Triangle, 4, &exec);
+        let mut plain = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 4);
+        let st = rec.stats().unwrap();
+        assert_eq!(st.index.builds.get(), 1);
+        assert!(st.index.build_ns.get() >= st.index.build_enumerate_ns.get());
+        while let Some(&p) = plain.alive_candidate_edges().first() {
+            assert_eq!(observed.delete_edge(p), plain.delete_edge(p));
+        }
+        assert_eq!(observed.total_similarity(), 0);
+        assert_eq!(st.index.commits.get(), st.index.instances_killed.count());
+        assert!(st.index.commits.get() > 0);
+        assert!(st.index.compactions.get() > 0, "full teardown must compact");
     }
 
     #[test]

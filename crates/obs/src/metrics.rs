@@ -1,0 +1,329 @@
+//! The primitive instruments: lock-free counters, power-of-two latency
+//! histograms, and RAII span timers.
+//!
+//! Everything here is plain `AtomicU64` arithmetic with `Relaxed` ordering:
+//! instruments are statistics, not synchronization, and a reader that races
+//! a writer simply sees a snapshot that is a few increments stale.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotone event counter shared across threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds a duration in whole nanoseconds (saturating at `u64::MAX`).
+    pub fn add_duration(&self, d: Duration) {
+        self.add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Raises the stored value to at least `v` (for gauges like thread
+    /// counts that are set once but may be observed from several handles).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of `u64`, plus the
+/// zero bucket.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram with power-of-two bucket edges.
+///
+/// Value `v` lands in bucket `bit_width(v)` (zero in bucket 0, `1` in
+/// bucket 1, `2..=3` in bucket 2, `4..=7` in bucket 3, ...), so recording
+/// is two atomic adds and no allocation. Quantiles read back the upper
+/// edge of the bucket containing the requested rank — at most one power
+/// of two above the true value, which is plenty for "where did the time
+/// go" telemetry.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time readout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Median (upper bucket edge).
+    pub p50: u64,
+    /// 90th percentile (upper bucket edge).
+    pub p90: u64,
+    /// 99th percentile (upper bucket edge).
+    pub p99: u64,
+    /// Largest recorded value, exact.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, otherwise the value's bit width.
+    fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper edge of bucket `i` (the largest value that lands in it).
+    fn bucket_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper edge
+    /// of the bucket holding that rank (0 when nothing was recorded).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Self::bucket_edge(i);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Reads count, sum, p50/p90/p99, and max in one pass.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Where a [`SpanTimer`] deposits its elapsed nanoseconds on drop.
+#[derive(Debug)]
+enum SpanTarget<'a> {
+    /// Disabled: the timer never reads the clock.
+    None,
+    /// One sample into a histogram.
+    Hist(&'a Histogram),
+    /// Accumulate into a phase-total counter.
+    Counter(&'a Counter),
+}
+
+/// An RAII span timer: reads the clock on construction (only when given a
+/// live target) and records the elapsed wall time on drop.
+///
+/// Built from an `Option` so call sites stay branch-cheap when stats are
+/// disabled — `SpanTimer::hist(None)` never touches the clock.
+#[derive(Debug)]
+#[must_use = "a span timer measures until it is dropped"]
+pub struct SpanTimer<'a> {
+    target: SpanTarget<'a>,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Times into a histogram (one sample per span), or does nothing when
+    /// `h` is `None`.
+    pub fn hist(h: Option<&'a Histogram>) -> Self {
+        SpanTimer {
+            start: h.map(|_| Instant::now()),
+            target: h.map_or(SpanTarget::None, SpanTarget::Hist),
+        }
+    }
+
+    /// Times into a counter (accumulating phase total), or does nothing
+    /// when `c` is `None`.
+    pub fn counter(c: Option<&'a Counter>) -> Self {
+        SpanTimer {
+            start: c.map(|_| Instant::now()),
+            target: c.map_or(SpanTarget::None, SpanTarget::Counter),
+        }
+    }
+
+    /// Ends the span now (sugar for an explicit drop).
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            match self.target {
+                SpanTarget::Hist(h) => h.record_duration(elapsed),
+                SpanTarget::Counter(c) => c.add_duration(elapsed),
+                SpanTarget::None => {}
+            }
+        }
+    }
+}
+
+/// Runs `f` and returns its result with the elapsed wall time — the shared
+/// primitive behind bench timing and one-shot phase measurements.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // Exhaustive around every edge: v and v+1 straddle a bucket
+        // boundary exactly when v+1 is a power of two.
+        let h = Histogram::default();
+        for (v, expected_idx) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(Histogram::bucket_index(v), expected_idx, "value {v}");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.snapshot().max, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_read_bucket_upper_edges() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(5); // bucket 3, edge 7
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, edge 1023
+        }
+        assert_eq!(h.quantile(0.50), 7);
+        assert_eq!(h.quantile(0.90), 7);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.snapshot().max, 1000, "max is exact, not an edge");
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p99, s.max), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_all_land() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i % 17);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn span_timer_records_only_when_enabled() {
+        let h = Histogram::default();
+        SpanTimer::hist(None).stop();
+        assert_eq!(h.count(), 0);
+        SpanTimer::hist(Some(&h)).stop();
+        assert_eq!(h.count(), 1);
+        let c = Counter::new();
+        SpanTimer::counter(Some(&c)).stop();
+        let (value, took) = timed(|| 7);
+        assert_eq!(value, 7);
+        assert!(took.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,378 @@
+//! The [`Recorder`] registry: one shared handle that either carries the
+//! full [`Stats`] tree (enabled) or nothing at all (disabled), plus the
+//! hand-rolled JSON readout matching the committed bench-result shape.
+
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+/// Round-engine telemetry: where each greedy round's wall time goes.
+#[derive(Debug, Default)]
+pub struct RoundStats {
+    /// Committed rounds (single picks and accepted batches).
+    pub rounds: Counter,
+    /// Candidate scans performed (lazy modes scan less than they commit).
+    pub scans: Counter,
+    /// Candidates whose gain was probed across all scans.
+    pub candidates_probed: Counter,
+    /// Wall time per candidate scan.
+    pub scan_ns: Histogram,
+    /// Wall time per oracle commit (edge deletions + index maintenance).
+    pub commit_ns: Histogram,
+    /// ScanTuner span count per parallel scan.
+    pub scan_spans: Histogram,
+    /// Batch rounds that committed more than one pick.
+    pub batch_commits: Counter,
+    /// Batch picks rejected because their gain sets overlapped a winner.
+    pub batch_conflicts: Counter,
+    /// Rounds that fell back to strictly sequential re-evaluation
+    /// (opaque oracle or conflict budget exhausted).
+    pub sequential_fallbacks: Counter,
+}
+
+/// Partitioned coverage-index telemetry: build phases and commit costs.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// Index builds.
+    pub builds: Counter,
+    /// Total build wall time.
+    pub build_ns: Counter,
+    /// Build phase 1: per-target-chunk instance enumeration.
+    pub build_enumerate_ns: Counter,
+    /// Build phase 2: merging chunk output into owner shards.
+    pub build_merge_ns: Counter,
+    /// Edge-deletion commits applied to the index.
+    pub commits: Counter,
+    /// Commits whose decrement phase ran on the pool.
+    pub parallel_commits: Counter,
+    /// Motif instances killed per commit.
+    pub instances_killed: Histogram,
+    /// Shards dirtied per commit.
+    pub dirty_shards: Histogram,
+    /// Candidate-list compactions triggered by retired instances.
+    pub compactions: Counter,
+}
+
+/// Executor telemetry: dispatch latency and work-stealing balance.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Worker count of the widest pool observed.
+    pub threads: Counter,
+    /// Parallel dispatches (sequential inline runs are not counted).
+    pub dispatches: Counter,
+    /// Wall time per dispatch, including the dispatcher's own share.
+    pub dispatch_ns: Histogram,
+    /// Work items claimed across all participants.
+    pub items_claimed: Counter,
+    /// Items claimed by participants other than the dispatcher — work
+    /// that a dedicated worker stole off the shared cursor.
+    pub items_stolen: Counter,
+    /// Items claimed per participant per dispatch (imbalance readout:
+    /// p50 far below max means some workers went hungry).
+    pub claims_per_participant: Histogram,
+    /// Participants that woke but claimed nothing.
+    pub idle_participants: Counter,
+}
+
+/// Snapshot-store telemetry: where a load spends its time.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Graph loads (snapshot reads and edge-list parses).
+    pub loads: Counter,
+    /// Parse phase: header + array decode (or text edge-list parse).
+    pub parse_ns: Counter,
+    /// Fill phase: CSR assembly and validation.
+    pub fill_ns: Counter,
+    /// Checksum phase: payload FNV verification.
+    pub checksum_ns: Counter,
+}
+
+/// Attack-evaluation telemetry for the link-prediction adversary.
+#[derive(Debug, Default)]
+pub struct AttackStats {
+    /// Attack evaluations run.
+    pub evaluations: Counter,
+    /// Candidate pairs scored (targets + negatives).
+    pub pairs_scored: Counter,
+    /// Total wall time spent scoring pairs.
+    pub score_ns: Counter,
+}
+
+/// The full telemetry tree, one section per instrumented layer.
+///
+/// Every field is atomic, so a single `Arc<Stats>` is shared freely across
+/// the executor's worker threads.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Round-engine section.
+    pub round: RoundStats,
+    /// Coverage-index section.
+    pub index: IndexStats,
+    /// Executor section.
+    pub exec: ExecStats,
+    /// Store section.
+    pub store: StoreStats,
+    /// Attack-evaluation section.
+    pub attack: AttackStats,
+}
+
+/// The shared instrumentation handle threaded through every layer.
+///
+/// [`Recorder::disabled`] carries no allocation and makes every recording
+/// site a single `Option` branch, so uninstrumented runs stay on the
+/// existing hot path (pinned by the bit-identical-plan tests).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    stats: Option<Arc<Stats>>,
+}
+
+impl Recorder {
+    /// A live recorder with a fresh stats tree.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Recorder {
+            stats: Some(Arc::new(Stats::default())),
+        }
+    }
+
+    /// The no-op recorder: recording sites see `None` and skip.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { stats: None }
+    }
+
+    /// `true` when this handle records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// The stats tree, or `None` when disabled.
+    #[must_use]
+    pub fn stats(&self) -> Option<&Stats> {
+        self.stats.as_deref()
+    }
+
+    /// Serializes the stats tree, or `None` when disabled.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> Option<String> {
+        self.stats().map(Stats::to_json_pretty)
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "Recorder(enabled)"
+        } else {
+            "Recorder(disabled)"
+        })
+    }
+}
+
+/// Two recorders are equal when they are the same sink: both disabled, or
+/// both sharing one stats tree. (Lets configs carrying a recorder keep
+/// their derived `PartialEq`.)
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.stats, &other.stats) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Recorder {}
+
+/// Renders a histogram as a one-line JSON object; `sfx` is appended to the
+/// value-bearing keys (`"_ns"` for time histograms, `""` for counts).
+fn hist_json(s: &HistogramSnapshot, sfx: &str) -> String {
+    format!(
+        "{{\"count\": {}, \"sum{sfx}\": {}, \"p50{sfx}\": {}, \"p90{sfx}\": {}, \"p99{sfx}\": {}, \"max{sfx}\": {}}}",
+        s.count, s.sum, s.p50, s.p90, s.p99, s.max
+    )
+}
+
+/// Appends one `"name": { fields }` section to `out`.
+fn section(out: &mut String, name: &str, fields: &[(&str, String)], last: bool) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "  \"{name}\": {{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+    }
+    out.push_str(if last { "  }\n" } else { "  },\n" });
+}
+
+impl Stats {
+    /// Serializes the whole tree as one pretty-printed JSON document with
+    /// top-level `round` / `index` / `exec` / `store` / `attack` sections,
+    /// flat snake_case `_ns` keys — the same shape the committed bench
+    /// results use.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        section(
+            &mut out,
+            "round",
+            &[
+                ("rounds", self.round.rounds.get().to_string()),
+                ("scans", self.round.scans.get().to_string()),
+                (
+                    "candidates_probed",
+                    self.round.candidates_probed.get().to_string(),
+                ),
+                ("scan_ns", hist_json(&self.round.scan_ns.snapshot(), "_ns")),
+                (
+                    "commit_ns",
+                    hist_json(&self.round.commit_ns.snapshot(), "_ns"),
+                ),
+                (
+                    "scan_spans",
+                    hist_json(&self.round.scan_spans.snapshot(), ""),
+                ),
+                ("batch_commits", self.round.batch_commits.get().to_string()),
+                (
+                    "batch_conflicts",
+                    self.round.batch_conflicts.get().to_string(),
+                ),
+                (
+                    "sequential_fallbacks",
+                    self.round.sequential_fallbacks.get().to_string(),
+                ),
+            ],
+            false,
+        );
+        section(
+            &mut out,
+            "index",
+            &[
+                ("builds", self.index.builds.get().to_string()),
+                ("build_ns", self.index.build_ns.get().to_string()),
+                (
+                    "build_enumerate_ns",
+                    self.index.build_enumerate_ns.get().to_string(),
+                ),
+                (
+                    "build_merge_ns",
+                    self.index.build_merge_ns.get().to_string(),
+                ),
+                ("commits", self.index.commits.get().to_string()),
+                (
+                    "parallel_commits",
+                    self.index.parallel_commits.get().to_string(),
+                ),
+                (
+                    "instances_killed",
+                    hist_json(&self.index.instances_killed.snapshot(), ""),
+                ),
+                (
+                    "dirty_shards",
+                    hist_json(&self.index.dirty_shards.snapshot(), ""),
+                ),
+                ("compactions", self.index.compactions.get().to_string()),
+            ],
+            false,
+        );
+        section(
+            &mut out,
+            "exec",
+            &[
+                ("threads", self.exec.threads.get().to_string()),
+                ("dispatches", self.exec.dispatches.get().to_string()),
+                (
+                    "dispatch_ns",
+                    hist_json(&self.exec.dispatch_ns.snapshot(), "_ns"),
+                ),
+                ("items_claimed", self.exec.items_claimed.get().to_string()),
+                ("items_stolen", self.exec.items_stolen.get().to_string()),
+                (
+                    "claims_per_participant",
+                    hist_json(&self.exec.claims_per_participant.snapshot(), ""),
+                ),
+                (
+                    "idle_participants",
+                    self.exec.idle_participants.get().to_string(),
+                ),
+            ],
+            false,
+        );
+        section(
+            &mut out,
+            "store",
+            &[
+                ("loads", self.store.loads.get().to_string()),
+                ("parse_ns", self.store.parse_ns.get().to_string()),
+                ("fill_ns", self.store.fill_ns.get().to_string()),
+                ("checksum_ns", self.store.checksum_ns.get().to_string()),
+            ],
+            false,
+        );
+        section(
+            &mut out,
+            "attack",
+            &[
+                ("evaluations", self.attack.evaluations.get().to_string()),
+                ("pairs_scored", self.attack.pairs_scored.get().to_string()),
+                ("score_ns", self.attack.score_ns.get().to_string()),
+            ],
+            true,
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_no_op_handle() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert!(r.stats().is_none());
+        assert!(r.to_json_pretty().is_none());
+        assert_eq!(r, Recorder::disabled());
+        assert_eq!(r, Recorder::default());
+    }
+
+    #[test]
+    fn clones_share_one_stats_tree() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        r.stats().unwrap().round.rounds.inc();
+        r2.stats().unwrap().round.rounds.inc();
+        assert_eq!(r.stats().unwrap().round.rounds.get(), 2);
+        assert_eq!(r, r2);
+        assert_ne!(r, Recorder::enabled(), "distinct trees are not equal");
+        assert_ne!(r, Recorder::disabled());
+    }
+
+    #[test]
+    fn json_has_all_sections_and_balanced_braces() {
+        let r = Recorder::enabled();
+        let st = r.stats().unwrap();
+        st.round.scan_ns.record(1500);
+        st.exec.dispatches.inc();
+        st.store.parse_ns.add(42);
+        let json = r.to_json_pretty().unwrap();
+        for key in [
+            "\"round\":",
+            "\"index\":",
+            "\"exec\":",
+            "\"store\":",
+            "\"attack\":",
+            "\"scan_ns\":",
+            "\"p99_ns\":",
+            "\"items_stolen\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",\n  }"), "no trailing commas");
+        assert!(!json.contains(",\n    }"), "no trailing commas");
+    }
+}
