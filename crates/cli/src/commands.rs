@@ -52,7 +52,7 @@ USAGE:
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
   tpp utility  <original> <released> [--full] [--seed S]
   tpp store build   <edgelist> --out FILE.csr [--threads N]
-  tpp store info    <FILE.csr> [--shards N]
+  tpp store info    <FILE.csr> [--shards N] [--hubs K]
   tpp store convert <FILE.csr> --out edgelist.txt
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
@@ -69,7 +69,8 @@ BATCH:       --batch J commits up to J non-interacting picks per candidate
              rd/rdt have no candidate scan and reject --batch
 STATS:       --stats FILE (or - for stdout) writes one JSON document with
              per-round scan/commit timings, coverage-index commit stats,
-             executor dispatch/steal counters, and load phase times.
+             executor dispatch/steal counters, load phase times, and
+             intersection-kernel selection counts (merge/gallop/hub).
              Telemetry never changes the plan: runs with and without
              --stats are bit-identical"
 }
@@ -107,6 +108,31 @@ fn emit_stats(out: &StatsOut, recorder: &Recorder) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Turns process-wide kernel-selection counting on for a `--stats` run and
+/// returns the baseline tallies (so a long-lived process attributes only
+/// this run's selections). No-op `None` when the recorder is disabled —
+/// uninstrumented runs never pay the counting branch.
+fn start_kernel_counting(recorder: &Recorder) -> Option<tpp_graph::KernelCounts> {
+    recorder.is_enabled().then(|| {
+        tpp_graph::kernels::set_counting(true);
+        tpp_graph::kernels::counts()
+    })
+}
+
+/// Folds the kernel-selection deltas since `baseline` into the recorder's
+/// `kernels` section. Counting deliberately stays on afterwards: the CLI
+/// is a one-shot process, and flipping the process-wide switch off here
+/// would race concurrent `--stats` runs in one process (the test binary).
+fn fold_kernel_counts(recorder: &Recorder, baseline: Option<tpp_graph::KernelCounts>) {
+    if let (Some(base), Some(st)) = (baseline, recorder.stats()) {
+        let d = tpp_graph::kernels::counts().since(base);
+        st.kernels.merge.add(d.merge);
+        st.kernels.gallop.add(d.gallop);
+        st.kernels.hub_probe.add(d.hub_probe);
+        st.kernels.hub_and.add(d.hub_and);
+    }
 }
 
 /// Loads the edge list with its parse wall time reported into the
@@ -219,6 +245,7 @@ fn protect(p: &Parsed) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
+    let kernel_base = start_kernel_counting(&recorder);
     let g = load_graph_observed(p, &recorder)?;
     let motif = parse_motif(p)?;
     let budget: usize = p.require("budget")?.parse().map_err(|_| "bad --budget")?;
@@ -302,6 +329,7 @@ fn protect(p: &Parsed) -> Result<(), String> {
         println!("plan -> {plan_path}");
     }
     if let Some(out) = &stats_out {
+        fold_kernel_counts(&recorder, kernel_base);
         emit_stats(out, &recorder)?;
     }
     Ok(())
@@ -314,6 +342,7 @@ fn attack(p: &Parsed) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
+    let kernel_base = start_kernel_counting(&recorder);
     let g = load_graph_observed(p, &recorder)?;
     let targets = parse_targets(p, &g)?;
     // Attacked graph = as-released: hide any target edges still present.
@@ -350,6 +379,7 @@ fn attack(p: &Parsed) -> Result<(), String> {
         println!("verdict: residual evidence remains");
     }
     if let Some(out) = &stats_out {
+        fold_kernel_counts(&recorder, kernel_base);
         emit_stats(out, &recorder)?;
     }
     Ok(())
@@ -441,6 +471,23 @@ fn store(p: &Parsed) -> Result<(), String> {
             );
             println!("isolated-nodes: {isolated}");
             println!("checksum: verified");
+            let hubs: usize = p.num_or("hubs", 0usize)?;
+            if hubs > 0 {
+                let hb = csr.ensure_hub_bitsets(hubs);
+                println!(
+                    "hub-bitsets: {} rows ({} requested), min hub degree {}, \
+                     {} words/row, {} KiB",
+                    hb.hub_count(),
+                    hubs,
+                    if hb.hub_count() == 0 {
+                        0
+                    } else {
+                        hb.min_hub_degree()
+                    },
+                    hb.words_per_row(),
+                    hb.memory_bytes().div_ceil(1024),
+                );
+            }
             let shards: usize = p.num_or("shards", 0usize)?;
             if shards > 0 {
                 println!("shard plan ({shards} requested, degree-balanced):");
@@ -932,6 +979,7 @@ mod tests {
             "\"exec\"",
             "\"store\"",
             "\"attack\"",
+            "\"kernels\"",
         ] {
             assert!(stats.contains(key), "missing {key} in: {stats}");
         }
@@ -941,6 +989,10 @@ mod tests {
             "\"commit_ns\"",
             "\"commits\"",
             "\"loads\"",
+            "\"merge\"",
+            "\"gallop\"",
+            "\"hub_probe\"",
+            "\"hub_and\"",
         ] {
             assert!(stats.contains(field), "missing {field} in: {stats}");
         }
@@ -952,6 +1004,18 @@ mod tests {
         assert!(
             !rounds_line.contains(": 0"),
             "protect run recorded zero rounds: {rounds_line}"
+        );
+        // A protect run intersects neighbor lists constantly, so the
+        // kernel section must have tallied selections. (Counts are
+        // process-wide deltas; other concurrent tests can only add, so a
+        // zero total would mean the wiring is broken.)
+        let merge_line = stats
+            .lines()
+            .find(|l| l.contains("\"merge\""))
+            .expect("merge field present");
+        assert!(
+            !merge_line.contains(": 0,") && !merge_line.ends_with(": 0"),
+            "protect run tallied zero merge selections: {merge_line}"
         );
     }
 

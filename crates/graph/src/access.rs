@@ -21,12 +21,15 @@
 //! * `degree(u)` equals the iterator's length;
 //! * `edge_count()` equals `Σ degree(u) / 2`.
 //!
-//! The provided common-neighbor methods rely on the sortedness contract
-//! (they run a linear merge), which is what keeps motif counting at the
-//! paper's `O(d_u + d_v)` per pair.
+//! The provided common-neighbor methods rely on the sortedness contract:
+//! they route through the size-adaptive dispatcher in [`crate::kernels`]
+//! (merge / gallop / hub-bitset), which keeps motif counting at or below
+//! the paper's `O(d_u + d_v)` per pair while staying bit-identical to the
+//! plain merge.
 
 use crate::edge::{Edge, NodeId};
 use crate::graph::Graph;
+use crate::kernels;
 use crate::view::MaskedGraph;
 
 /// Read-only access to a simple undirected graph with sorted adjacency.
@@ -64,40 +67,45 @@ pub trait NeighborAccess {
         0..self.node_count() as NodeId
     }
 
+    /// The packed hub-bitset row of `u`, when the representation carries a
+    /// precomputed [`kernels::HubBitsets`] side structure **and** the row
+    /// is still valid for `u`'s current adjacency.
+    ///
+    /// Defaults to `None` (always safe). `tpp_store::CsrGraph` overrides
+    /// it once hub rows are built; `tpp_store::DeltaView` forwards clean
+    /// nodes to the base and withholds rows for dirty ones, so overlay
+    /// edits can never serve a stale row.
+    fn hub_bits(&self, u: NodeId) -> Option<&[u64]> {
+        let _ = u;
+        None
+    }
+
     /// Calls `f(w)` for each common neighbor `w` of `u` and `v`, ascending.
     ///
-    /// Default implementation: a slice-to-slice merge when both endpoints
-    /// expose [`NeighborAccess::neighbors_slice`] (the hot path for motif
-    /// counting), otherwise a linear merge of the two sorted neighbor
+    /// Default implementation: the size-adaptive kernel dispatcher
+    /// ([`kernels::intersect_with`]) when both endpoints expose
+    /// [`NeighborAccess::neighbors_slice`] (the hot path for motif
+    /// counting), otherwise the scalar merge of the two sorted neighbor
     /// streams. Overrides must preserve the ascending order.
-    fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, mut f: F) {
+    fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, f: F) {
         if let (Some(a), Some(b)) = (self.neighbors_slice(u), self.neighbors_slice(v)) {
-            merge_sorted_slices(a, b, f);
+            kernels::intersect_with(a, b, self.hub_bits(u), self.hub_bits(v), f);
             return;
         }
-        let mut a = self.neighbors_iter(u).peekable();
-        let mut b = self.neighbors_iter(v).peekable();
-        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
-            match x.cmp(&y) {
-                std::cmp::Ordering::Less => {
-                    a.next();
-                }
-                std::cmp::Ordering::Greater => {
-                    b.next();
-                }
-                std::cmp::Ordering::Equal => {
-                    f(x);
-                    a.next();
-                    b.next();
-                }
-            }
-        }
+        kernels::merge_iters(self.neighbors_iter(u), self.neighbors_iter(v), f);
     }
 
     /// Number of common neighbors of `u` and `v`.
+    ///
+    /// Default implementation: the count-only kernel dispatcher
+    /// ([`kernels::count_with`]) on the slice path — no materialization,
+    /// and the hub-AND case degenerates to a popcount sweep.
     fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        if let (Some(a), Some(b)) = (self.neighbors_slice(u), self.neighbors_slice(v)) {
+            return kernels::count_with(a, b, self.hub_bits(u), self.hub_bits(v));
+        }
         let mut n = 0;
-        self.for_each_common_neighbor(u, v, |_| n += 1);
+        kernels::merge_iters(self.neighbors_iter(u), self.neighbors_iter(v), |_| n += 1);
         n
     }
 
@@ -122,20 +130,12 @@ pub trait NeighborAccess {
     }
 }
 
-/// Slice-to-slice sorted merge backing the default
-/// [`NeighborAccess::for_each_common_neighbor`] fast path.
-pub fn merge_sorted_slices<F: FnMut(NodeId)>(mut a: &[NodeId], mut b: &[NodeId], mut f: F) {
-    while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
-        match x.cmp(&y) {
-            std::cmp::Ordering::Less => a = &a[1..],
-            std::cmp::Ordering::Greater => b = &b[1..],
-            std::cmp::Ordering::Equal => {
-                f(x);
-                a = &a[1..];
-                b = &b[1..];
-            }
-        }
-    }
+/// Slice-to-slice sorted merge — a thin alias for
+/// [`kernels::intersect_merge`], kept for API continuity. There is exactly
+/// one scalar merge in the workspace ([`kernels::merge_iters`]); this and
+/// the iterator fallback both route through it.
+pub fn merge_sorted_slices<F: FnMut(NodeId)>(a: &[NodeId], b: &[NodeId], f: F) {
+    kernels::intersect_merge(a, b, f);
 }
 
 impl NeighborAccess for Graph {
@@ -228,8 +228,16 @@ impl<G: NeighborAccess> NeighborAccess for &G {
         (**self).neighbors_slice(u)
     }
 
+    fn hub_bits(&self, u: NodeId) -> Option<&[u64]> {
+        (**self).hub_bits(u)
+    }
+
     fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, f: F) {
         (**self).for_each_common_neighbor(u, v, f);
+    }
+
+    fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        (**self).common_neighbor_count(u, v)
     }
 }
 

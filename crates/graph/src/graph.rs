@@ -236,18 +236,18 @@ impl Graph {
     }
 
     /// Calls `f(w)` for each common neighbor `w` of `u` and `v`
-    /// (ascending order), without allocating.
+    /// (ascending order), without allocating. Routes through the
+    /// size-adaptive kernel dispatcher (no hub rows on the mutable graph).
     #[inline]
     pub fn for_each_common_neighbor<F: FnMut(NodeId)>(&self, u: NodeId, v: NodeId, f: F) {
-        crate::access::merge_sorted_slices(&self.adj[u as usize], &self.adj[v as usize], f);
+        crate::kernels::intersect_with(&self.adj[u as usize], &self.adj[v as usize], None, None, f);
     }
 
-    /// Number of common neighbors of `u` and `v`.
+    /// Number of common neighbors of `u` and `v` (count-only kernel,
+    /// nothing materialized).
     #[must_use]
     pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
-        let mut n = 0;
-        self.for_each_common_neighbor(u, v, |_| n += 1);
-        n
+        crate::kernels::count_with(&self.adj[u as usize], &self.adj[v as usize], None, None)
     }
 
     /// Sum of all degrees (`= 2 * edge_count`).

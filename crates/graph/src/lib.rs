@@ -30,6 +30,7 @@ mod error;
 pub mod generators;
 mod graph;
 pub mod hash;
+pub mod kernels;
 pub mod traversal;
 mod view;
 
@@ -39,4 +40,5 @@ pub use edgelist::{parse_edge_list, read_edge_list_file, write_edge_list, write_
 pub use error::GraphError;
 pub use graph::Graph;
 pub use hash::{FastMap, FastSet};
+pub use kernels::{HubBitsets, KernelCounts};
 pub use view::MaskedGraph;

@@ -4,6 +4,9 @@
 use proptest::prelude::*;
 use tpp_graph::{generators, parse_edge_list, write_edge_list, Edge, Graph};
 
+/// A kernel under test: runs one intersection, feeding results to a sink.
+type KernelRun<'a> = &'a dyn Fn(&mut dyn FnMut(u32));
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -64,6 +67,62 @@ proptest! {
         let set_v: std::collections::BTreeSet<u32> = g.neighbors(v).iter().copied().collect();
         let naive: Vec<u32> = set_u.intersection(&set_v).copied().collect();
         prop_assert_eq!(fast, naive);
+    }
+
+    /// All three intersection kernels (merge, gallop, hub bitset) and both
+    /// dispatcher variants (emit + count) agree with the set-intersection
+    /// oracle on arbitrary sorted lists, including heavy degree skew.
+    #[test]
+    fn intersection_kernels_match_oracle(
+        seed in 0u64..5_000,
+        a_len in 0usize..40,
+        b_len in 0usize..300,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use tpp_graph::kernels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a_set = std::collections::BTreeSet::new();
+        for _ in 0..a_len {
+            a_set.insert(rng.gen_range(0u32..512));
+        }
+        let mut b_set = std::collections::BTreeSet::new();
+        for _ in 0..b_len {
+            b_set.insert(rng.gen_range(0u32..512));
+        }
+        let a: Vec<u32> = a_set.iter().copied().collect();
+        let b: Vec<u32> = b_set.iter().copied().collect();
+        let naive: Vec<u32> = a_set.intersection(&b_set).copied().collect();
+
+        let run = |f: KernelRun| {
+            let mut out = Vec::new();
+            f(&mut |w| out.push(w));
+            out
+        };
+        prop_assert_eq!(run(&|f| kernels::intersect_merge(&a, &b, f)), naive.clone());
+        prop_assert_eq!(run(&|f| kernels::intersect_gallop(&a, &b, f)), naive.clone());
+        prop_assert_eq!(run(&|f| kernels::intersect_gallop(&b, &a, f)), naive.clone());
+        prop_assert_eq!(run(&|f| kernels::merge_iters(a.iter().copied(), b.iter().copied(), f)), naive.clone());
+        // Hub rows over the 0..512 universe for either side.
+        let mut row_a = vec![0u64; 8];
+        for &x in &a {
+            row_a[(x >> 6) as usize] |= 1 << (x & 63);
+        }
+        let mut row_b = vec![0u64; 8];
+        for &x in &b {
+            row_b[(x >> 6) as usize] |= 1 << (x & 63);
+        }
+        for (ra, rb) in [
+            (None, None),
+            (Some(row_a.as_slice()), None),
+            (None, Some(row_b.as_slice())),
+            (Some(row_a.as_slice()), Some(row_b.as_slice())),
+        ] {
+            prop_assert_eq!(
+                run(&|f| kernels::intersect_with(&a, &b, ra, rb, f)),
+                naive.clone()
+            );
+            prop_assert_eq!(kernels::count_with(&a, &b, ra, rb), naive.len());
+        }
     }
 
     /// BFS distances satisfy the triangle inequality over edges:

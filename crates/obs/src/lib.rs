@@ -22,4 +22,6 @@ mod metrics;
 mod recorder;
 
 pub use metrics::{timed, Counter, Histogram, HistogramSnapshot, SpanTimer};
-pub use recorder::{AttackStats, ExecStats, IndexStats, Recorder, RoundStats, Stats, StoreStats};
+pub use recorder::{
+    AttackStats, ExecStats, IndexStats, KernelStats, Recorder, RoundStats, Stats, StoreStats,
+};

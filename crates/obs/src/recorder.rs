@@ -97,6 +97,21 @@ pub struct AttackStats {
     pub score_ns: Counter,
 }
 
+/// Intersection-kernel telemetry: how often each strategy of the
+/// size-adaptive dispatcher (`tpp_graph::kernels`) fired during the run.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Linear two-pointer merge selections (the fallback).
+    pub merge: Counter,
+    /// Galloping (exponential + binary search) selections.
+    pub gallop: Counter,
+    /// Hub-bitset probe selections (smaller list tested against the
+    /// larger endpoint's packed row).
+    pub hub_probe: Counter,
+    /// Hub-bitset AND-sweep selections (both endpoints own rows).
+    pub hub_and: Counter,
+}
+
 /// The full telemetry tree, one section per instrumented layer.
 ///
 /// Every field is atomic, so a single `Arc<Stats>` is shared freely across
@@ -113,6 +128,8 @@ pub struct Stats {
     pub store: StoreStats,
     /// Attack-evaluation section.
     pub attack: AttackStats,
+    /// Intersection-kernel section.
+    pub kernels: KernelStats,
 }
 
 /// The shared instrumentation handle threaded through every layer.
@@ -206,9 +223,9 @@ fn section(out: &mut String, name: &str, fields: &[(&str, String)], last: bool) 
 
 impl Stats {
     /// Serializes the whole tree as one pretty-printed JSON document with
-    /// top-level `round` / `index` / `exec` / `store` / `attack` sections,
-    /// flat snake_case `_ns` keys — the same shape the committed bench
-    /// results use.
+    /// top-level `round` / `index` / `exec` / `store` / `attack` /
+    /// `kernels` sections, flat snake_case `_ns` keys — the same shape the
+    /// committed bench results use.
     #[must_use]
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::from("{\n");
@@ -316,6 +333,17 @@ impl Stats {
                 ("pairs_scored", self.attack.pairs_scored.get().to_string()),
                 ("score_ns", self.attack.score_ns.get().to_string()),
             ],
+            false,
+        );
+        section(
+            &mut out,
+            "kernels",
+            &[
+                ("merge", self.kernels.merge.get().to_string()),
+                ("gallop", self.kernels.gallop.get().to_string()),
+                ("hub_probe", self.kernels.hub_probe.get().to_string()),
+                ("hub_and", self.kernels.hub_and.get().to_string()),
+            ],
             true,
         );
         out.push_str("}\n");
@@ -363,9 +391,11 @@ mod tests {
             "\"exec\":",
             "\"store\":",
             "\"attack\":",
+            "\"kernels\":",
             "\"scan_ns\":",
             "\"p99_ns\":",
             "\"items_stolen\":",
+            "\"hub_probe\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -7,8 +7,9 @@
 //! [`crate::DeltaView`] overlays, never in the snapshot itself.
 
 use crate::error::StoreError;
+use std::sync::OnceLock;
 use tpp_exec::Parallelism;
-use tpp_graph::{Edge, Graph, NeighborAccess, NodeId};
+use tpp_graph::{Edge, Graph, HubBitsets, NeighborAccess, NodeId};
 
 /// An immutable CSR snapshot of a simple undirected graph.
 ///
@@ -20,15 +21,42 @@ use tpp_graph::{Edge, Graph, NeighborAccess, NodeId};
 /// * each per-node slice `neighbors[offsets[u]..offsets[u+1]]` is strictly
 ///   ascending (sorted, duplicate-free, no self-loop);
 /// * adjacency is symmetric and `neighbors.len() == 2 * edge_count`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     /// `offsets[u]..offsets[u+1]` indexes `u`'s slice of `neighbors`.
     offsets: Vec<u64>,
     /// All adjacency lists, concatenated in node order, each sorted.
     neighbors: Vec<NodeId>,
+    /// Lazily built top-K hub bitset rows feeding the intersection-kernel
+    /// dispatcher (see [`tpp_graph::kernels`]). Derived data: never
+    /// serialized, ignored by equality, valid for the snapshot's lifetime
+    /// because the snapshot itself is immutable.
+    hubs: OnceLock<HubBitsets>,
 }
 
+/// Equality is structural over the CSR arrays only — the hub-bitset cache
+/// is derived data and must not affect snapshot identity (the
+/// parallel-build and format round-trip tests compare snapshots whose
+/// caches may differ in build state).
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.neighbors == other.neighbors
+    }
+}
+
+impl Eq for CsrGraph {}
+
 impl CsrGraph {
+    /// The one internal constructor: wraps the two CSR arrays with an
+    /// empty (not-yet-built) hub-bitset cache.
+    fn from_arrays(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Self {
+        CsrGraph {
+            offsets,
+            neighbors,
+            hubs: OnceLock::new(),
+        }
+    }
+
     /// Snapshot of an adjacency-list [`Graph`] (single-threaded copy).
     #[must_use]
     pub fn from_graph(g: &Graph) -> Self {
@@ -40,7 +68,7 @@ impl CsrGraph {
             neighbors.extend_from_slice(g.neighbors(u));
             offsets.push(neighbors.len() as u64);
         }
-        CsrGraph { offsets, neighbors }
+        CsrGraph::from_arrays(offsets, neighbors)
     }
 
     /// Snapshot of a [`Graph`] with the neighbor array filled by the
@@ -98,7 +126,7 @@ impl CsrGraph {
                 }
             });
         }
-        CsrGraph { offsets, neighbors }
+        CsrGraph::from_arrays(offsets, neighbors)
     }
 
     /// Builds a snapshot from an edge list over `n` nodes. Duplicate edges
@@ -159,10 +187,7 @@ impl CsrGraph {
             fixed_offsets.push(write as u64);
         }
         neighbors.truncate(write);
-        Ok(CsrGraph {
-            offsets: fixed_offsets,
-            neighbors,
-        })
+        Ok(CsrGraph::from_arrays(fixed_offsets, neighbors))
     }
 
     /// Reconstructs a CSR graph from raw parts (the on-disk format loader).
@@ -170,7 +195,7 @@ impl CsrGraph {
     /// # Errors
     /// Returns [`StoreError::Corrupt`] if the invariants do not hold.
     pub fn from_raw_parts(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Result<Self, StoreError> {
-        let g = CsrGraph { offsets, neighbors };
+        let g = CsrGraph::from_arrays(offsets, neighbors);
         g.validate()?;
         Ok(g)
     }
@@ -338,6 +363,24 @@ impl CsrGraph {
             panic!("CSR invariant violation: {e}");
         }
     }
+
+    /// Builds (once) and returns the packed hub-bitset rows for the
+    /// `top_k` highest-degree nodes, enabling the hub-probe / hub-AND
+    /// intersection kernels on this snapshot (see [`tpp_graph::kernels`]).
+    ///
+    /// Idempotent and thread-safe: the first caller's `top_k` wins; later
+    /// calls return the already-built structure unchanged. Memory cost is
+    /// `top_k · node_count / 8` bytes ([`HubBitsets::memory_bytes`]).
+    pub fn ensure_hub_bitsets(&self, top_k: usize) -> &HubBitsets {
+        self.hubs.get_or_init(|| HubBitsets::build(self, top_k))
+    }
+
+    /// The hub-bitset side structure, if [`Self::ensure_hub_bitsets`] has
+    /// run. `None` means every intersection falls back to merge/gallop.
+    #[must_use]
+    pub fn hub_bitsets(&self) -> Option<&HubBitsets> {
+        self.hubs.get()
+    }
 }
 
 /// The one boundary computation behind [`CsrGraph::shard_ranges`], the
@@ -385,8 +428,20 @@ impl NeighborAccess for CsrGraph {
     fn neighbors_slice(&self, u: NodeId) -> Option<&[NodeId]> {
         Some(self.neighbors(u))
     }
+
+    #[inline]
+    fn hub_bits(&self, u: NodeId) -> Option<&[u64]> {
+        let hb = self.hubs.get()?;
+        // Degree prefilter: most nodes sit far below the hub floor, so
+        // skip the binary search over the hub-id list entirely.
+        if CsrGraph::degree(self, u) < hb.min_hub_degree() {
+            return None;
+        }
+        hb.row(u)
+    }
     // No for_each_common_neighbor override: the trait default already runs
-    // the slice-to-slice merge whenever neighbors_slice returns Some.
+    // the kernel dispatcher whenever neighbors_slice returns Some, feeding
+    // it this snapshot's hub rows via hub_bits.
 }
 
 #[cfg(test)]
@@ -484,6 +539,36 @@ mod tests {
         let mut off = csr.offsets().to_vec();
         *off.last_mut().unwrap() -= 1;
         assert!(CsrGraph::from_raw_parts(off, csr.neighbor_array().to_vec()).is_err());
+    }
+
+    #[test]
+    fn hub_bitsets_build_once_and_agree_with_the_merge() {
+        let g = tpp_graph::generators::barabasi_albert(300, 5, 9);
+        let plain = CsrGraph::from_graph(&g);
+        let hubbed = CsrGraph::from_graph(&g);
+        let hb = hubbed.ensure_hub_bitsets(8);
+        assert!(hb.hub_count() > 0);
+        // First top_k wins; a second ensure is a no-op returning the same rows.
+        let again = hubbed.ensure_hub_bitsets(2) as *const _;
+        assert_eq!(again, hubbed.hub_bitsets().unwrap() as *const _);
+        // The cache never affects snapshot identity...
+        assert_eq!(plain, hubbed);
+        // ...or any read: every pair agrees between plain and hubbed paths.
+        for u in 0..300u32 {
+            for v in (u + 1)..300 {
+                assert_eq!(
+                    hubbed.common_neighbors_vec(u, v),
+                    plain.common_neighbors_vec(u, v),
+                    "({u},{v})"
+                );
+                assert_eq!(
+                    hubbed.common_neighbor_count(u, v),
+                    plain.common_neighbor_count(u, v)
+                );
+            }
+        }
+        // Clones carry the built cache along (OnceLock clones its value).
+        assert!(hubbed.clone().hub_bitsets().is_some());
     }
 
     #[test]

@@ -138,17 +138,89 @@ proptest! {
         assert_reads_agree(&view, &g);
     }
 
-    /// Common-neighbor merges agree across Graph, CsrGraph, and DeltaView
-    /// (the hot operation of every motif counter).
+    /// Common-neighbor merges agree across Graph, CsrGraph (with and
+    /// without hub bitsets), DeltaView, and MaskedGraph — the hot
+    /// operation of every motif counter — and the count-only kernels
+    /// agree with the materialized lists, all pinned against a naive
+    /// set-intersection oracle.
     #[test]
     fn common_neighbors_agree(g in graph_strategy(), u in 0u32..60, v in 0u32..60) {
         prop_assume!((u as usize) < g.node_count() && (v as usize) < g.node_count());
         prop_assume!(u != v);
         let csr = CsrGraph::from_graph(&g);
+        let hubbed = CsrGraph::from_graph(&g);
+        hubbed.ensure_hub_bitsets(8);
         let view = DeltaView::new(&csr);
-        let expected = g.common_neighbors(u, v);
+        let masked = tpp_graph::MaskedGraph::new(&g, []);
+        // Naive HashSet oracle: order-insensitive ground truth, re-sorted.
+        let nu: std::collections::HashSet<NodeId> = g.neighbors(u).iter().copied().collect();
+        let mut expected: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|w| nu.contains(w))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(g.common_neighbors(u, v), expected.clone());
         prop_assert_eq!(csr.common_neighbors_vec(u, v), expected.clone());
-        prop_assert_eq!(view.common_neighbors_vec(u, v), expected);
+        prop_assert_eq!(hubbed.common_neighbors_vec(u, v), expected.clone());
+        prop_assert_eq!(view.common_neighbors_vec(u, v), expected.clone());
+        prop_assert_eq!(masked.common_neighbors_vec(u, v), expected.clone());
+        for reader in [
+            csr.common_neighbor_count(u, v),
+            hubbed.common_neighbor_count(u, v),
+            view.common_neighbor_count(u, v),
+            masked.common_neighbor_count(u, v),
+        ] {
+            prop_assert_eq!(reader, expected.len());
+        }
+    }
+
+    /// Adversarial degree skew: graft a full-range hub onto a random
+    /// graph, build bitsets, and check hub×leaf / hub×hub intersections
+    /// (the gallop and bitset tiers) across representations — including a
+    /// DeltaView whose dirty hub must fall back off the stale row.
+    #[test]
+    fn skewed_intersections_agree(g in graph_strategy(), seed in 0u64..500) {
+        let mut g = g;
+        let n = g.node_count() as NodeId;
+        prop_assume!(n >= 4);
+        // Node 0 becomes a hub adjacent to everything; node 1 stays leafy.
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        let csr = CsrGraph::from_graph(&g);
+        csr.ensure_hub_bitsets(4);
+        let plain = CsrGraph::from_graph(&g);
+        for v in 1..n {
+            prop_assert_eq!(
+                csr.common_neighbors_vec(0, v),
+                plain.common_neighbors_vec(0, v),
+                "hub x {} with bitsets", v
+            );
+            prop_assert_eq!(
+                csr.common_neighbor_count(0, v),
+                plain.common_neighbor_count(0, v)
+            );
+        }
+        // Dirty the hub in an overlay: reads must still be exact.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = rng.gen_range(1..n);
+        let mut view = DeltaView::new(&csr);
+        view.delete_edge(Edge::new(0, w));
+        let mut oracle = g.clone();
+        oracle.remove_edge(0, w);
+        for v in 1..n {
+            prop_assert_eq!(
+                view.common_neighbors_vec(0, v),
+                oracle.common_neighbors(0, v),
+                "dirty hub x {}", v
+            );
+            prop_assert_eq!(
+                view.common_neighbor_count(0, v),
+                oracle.common_neighbor_count(0, v)
+            );
+        }
     }
 
     /// Shards partition the node space and the edge-ownership relation,
