@@ -16,7 +16,7 @@ pub struct Parsed {
 }
 
 /// Flags that never take a value.
-const BOOLEAN_FLAGS: [&str; 4] = ["quick", "verbose", "help", "full"];
+const BOOLEAN_FLAGS: [&str; 5] = ["quick", "verbose", "help", "full", "stream"];
 
 /// Parses raw arguments (without the program name).
 ///

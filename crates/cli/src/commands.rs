@@ -16,6 +16,7 @@ use tpp_linkpred::{evaluate_attack_on, sample_non_edges, Attacker, SimilarityInd
 use tpp_metrics::{compute_utility, utility_loss, UtilityConfig};
 use tpp_motif::Motif;
 use tpp_obs::Recorder;
+use tpp_store::VerifyMode;
 
 /// Runs a subcommand; returns an error message for the shell on failure.
 pub fn dispatch(p: &Parsed) -> Result<(), String> {
@@ -52,8 +53,9 @@ USAGE:
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
   tpp utility  <original> <released> [--full] [--seed S]
   tpp store build   <edgelist> --out FILE.csr [--threads N]
-  tpp store info    <FILE.csr> [--shards N] [--hubs K]
-  tpp store convert <FILE.csr> --out edgelist.txt
+                    [--stream [--chunk-mb M]] [--stats stats.json|-]
+  tpp store info    <FILE.csr> [--verify full|header|none] [--shards N] [--hubs K]
+  tpp store convert <FILE.csr> --out edgelist.txt [--verify full|header|none]
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
@@ -67,6 +69,15 @@ BATCH:       --batch J commits up to J non-interacting picks per candidate
              by the charged targets' remaining budgets. --batch 1
              (default) is the exact sequential greedy; J must be >= 1.
              rd/rdt have no candidate scan and reject --batch
+SNAPSHOTS:   protect/attack/kstar/stats accept a .csr snapshot anywhere an
+             edge list is expected (detected by file magic); snapshots are
+             memory-mapped zero-copy and re-verified at the --verify tier
+             (full = checksum + structure, the default; header = offset
+             sweep only; none = trust the payload)
+STREAM:      store build --stream builds the snapshot out-of-core: two
+             passes over the edge list with a bounded chunk buffer
+             (--chunk-mb, default 64), so graphs larger than RAM build
+             fine; the output is bit-identical to the in-memory build
 STATS:       --stats FILE (or - for stdout) writes one JSON document with
              per-round scan/commit timings, coverage-index commit stats,
              executor dispatch/steal counters, load phase times, and
@@ -135,11 +146,44 @@ fn fold_kernel_counts(recorder: &Recorder, baseline: Option<tpp_graph::KernelCou
     }
 }
 
-/// Loads the edge list with its parse wall time reported into the
-/// recorder's store section (a disabled recorder never reads the clock).
+/// Parses `--verify full|header|none` with a per-command default.
+fn parse_verify(p: &Parsed, default: &str) -> Result<VerifyMode, String> {
+    let name = p.get_or("verify", default);
+    VerifyMode::from_name(name)
+        .ok_or_else(|| format!("unknown --verify mode {name:?} (expected full, header, or none)"))
+}
+
+/// `true` when the file starts with the TPPCSR snapshot magic — the sniff
+/// that lets every graph-taking command accept `.csr` snapshots in place
+/// of text edge lists. Unreadable files answer `false` so the text path
+/// reports its usual error.
+fn is_snapshot(path: &str) -> bool {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .is_ok()
+        && magic == tpp_store::format::MAGIC
+}
+
+/// Loads the input graph — a binary snapshot (by magic sniff, zero-copy
+/// mapped at the `--verify` tier, default full) or a text edge list —
+/// with load wall time reported into the recorder's store section (a
+/// disabled recorder never reads the clock).
 fn load_graph_observed(p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
+    let path = p
+        .positional
+        .first()
+        .ok_or("expected an edge-list or snapshot file argument")?;
+    if is_snapshot(path) {
+        let verify = parse_verify(p, "full")?;
+        let (csr, _version) = tpp_store::format::load_mapped_observed(path, verify, recorder)
+            .map_err(|e| format!("loading snapshot {path}: {e}"))?;
+        return Ok(csr.to_graph());
+    }
     let t0 = recorder.is_enabled().then(std::time::Instant::now);
-    let g = load_graph(p)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
     if let (Some(t0), Some(st)) = (t0, recorder.stats()) {
         st.store.loads.inc();
         st.store.parse_ns.add_duration(t0.elapsed());
@@ -148,12 +192,7 @@ fn load_graph_observed(p: &Parsed, recorder: &Recorder) -> Result<Graph, String>
 }
 
 fn load_graph(p: &Parsed) -> Result<Graph, String> {
-    let path = p
-        .positional
-        .first()
-        .ok_or("expected an edge-list file argument")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_edge_list(&text).map_err(|e| e.to_string())
+    load_graph_observed(p, &Recorder::disabled())
 }
 
 fn parse_motif(p: &Parsed) -> Result<Motif, String> {
@@ -435,28 +474,76 @@ fn store(p: &Parsed) -> Result<(), String> {
             // Resolve every argument before the (potentially long) parse
             // and build, so arg errors are instant.
             let out = p.require("out")?;
-            let threads: usize = p.positive_or("threads", 1)?;
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
-            let exec = tpp_exec::Parallelism::new(threads);
-            let csr = tpp_store::CsrGraph::from_graph_parallel(&g, &exec);
-            tpp_store::format::save(&csr, out).map_err(|e| e.to_string())?;
-            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
-            println!(
-                "wrote {} ({} nodes, {} edges, {} bytes, format v{})",
-                out,
-                csr.node_count(),
-                csr.edge_count(),
-                bytes,
-                tpp_store::format::VERSION,
-            );
+            let stats_out = parse_stats_flag(p)?;
+            let recorder = if stats_out.is_some() {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            };
+            if p.has("stream") {
+                // Out-of-core build: two passes over the edge list, a
+                // bounded chunk buffer, payload spilled through disk.
+                let chunk_mb: usize = p.positive_or("chunk-mb", 64)?;
+                let cfg = tpp_store::StreamConfig {
+                    chunk_bytes: chunk_mb * 1024 * 1024,
+                };
+                let report = tpp_store::build_stream(path, out, &cfg, &recorder)
+                    .map_err(|e| e.to_string())?;
+                let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+                println!(
+                    "wrote {} ({} nodes, {} edges, {} bytes, format v{}, streamed)",
+                    out,
+                    report.nodes,
+                    report.edges,
+                    bytes,
+                    tpp_store::format::VERSION,
+                );
+                println!(
+                    "stream: {} chunk(s), peak chunk buffer {} KiB, \
+                     {} KiB spilled, {} duplicate edge(s) dropped",
+                    report.chunks,
+                    report.peak_chunk_bytes.div_ceil(1024),
+                    report.spill_bytes.div_ceil(1024),
+                    report.duplicates_dropped,
+                );
+            } else {
+                let threads: usize = p.positive_or("threads", 1)?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let g = parse_edge_list(&text).map_err(|e| e.to_string())?;
+                let exec = tpp_exec::Parallelism::new(threads);
+                let csr = tpp_store::CsrGraph::from_graph_parallel(&g, &exec);
+                tpp_store::format::save(&csr, out).map_err(|e| e.to_string())?;
+                let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+                println!(
+                    "wrote {} ({} nodes, {} edges, {} bytes, format v{})",
+                    out,
+                    csr.node_count(),
+                    csr.edge_count(),
+                    bytes,
+                    tpp_store::format::VERSION,
+                );
+            }
+            if let Some(out) = &stats_out {
+                emit_stats(out, &recorder)?;
+            }
             Ok(())
         }
         "info" => {
-            let (csr, version) =
-                tpp_store::format::load_with_version(path).map_err(|e| e.to_string())?;
+            // Header facts come from the header-only fast path; the graph
+            // itself is mapped zero-copy at the chosen tier (default
+            // header: the offset-table sweep, never the neighbor pages).
+            let header = tpp_store::format::read_header(path).map_err(|e| e.to_string())?;
+            let verify = parse_verify(p, "header")?;
+            let csr = tpp_store::format::load_mapped(path, verify).map_err(|e| e.to_string())?;
             println!("file:    {path}");
-            println!("format:  TPPCSR v{version}");
+            println!(
+                "format:  TPPCSR v{} (payload at byte {}, {}-byte aligned)",
+                header.version,
+                header.payload_offset(),
+                header.payload_alignment(),
+            );
+            println!("storage: {}", csr.storage_kind());
             println!("nodes:   {}", csr.node_count());
             println!("edges:   {}", csr.edge_count());
             let degrees: Vec<usize> = (0..csr.node_count() as u32)
@@ -470,7 +557,10 @@ fn store(p: &Parsed) -> Result<(), String> {
                 degrees.iter().sum::<usize>() as f64 / csr.node_count().max(1) as f64
             );
             println!("isolated-nodes: {isolated}");
-            println!("checksum: verified");
+            match verify {
+                VerifyMode::Full => println!("checksum: verified"),
+                other => println!("checksum: skipped (--verify {})", other.name()),
+            }
             let hubs: usize = p.num_or("hubs", 0usize)?;
             if hubs > 0 {
                 let hb = csr.ensure_hub_bitsets(hubs);
@@ -528,7 +618,8 @@ fn store(p: &Parsed) -> Result<(), String> {
         }
         "convert" => {
             let out = p.require("out")?;
-            let csr = tpp_store::format::load(path).map_err(|e| e.to_string())?;
+            let verify = parse_verify(p, "full")?;
+            let csr = tpp_store::format::load_mapped(path, verify).map_err(|e| e.to_string())?;
             let g = csr.to_graph();
             std::fs::write(out, write_edge_list(&g)).map_err(|e| e.to_string())?;
             println!(
@@ -1184,6 +1275,145 @@ mod tests {
         let original = parse_edge_list(&std::fs::read_to_string(&edges).unwrap()).unwrap();
         let converted = parse_edge_list(&std::fs::read_to_string(&back).unwrap()).unwrap();
         assert_eq!(original.edge_vec(), converted.edge_vec());
+    }
+
+    #[test]
+    fn store_stream_build_matches_eager_and_info_reads_header_only() {
+        let dir = tmpdir();
+        let edges = dir.join("stream-src.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "ba",
+                "--nodes",
+                "400",
+                "--out",
+                edges.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let eager = dir.join("eager.csr");
+        let streamed = dir.join("streamed.csr");
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "build",
+                edges.to_str().unwrap(),
+                "--out",
+                eager.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // --chunk-mb floors at 1 MiB via the CLI; the library tests cover
+        // the multi-chunk path with smaller buffers.
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "build",
+                edges.to_str().unwrap(),
+                "--out",
+                streamed.to_str().unwrap(),
+                "--stream",
+                "--chunk-mb",
+                "1",
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&eager).unwrap(),
+            std::fs::read(&streamed).unwrap(),
+            "streamed snapshot must be bit-identical to the eager build"
+        );
+        // info at every verify tier, on the streamed file.
+        for verify in ["full", "header", "none"] {
+            dispatch(
+                &parse(&strs(&[
+                    "store",
+                    "info",
+                    streamed.to_str().unwrap(),
+                    "--verify",
+                    verify,
+                ]))
+                .unwrap(),
+            )
+            .unwrap_or_else(|e| panic!("--verify {verify}: {e}"));
+        }
+        // Bad verify mode is rejected by name.
+        let err = dispatch(
+            &parse(&strs(&[
+                "store",
+                "info",
+                streamed.to_str().unwrap(),
+                "--verify",
+                "paranoid",
+            ]))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("paranoid"), "got: {err}");
+    }
+
+    #[test]
+    fn protect_accepts_a_snapshot_and_matches_the_edge_list_run() {
+        let dir = tmpdir();
+        let edges = dir.join("snap-src.txt");
+        let snapshot = dir.join("snap.csr");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "150",
+                "--out",
+                edges.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &parse(&strs(&[
+                "store",
+                "build",
+                edges.to_str().unwrap(),
+                "--out",
+                snapshot.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // Same protect run from the text edge list and the mapped
+        // snapshot: identical plan files.
+        let mut plans = Vec::new();
+        for (label, input, extra) in [
+            ("text", &edges, None),
+            ("snap", &snapshot, None),
+            ("snap-hdr", &snapshot, Some(["--verify", "header"])),
+        ] {
+            let plan_path = dir.join(format!("plan-{label}.json"));
+            let mut args = vec![
+                "protect",
+                input.to_str().unwrap(),
+                "--budget",
+                "5",
+                "--random",
+                "4",
+                "--plan",
+            ];
+            let plan_str = plan_path.to_str().unwrap().to_string();
+            args.push(&plan_str);
+            if let Some(pair) = &extra {
+                args.extend(pair.iter().copied());
+            }
+            dispatch(&parse(&strs(&args)).unwrap()).unwrap();
+            plans.push(std::fs::read_to_string(&plan_path).unwrap());
+        }
+        assert_eq!(plans[0], plans[1], "snapshot input changed the plan");
+        assert_eq!(plans[0], plans[2], "--verify header changed the plan");
     }
 
     #[test]

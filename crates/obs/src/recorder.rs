@@ -84,6 +84,14 @@ pub struct StoreStats {
     pub fill_ns: Counter,
     /// Checksum phase: payload FNV verification.
     pub checksum_ns: Counter,
+    /// Map phase: establishing the file mapping on zero-copy loads.
+    pub map_ns: Counter,
+    /// Validate phase: tiered payload verification on load.
+    pub validate_ns: Counter,
+    /// Streaming build pass 1: degree counting over the edge list.
+    pub pass1_ns: Counter,
+    /// Streaming build pass 2: chunk routing + CSR fill + assembly.
+    pub pass2_ns: Counter,
 }
 
 /// Attack-evaluation telemetry for the link-prediction adversary.
@@ -322,6 +330,10 @@ impl Stats {
                 ("parse_ns", self.store.parse_ns.get().to_string()),
                 ("fill_ns", self.store.fill_ns.get().to_string()),
                 ("checksum_ns", self.store.checksum_ns.get().to_string()),
+                ("map_ns", self.store.map_ns.get().to_string()),
+                ("validate_ns", self.store.validate_ns.get().to_string()),
+                ("pass1_ns", self.store.pass1_ns.get().to_string()),
+                ("pass2_ns", self.store.pass2_ns.get().to_string()),
             ],
             false,
         );

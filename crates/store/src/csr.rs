@@ -7,6 +7,7 @@
 //! [`crate::DeltaView`] overlays, never in the snapshot itself.
 
 use crate::error::StoreError;
+use crate::storage::CsrStorage;
 use std::sync::OnceLock;
 use tpp_exec::Parallelism;
 use tpp_graph::{Edge, Graph, HubBitsets, NeighborAccess, NodeId};
@@ -14,19 +15,23 @@ use tpp_graph::{Edge, Graph, HubBitsets, NeighborAccess, NodeId};
 /// An immutable CSR snapshot of a simple undirected graph.
 ///
 /// Invariants (checked by [`CsrGraph::check_invariants`], enforced on
-/// construction and on [`crate::format`] load):
+/// construction and on fully-verified [`crate::format`] loads):
 ///
 /// * `offsets.len() == node_count + 1`, `offsets[0] == 0`, monotone
 ///   non-decreasing, `offsets[n] == neighbors.len()`;
 /// * each per-node slice `neighbors[offsets[u]..offsets[u+1]]` is strictly
 ///   ascending (sorted, duplicate-free, no self-loop);
 /// * adjacency is symmetric and `neighbors.len() == 2 * edge_count`.
+///
+/// The arrays live either on the heap (every in-memory build) or as
+/// zero-copy windows into a memory-mapped snapshot file
+/// ([`crate::format::load_mapped`]) — the backing is invisible to every
+/// reader because all access goes through [`CsrGraph::offsets`] /
+/// [`CsrGraph::neighbor_array`] slices.
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
-    /// `offsets[u]..offsets[u+1]` indexes `u`'s slice of `neighbors`.
-    offsets: Vec<u64>,
-    /// All adjacency lists, concatenated in node order, each sorted.
-    neighbors: Vec<NodeId>,
+    /// The two CSR arrays, owned or mapped (see [`crate::storage`]).
+    storage: CsrStorage,
     /// Lazily built top-K hub bitset rows feeding the intersection-kernel
     /// dispatcher (see [`tpp_graph::kernels`]). Derived data: never
     /// serialized, ignored by equality, valid for the snapshot's lifetime
@@ -37,23 +42,49 @@ pub struct CsrGraph {
 /// Equality is structural over the CSR arrays only — the hub-bitset cache
 /// is derived data and must not affect snapshot identity (the
 /// parallel-build and format round-trip tests compare snapshots whose
-/// caches may differ in build state).
+/// caches may differ in build state), and a mapped snapshot equals the
+/// owned snapshot with the same arrays.
 impl PartialEq for CsrGraph {
     fn eq(&self, other: &Self) -> bool {
-        self.offsets == other.offsets && self.neighbors == other.neighbors
+        self.offsets() == other.offsets() && self.neighbor_array() == other.neighbor_array()
     }
 }
 
 impl Eq for CsrGraph {}
 
 impl CsrGraph {
-    /// The one internal constructor: wraps the two CSR arrays with an
+    /// The owned-arrays constructor: wraps the two CSR arrays with an
     /// empty (not-yet-built) hub-bitset cache.
     fn from_arrays(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Self {
+        CsrGraph::from_storage(CsrStorage::Owned { offsets, neighbors })
+    }
+
+    /// Wraps any storage backing **without validating** the structural
+    /// invariants — the format layer's tiered-verification loaders are the
+    /// only callers, and they decide per [`crate::format::VerifyMode`]
+    /// how much of the payload to vouch for.
+    pub(crate) fn from_storage(storage: CsrStorage) -> Self {
         CsrGraph {
-            offsets,
-            neighbors,
+            storage,
             hubs: OnceLock::new(),
+        }
+    }
+
+    /// `true` when the arrays are zero-copy windows into a mapped
+    /// snapshot file, `false` for heap-owned arrays.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.storage.is_mapped()
+    }
+
+    /// Human-readable backing name (`"mapped"` / `"owned"`), for status
+    /// output like `tpp store info`.
+    #[must_use]
+    pub fn storage_kind(&self) -> &'static str {
+        if self.is_mapped() {
+            "mapped"
+        } else {
+            "owned"
         }
     }
 
@@ -201,45 +232,49 @@ impl CsrGraph {
     }
 
     /// The offset table (length `node_count() + 1`).
+    #[inline]
     #[must_use]
     pub fn offsets(&self) -> &[u64] {
-        &self.offsets
+        self.storage.offsets()
     }
 
     /// The packed neighbor array (length `2 * edge_count()`).
+    #[inline]
     #[must_use]
     pub fn neighbor_array(&self) -> &[NodeId] {
-        &self.neighbors
+        self.storage.neighbors()
     }
 
     /// Number of nodes.
     #[inline]
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Number of undirected edges.
     #[inline]
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.neighbors.len() / 2
+        self.neighbor_array().len() / 2
     }
 
     /// Sorted neighbor slice of `u`.
     #[inline]
     #[must_use]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        let lo = self.offsets[u as usize] as usize;
-        let hi = self.offsets[u as usize + 1] as usize;
-        &self.neighbors[lo..hi]
+        let offsets = self.offsets();
+        let lo = offsets[u as usize] as usize;
+        let hi = offsets[u as usize + 1] as usize;
+        &self.neighbor_array()[lo..hi]
     }
 
     /// Degree of `u`.
     #[inline]
     #[must_use]
     pub fn degree(&self, u: NodeId) -> usize {
-        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+        let offsets = self.offsets();
+        (offsets[u as usize + 1] - offsets[u as usize]) as usize
     }
 
     /// Whether the undirected edge `(u, v)` exists (binary search from the
@@ -273,7 +308,7 @@ impl CsrGraph {
     /// Panics if `parts == 0`.
     #[must_use]
     pub fn shard_ranges(&self, parts: usize) -> Vec<std::ops::Range<NodeId>> {
-        balanced_node_ranges(&self.offsets, parts)
+        balanced_node_ranges(self.offsets(), parts)
             .into_iter()
             .map(|r| r.start as NodeId..r.end as NodeId)
             .collect()
@@ -307,30 +342,32 @@ impl CsrGraph {
         g
     }
 
-    fn validate(&self) -> Result<(), StoreError> {
+    pub(crate) fn validate(&self) -> Result<(), StoreError> {
         let corrupt = |why: String| Err(StoreError::Corrupt(why));
-        let Some(&first) = self.offsets.first() else {
+        let offsets = self.offsets();
+        let neighbors = self.neighbor_array();
+        let Some(&first) = offsets.first() else {
             return corrupt("empty offset table".into());
         };
         if first != 0 {
             return corrupt(format!("offsets[0] = {first}, want 0"));
         }
-        if *self.offsets.last().expect("nonempty") != self.neighbors.len() as u64 {
+        if *offsets.last().expect("nonempty") != neighbors.len() as u64 {
             return corrupt("offsets do not cover the neighbor array".into());
         }
-        if !self.neighbors.len().is_multiple_of(2) {
+        if !neighbors.len().is_multiple_of(2) {
             return corrupt("odd neighbor count in an undirected graph".into());
         }
         let n = self.node_count();
         for u in 0..n {
-            let (lo, hi) = (self.offsets[u], self.offsets[u + 1]);
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
             if lo > hi {
                 return corrupt(format!("offsets decrease at node {u}"));
             }
-            if hi > self.neighbors.len() as u64 {
+            if hi > neighbors.len() as u64 {
                 return corrupt(format!("offset {hi} of node {u} exceeds payload"));
             }
-            let slice = &self.neighbors[lo as usize..hi as usize];
+            let slice = &neighbors[lo as usize..hi as usize];
             if !slice.windows(2).all(|w| w[0] < w[1]) {
                 return corrupt(format!("neighbors of {u} not strictly sorted"));
             }

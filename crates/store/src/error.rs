@@ -26,6 +26,8 @@ pub enum StoreError {
     },
     /// Structural invariants of the decoded graph do not hold.
     Corrupt(String),
+    /// A streaming edge-list ingest rejected an input line.
+    Ingest(String),
     /// An input edge references a node outside `0..nodes` or is a self-loop.
     InvalidEdge {
         /// First endpoint.
@@ -53,6 +55,7 @@ impl fmt::Display for StoreError {
                 "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             StoreError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            StoreError::Ingest(why) => write!(f, "edge-list ingest failed: {why}"),
             StoreError::InvalidEdge { u, v, nodes } => {
                 write!(f, "invalid edge ({u}, {v}) for a {nodes}-node graph")
             }

@@ -64,10 +64,15 @@ mod csr;
 mod delta;
 mod error;
 pub mod format;
+pub mod mmap;
 mod shard;
+mod storage;
+pub mod stream;
 
 pub use csr::{balanced_prefix_ranges, CsrGraph};
 pub use delta::DeltaView;
 pub use error::StoreError;
+pub use format::VerifyMode;
 pub use shard::CsrShard;
+pub use stream::{build_stream, StreamConfig, StreamReport};
 pub use tpp_graph::NeighborAccess;

@@ -1,0 +1,203 @@
+//! Read-only memory-mapped file regions, dependency-free.
+//!
+//! The build environment has no crates.io, so this module carries its own
+//! minimal `mmap`/`munmap` FFI surface instead of the `memmap2` crate: two
+//! `extern "C"` declarations against the platform libc that `std` already
+//! links, wrapped in one safe RAII type. Linux-only by design (gated on
+//! `target_os = "linux"`); on other platforms [`MmapRegion::map_file`]
+//! reports [`std::io::ErrorKind::Unsupported`] and callers fall back to the
+//! owned read path.
+//!
+//! Safety model: the mapping is `PROT_READ` + `MAP_PRIVATE`, so the kernel
+//! serves the pages straight from the page cache and writes through the
+//! region are impossible. The one hazard a private read-only file mapping
+//! cannot rule out is an *external* truncation of the underlying file while
+//! mapped (touching a page past the new EOF raises `SIGBUS`); snapshot
+//! files are written once and never shortened, and the format layer
+//! additionally cross-checks the file length against the header before any
+//! payload access.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    // The subset of <sys/mman.h> this module needs, declared against the
+    // libc that std already links. Constants are the x86-64/aarch64 Linux
+    // values (they are identical on every Linux ABI Rust targets here).
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// A read-only memory mapping of an entire file, unmapped on drop.
+///
+/// Zero-length files are represented without a kernel mapping (POSIX
+/// `mmap` rejects `length == 0`), so [`MmapRegion::bytes`] is total.
+#[derive(Debug)]
+pub struct MmapRegion {
+    /// Base address of the mapping; null iff `len == 0`.
+    ptr: *mut u8,
+    /// Mapped length in bytes.
+    len: usize,
+}
+
+// SAFETY: the region is immutable for its whole lifetime (PROT_READ,
+// private mapping, no API hands out `&mut`), so shared references from any
+// thread are sound; the raw pointer is only freed once, in Drop.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Errors
+    /// Returns the OS error from `mmap`, or
+    /// [`std::io::ErrorKind::Unsupported`] on non-Linux targets.
+    #[cfg(target_os = "linux")]
+    pub fn map_file(file: &File) -> io::Result<MmapRegion> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(MmapRegion {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is a valid open file descriptor for `file`; length is
+        // its exact current size; PROT_READ|MAP_PRIVATE never aliases
+        // writable memory. The returned region is owned by the RAII value.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapRegion {
+            ptr: ptr.cast::<u8>(),
+            len,
+        })
+    }
+
+    /// Non-Linux stub: always [`std::io::ErrorKind::Unsupported`].
+    ///
+    /// # Errors
+    /// Always.
+    #[cfg(not(target_os = "linux"))]
+    pub fn map_file(_file: &File) -> io::Result<MmapRegion> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory-mapped snapshots are only supported on Linux",
+        ))
+    }
+
+    /// The mapped bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by self;
+        // no mutable access exists anywhere.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mapped length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-length file.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if self.len != 0 {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once. munmap failure is unrecoverable and ignored.
+            unsafe {
+                let _ = sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("tpp-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = tmp("basic", b"hello mapped world");
+        let region = MmapRegion::map_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(region.bytes(), b"hello mapped world");
+        assert_eq!(region.len(), 18);
+        assert!(!region.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let region = MmapRegion::map_file(&File::open(&path).unwrap()).unwrap();
+        assert!(region.is_empty());
+        assert_eq!(region.bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn region_outlives_the_file_handle_and_is_shareable() {
+        let path = tmp("shared", &[7u8; 9000]); // spans multiple pages
+        let region = {
+            let f = File::open(&path).unwrap();
+            MmapRegion::map_file(&f).unwrap()
+            // file handle dropped here; the mapping must stay valid
+        };
+        std::fs::remove_file(&path).ok(); // even unlinked: pages are held
+        let region = std::sync::Arc::new(region);
+        let r2 = std::sync::Arc::clone(&region);
+        let t = std::thread::spawn(move || r2.bytes().iter().map(|&b| u64::from(b)).sum::<u64>());
+        assert_eq!(t.join().unwrap(), 7 * 9000);
+        assert_eq!(region.bytes()[8999], 7);
+    }
+}

@@ -1,0 +1,144 @@
+//! The storage backing of a [`crate::CsrGraph`]: owned heap arrays or a
+//! zero-copy view into a memory-mapped snapshot file.
+//!
+//! Every consumer of a snapshot reads through `offsets()` / `neighbors()`
+//! slices, so the backing is invisible above this module: `DeltaView`,
+//! shards, hub bitsets, the motif index, and the round engine all run
+//! unchanged over either variant. The mapped variant pins its
+//! [`MmapRegion`] alive through an `Arc`, so clones of a mapped snapshot
+//! share one mapping and the pages are served by the page cache.
+
+use crate::mmap::MmapRegion;
+use std::sync::Arc;
+use tpp_graph::NodeId;
+
+/// The two ways a CSR snapshot's arrays can be held.
+#[derive(Debug, Clone)]
+pub(crate) enum CsrStorage {
+    /// Heap-allocated arrays (every in-memory build and the v1 read path).
+    Owned {
+        /// The offset table, length `node_count + 1`.
+        offsets: Vec<u64>,
+        /// The packed neighbor array, length `2 * edge_count`.
+        neighbors: Vec<NodeId>,
+    },
+    /// Slices into a shared read-only file mapping (the v2 zero-copy path).
+    Mapped(MappedCsr),
+}
+
+/// A validated window pair into a mapped snapshot file.
+///
+/// Construction via [`MappedCsr::new`] checks bounds and alignment once;
+/// after that the accessors are branch-free pointer casts. The region is
+/// immutable and lives at least as long as this value (owned `Arc`), so
+/// handing out `&[u64]` / `&[NodeId]` tied to `&self` is sound.
+#[derive(Debug, Clone)]
+pub(crate) struct MappedCsr {
+    region: Arc<MmapRegion>,
+    /// Byte offset of the offset table inside the region.
+    offsets_at: usize,
+    /// Offset-table length in elements.
+    offsets_len: usize,
+    /// Byte offset of the neighbor array inside the region.
+    neighbors_at: usize,
+    /// Neighbor-array length in elements.
+    neighbors_len: usize,
+}
+
+impl MappedCsr {
+    /// Wraps `region` with the two payload windows, verifying bounds and
+    /// element alignment. Returns a description of the violation on
+    /// failure (the format layer turns it into `StoreError::Corrupt`).
+    pub(crate) fn new(
+        region: Arc<MmapRegion>,
+        offsets_at: usize,
+        offsets_len: usize,
+        neighbors_at: usize,
+        neighbors_len: usize,
+    ) -> Result<MappedCsr, String> {
+        let offsets_bytes = offsets_len
+            .checked_mul(8)
+            .ok_or("offset table size overflows")?;
+        let neighbors_bytes = neighbors_len
+            .checked_mul(4)
+            .ok_or("neighbor array size overflows")?;
+        let offsets_end = offsets_at
+            .checked_add(offsets_bytes)
+            .ok_or("offset window overflows")?;
+        let neighbors_end = neighbors_at
+            .checked_add(neighbors_bytes)
+            .ok_or("neighbor window overflows")?;
+        if offsets_end > region.len() || neighbors_end > region.len() {
+            return Err(format!(
+                "payload windows exceed the {}-byte mapping",
+                region.len()
+            ));
+        }
+        let base = region.bytes().as_ptr() as usize;
+        if !(base + offsets_at).is_multiple_of(std::mem::align_of::<u64>()) {
+            return Err(format!("offset table at byte {offsets_at} is unaligned"));
+        }
+        if !(base + neighbors_at).is_multiple_of(std::mem::align_of::<NodeId>()) {
+            return Err(format!(
+                "neighbor array at byte {neighbors_at} is unaligned"
+            ));
+        }
+        Ok(MappedCsr {
+            region,
+            offsets_at,
+            offsets_len,
+            neighbors_at,
+            neighbors_len,
+        })
+    }
+
+    /// The offset table, served from the mapping.
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[u64] {
+        // SAFETY: bounds and alignment were checked in `new`; the region
+        // is read-only and outlives `self` via the owned Arc.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.region.bytes().as_ptr().add(self.offsets_at).cast(),
+                self.offsets_len,
+            )
+        }
+    }
+
+    /// The neighbor array, served from the mapping.
+    #[inline]
+    pub(crate) fn neighbors(&self) -> &[NodeId] {
+        // SAFETY: as in `offsets`.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.region.bytes().as_ptr().add(self.neighbors_at).cast(),
+                self.neighbors_len,
+            )
+        }
+    }
+}
+
+impl CsrStorage {
+    /// The offset table, regardless of backing.
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[u64] {
+        match self {
+            CsrStorage::Owned { offsets, .. } => offsets,
+            CsrStorage::Mapped(m) => m.offsets(),
+        }
+    }
+
+    /// The neighbor array, regardless of backing.
+    #[inline]
+    pub(crate) fn neighbors(&self) -> &[NodeId] {
+        match self {
+            CsrStorage::Owned { neighbors, .. } => neighbors,
+            CsrStorage::Mapped(m) => m.neighbors(),
+        }
+    }
+
+    /// `true` for the mapped variant.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, CsrStorage::Mapped(_))
+    }
+}

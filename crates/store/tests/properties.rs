@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tpp_graph::{generators, Edge, Graph, NeighborAccess, NodeId};
 use tpp_motif::{count_target_subgraphs, Motif};
-use tpp_store::{format, CsrGraph, DeltaView};
+use tpp_store::{format, CsrGraph, DeltaView, StoreError, VerifyMode};
 
 /// Strategy: a random simple graph (alternating ER and BA families).
 fn graph_strategy() -> impl Strategy<Value = Graph> {
@@ -71,6 +71,44 @@ proptest! {
         format::write_snapshot(&csr, &mut bytes).unwrap();
         let back = format::read_snapshot(&mut bytes.as_slice()).unwrap();
         prop_assert_eq!(csr, back);
+    }
+
+    /// Every load path yields the same snapshot: mapped at all three
+    /// verify tiers, the owned streaming decode, and a legacy v1 file —
+    /// and all of them agree with the in-memory build on every read.
+    #[test]
+    fn mapped_owned_and_v1_loads_agree(g in graph_strategy()) {
+        let csr = CsrGraph::from_graph(&g);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let v2_path = dir.join(format!("tpp-prop-v2-{pid}.csr"));
+        let v1_path = dir.join(format!("tpp-prop-v1-{pid}.csr"));
+        format::save(&csr, &v2_path).unwrap();
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&v1_path).unwrap());
+            format::write_snapshot_v1(&csr, &mut w).unwrap();
+        }
+
+        let owned = format::load(&v2_path).unwrap();
+        prop_assert!(!owned.is_mapped());
+        prop_assert_eq!(&owned, &csr);
+        for verify in [VerifyMode::Full, VerifyMode::Header, VerifyMode::None] {
+            let mapped = format::load_mapped(&v2_path, verify).unwrap();
+            prop_assert!(mapped.is_mapped());
+            prop_assert_eq!(&mapped, &csr);
+            assert_reads_agree(&mapped, &g);
+            // Overlays and shards run over the mapped backing unchanged.
+            let view = DeltaView::new(&mapped);
+            assert_reads_agree(&view, &g);
+            let v1 = format::load_mapped(&v1_path, verify).unwrap();
+            prop_assert!(!v1.is_mapped(), "v1 falls back to owned");
+            prop_assert_eq!(&v1, &csr);
+        }
+        let (v1_owned, version) = format::load_with_version(&v1_path).unwrap();
+        prop_assert_eq!(version, 1);
+        prop_assert_eq!(&v1_owned, &csr);
+        std::fs::remove_file(&v2_path).ok();
+        std::fs::remove_file(&v1_path).ok();
     }
 
     /// A DeltaView over a snapshot, driven by a random deletion/addition
@@ -262,6 +300,48 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn corrupted_snapshots_fail_by_tier_contract() {
+    // Integration-level pin of the tiered-verification contract through
+    // the public API: what each tier must catch, and what it may skip.
+    let g = generators::holme_kim(120, 3, 0.3, 7);
+    let csr = CsrGraph::from_graph(&g);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tpp-prop-corrupt-{}.csr", std::process::id()));
+    format::save(&csr, &path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    let every_tier = [VerifyMode::Full, VerifyMode::Header, VerifyMode::None];
+
+    // Truncation: caught eagerly by the file-length cross-check.
+    std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+    for verify in every_tier {
+        assert!(format::load_mapped(&path, verify).is_err(), "{verify:?}");
+    }
+    assert!(format::read_header(&path).is_err());
+
+    // Nonzero header padding: caught eagerly everywhere.
+    let mut bad = good.clone();
+    bad[50] = 1; // inside the 40..64 reserved pad
+    std::fs::write(&path, &bad).unwrap();
+    for verify in every_tier {
+        assert!(format::load_mapped(&path, verify).is_err(), "{verify:?}");
+    }
+
+    // Stored-checksum flip with an intact payload: only Full may object.
+    let mut bad = good.clone();
+    bad[32] ^= 0x80;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        format::load_mapped(&path, VerifyMode::Full),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+    for verify in [VerifyMode::Header, VerifyMode::None] {
+        assert_eq!(format::load_mapped(&path, verify).unwrap(), csr);
+    }
+
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
