@@ -28,6 +28,10 @@ pub fn dispatch(p: &Parsed) -> Result<(), String> {
         "kstar" => kstar(p),
         "utility" => utility(p),
         "store" => store(p),
+        #[cfg(unix)]
+        "serve" => crate::serve::serve_command(p),
+        #[cfg(not(unix))]
+        "serve" => Err("tpp serve requires a platform with unix sockets".into()),
         "" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -56,6 +60,8 @@ USAGE:
                     [--stream [--chunk-mb M]] [--stats stats.json|-]
   tpp store info    <FILE.csr> [--verify full|header|none] [--shards N] [--hubs K]
   tpp store convert <FILE.csr> --out edgelist.txt [--verify full|header|none]
+  tpp serve  --socket FILE.sock [--threads T]
+  tpp client <FILE.sock> <protect|attack|info|ping|shutdown> [args...]
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
@@ -83,18 +89,26 @@ STATS:       --stats FILE (or - for stdout) writes one JSON document with
              executor dispatch/steal counters, load phase times, and
              intersection-kernel selection counts (merge/gallop/hub).
              Telemetry never changes the plan: runs with and without
-             --stats are bit-identical"
+             --stats are bit-identical
+SERVE:       tpp serve answers protect/attack/info requests over a unix
+             socket without restarting: loaded graphs and built coverage
+             indexes are cached across requests, one worker pool serves
+             every request, and served plans are byte-identical to the
+             one-shot CLI. tpp client sends one request (same arguments
+             as the one-shot command) and prints the reply; --stats - on
+             a served request appends the JSON (with a serve
+             cache-hit section) to the reply"
 }
 
 /// Where `--stats` telemetry goes: `-` for stdout, anything else a file.
-enum StatsOut {
+pub(crate) enum StatsOut {
     Stdout,
     File(String),
 }
 
 /// Parses `--stats <path|->`. A file destination is opened immediately so
 /// an unwritable path fails before the (potentially long) run, not after.
-fn parse_stats_flag(p: &Parsed) -> Result<Option<StatsOut>, String> {
+pub(crate) fn parse_stats_flag(p: &Parsed) -> Result<Option<StatsOut>, String> {
     match p.flags.get("stats") {
         None => Ok(None),
         Some(s) if s == "-" => Ok(Some(StatsOut::Stdout)),
@@ -106,18 +120,27 @@ fn parse_stats_flag(p: &Parsed) -> Result<Option<StatsOut>, String> {
     }
 }
 
-/// Serializes the recorder to its destination.
-fn emit_stats(out: &StatsOut, recorder: &Recorder) -> Result<(), String> {
+/// Serializes the recorder to its destination and returns the lines the
+/// run's report should carry: the JSON itself for stdout, a one-line
+/// pointer after the file write otherwise. (Text-returning so a served
+/// request ships the same bytes over the socket that the one-shot CLI
+/// prints.)
+pub(crate) fn stats_text(out: &StatsOut, recorder: &Recorder) -> Result<String, String> {
     let json = recorder
         .to_json_pretty()
         .ok_or("--stats requires an enabled recorder (internal error)")?;
     match out {
-        StatsOut::Stdout => println!("{json}"),
+        StatsOut::Stdout => Ok(format!("{json}\n")),
         StatsOut::File(path) => {
             std::fs::write(path, json).map_err(|e| format!("writing --stats file {path}: {e}"))?;
-            println!("stats -> {path}");
+            Ok(format!("stats -> {path}\n"))
         }
     }
+}
+
+/// Serializes the recorder to its destination, reporting on stdout.
+fn emit_stats(out: &StatsOut, recorder: &Recorder) -> Result<(), String> {
+    print!("{}", stats_text(out, recorder)?);
     Ok(())
 }
 
@@ -125,7 +148,7 @@ fn emit_stats(out: &StatsOut, recorder: &Recorder) -> Result<(), String> {
 /// returns the baseline tallies (so a long-lived process attributes only
 /// this run's selections). No-op `None` when the recorder is disabled —
 /// uninstrumented runs never pay the counting branch.
-fn start_kernel_counting(recorder: &Recorder) -> Option<tpp_graph::KernelCounts> {
+pub(crate) fn start_kernel_counting(recorder: &Recorder) -> Option<tpp_graph::KernelCounts> {
     recorder.is_enabled().then(|| {
         tpp_graph::kernels::set_counting(true);
         tpp_graph::kernels::counts()
@@ -136,7 +159,7 @@ fn start_kernel_counting(recorder: &Recorder) -> Option<tpp_graph::KernelCounts>
 /// `kernels` section. Counting deliberately stays on afterwards: the CLI
 /// is a one-shot process, and flipping the process-wide switch off here
 /// would race concurrent `--stats` runs in one process (the test binary).
-fn fold_kernel_counts(recorder: &Recorder, baseline: Option<tpp_graph::KernelCounts>) {
+pub(crate) fn fold_kernel_counts(recorder: &Recorder, baseline: Option<tpp_graph::KernelCounts>) {
     if let (Some(base), Some(st)) = (baseline, recorder.stats()) {
         let d = tpp_graph::kernels::counts().since(base);
         st.kernels.merge.add(d.merge);
@@ -157,7 +180,7 @@ fn parse_verify(p: &Parsed, default: &str) -> Result<VerifyMode, String> {
 /// that lets every graph-taking command accept `.csr` snapshots in place
 /// of text edge lists. Unreadable files answer `false` so the text path
 /// reports its usual error.
-fn is_snapshot(path: &str) -> bool {
+pub(crate) fn is_snapshot(path: &str) -> bool {
     use std::io::Read;
     let mut magic = [0u8; 8];
     std::fs::File::open(path)
@@ -170,7 +193,7 @@ fn is_snapshot(path: &str) -> bool {
 /// mapped at the `--verify` tier, default full) or a text edge list —
 /// with load wall time reported into the recorder's store section (a
 /// disabled recorder never reads the clock).
-fn load_graph_observed(p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
+pub(crate) fn load_graph_observed(p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
     let path = p
         .positional
         .first()
@@ -195,12 +218,12 @@ fn load_graph(p: &Parsed) -> Result<Graph, String> {
     load_graph_observed(p, &Recorder::disabled())
 }
 
-fn parse_motif(p: &Parsed) -> Result<Motif, String> {
+pub(crate) fn parse_motif(p: &Parsed) -> Result<Motif, String> {
     let name = p.get_or("motif", "triangle");
     Motif::from_name(name).ok_or_else(|| format!("unknown motif {name:?}"))
 }
 
-fn parse_targets(p: &Parsed, g: &Graph) -> Result<Vec<Edge>, String> {
+pub(crate) fn parse_targets(p: &Parsed, g: &Graph) -> Result<Vec<Edge>, String> {
     if let Some(spec) = p.flags.get("targets") {
         let mut out = Vec::new();
         for token in spec.split(',') {
@@ -277,6 +300,17 @@ struct PlanFile<'a> {
     utility_loss_percent: f64,
 }
 
+/// Warm-start inputs a resident server passes into a run; the one-shot
+/// commands use the default (everything cold, private pool).
+#[derive(Clone, Default)]
+pub(crate) struct RunSeeds {
+    /// Pre-built coverage index from the server's registry (only consulted
+    /// when its motif and targets match the run).
+    pub index: Option<std::sync::Arc<tpp_motif::PartitionedCoverageIndex>>,
+    /// The server's shared executor pool.
+    pub pool: Option<tpp_exec::Parallelism>,
+}
+
 fn protect(p: &Parsed) -> Result<(), String> {
     let stats_out = parse_stats_flag(p)?;
     let recorder = if stats_out.is_some() {
@@ -286,6 +320,34 @@ fn protect(p: &Parsed) -> Result<(), String> {
     };
     let kernel_base = start_kernel_counting(&recorder);
     let g = load_graph_observed(p, &recorder)?;
+    let report = run_protect(
+        p,
+        g,
+        &recorder,
+        kernel_base,
+        stats_out.as_ref(),
+        &RunSeeds::default(),
+    )?;
+    print!("{report}");
+    Ok(())
+}
+
+/// The full protect pipeline after the graph is in hand, returning the
+/// report text instead of printing it — shared verbatim by the one-shot
+/// `protect` command and `tpp serve`, which is what keeps served plans
+/// byte-identical to one-shot plans. File side effects (`--out`, `--plan`,
+/// `--stats FILE`) happen here either way; `--stats -` appends the JSON to
+/// the report.
+pub(crate) fn run_protect(
+    p: &Parsed,
+    g: Graph,
+    recorder: &Recorder,
+    kernel_base: Option<tpp_graph::KernelCounts>,
+    stats_out: Option<&StatsOut>,
+    seeds: &RunSeeds,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let motif = parse_motif(p)?;
     let budget: usize = p.require("budget")?.parse().map_err(|_| "bad --budget")?;
     let seed: u64 = p.num_or("seed", 2020u64)?;
@@ -308,9 +370,15 @@ fn protect(p: &Parsed) -> Result<(), String> {
              {algorithm:?} has no candidate scan to batch"
         ));
     }
-    let cfg = GreedyConfig::scalable(motif)
+    let mut cfg = GreedyConfig::scalable(motif)
         .with_threads(threads)
         .with_obs(recorder.clone());
+    if let Some(index) = &seeds.index {
+        cfg = cfg.with_index_seed(std::sync::Arc::clone(index));
+    }
+    if let Some(pool) = &seeds.pool {
+        cfg = cfg.with_shared_pool(pool.clone());
+    }
     let plan = match algorithm {
         "sgb" if batch > 1 => sgb_greedy_batch(&instance, budget, batch, &cfg),
         "sgb" => sgb_greedy(&instance, budget, &cfg),
@@ -334,7 +402,8 @@ fn protect(p: &Parsed) -> Result<(), String> {
         other => return Err(format!("unknown algorithm {other:?}")),
     };
 
-    println!(
+    let _ = writeln!(
+        out,
         "{}: similarity {} -> {} with {} protector deletions (+{} targets removed)",
         plan.algorithm,
         plan.initial_similarity,
@@ -343,16 +412,19 @@ fn protect(p: &Parsed) -> Result<(), String> {
         instance.target_count()
     );
     if plan.is_full_protection() {
-        println!("all targets fully protected against the {motif} pattern");
+        let _ = writeln!(
+            out,
+            "all targets fully protected against the {motif} pattern"
+        );
     }
 
     let released = instance.apply_protectors(&plan.protectors);
     let loss = utility_loss(&original, &released, &UtilityConfig::large_graph(seed));
-    println!("utility loss (clust, cn): {}", loss.average_percent());
+    let _ = writeln!(out, "utility loss (clust, cn): {}", loss.average_percent());
 
-    if let Some(out) = p.flags.get("out") {
-        std::fs::write(out, write_edge_list(&released)).map_err(|e| e.to_string())?;
-        println!("released graph -> {out}");
+    if let Some(path) = p.flags.get("out") {
+        std::fs::write(path, write_edge_list(&released)).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "released graph -> {path}");
     }
     if let Some(plan_path) = p.flags.get("plan") {
         let file = PlanFile {
@@ -365,13 +437,13 @@ fn protect(p: &Parsed) -> Result<(), String> {
         };
         let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
         std::fs::write(plan_path, json).map_err(|e| e.to_string())?;
-        println!("plan -> {plan_path}");
+        let _ = writeln!(out, "plan -> {plan_path}");
     }
-    if let Some(out) = &stats_out {
-        fold_kernel_counts(&recorder, kernel_base);
-        emit_stats(out, &recorder)?;
+    if let Some(dest) = stats_out {
+        fold_kernel_counts(recorder, kernel_base);
+        out.push_str(&stats_text(dest, recorder)?);
     }
-    Ok(())
+    Ok(out)
 }
 
 fn attack(p: &Parsed) -> Result<(), String> {
@@ -383,6 +455,31 @@ fn attack(p: &Parsed) -> Result<(), String> {
     };
     let kernel_base = start_kernel_counting(&recorder);
     let g = load_graph_observed(p, &recorder)?;
+    let report = run_attack(
+        p,
+        g,
+        &recorder,
+        kernel_base,
+        stats_out.as_ref(),
+        &RunSeeds::default(),
+    )?;
+    print!("{report}");
+    Ok(())
+}
+
+/// The attack-evaluation pipeline after the graph is in hand, returning
+/// the report text — shared by the one-shot `attack` command and
+/// `tpp serve` (see [`run_protect`]).
+pub(crate) fn run_attack(
+    p: &Parsed,
+    g: Graph,
+    recorder: &Recorder,
+    kernel_base: Option<tpp_graph::KernelCounts>,
+    stats_out: Option<&StatsOut>,
+    seeds: &RunSeeds,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let targets = parse_targets(p, &g)?;
     // Attacked graph = as-released: hide any target edges still present.
     let mut released = g.clone();
@@ -406,22 +503,25 @@ fn attack(p: &Parsed) -> Result<(), String> {
 
     // 0 = all available cores; rankings are bit-identical regardless.
     let threads: usize = p.num_or("threads", 0usize)?;
-    let exec = tpp_exec::Parallelism::with_recorder(threads, recorder.clone());
+    let exec = match &seeds.pool {
+        Some(pool) => pool.attach_recorder(recorder.clone()),
+        None => tpp_exec::Parallelism::with_recorder(threads, recorder.clone()),
+    };
     let outcome = evaluate_attack_on(&released, &targets, &negatives, attacker, &exec);
-    println!("attacker:       {}", outcome.attacker);
-    println!("auc:            {:.4}", outcome.auc);
-    println!("precision@|T|:  {:.4}", outcome.precision_at_t);
-    println!("mean target score: {:.4}", outcome.mean_target_score);
+    let _ = writeln!(out, "attacker:       {}", outcome.attacker);
+    let _ = writeln!(out, "auc:            {:.4}", outcome.auc);
+    let _ = writeln!(out, "precision@|T|:  {:.4}", outcome.precision_at_t);
+    let _ = writeln!(out, "mean target score: {:.4}", outcome.mean_target_score);
     if outcome.targets_fully_hidden() {
-        println!("verdict: targets fully hidden from this attacker");
+        let _ = writeln!(out, "verdict: targets fully hidden from this attacker");
     } else {
-        println!("verdict: residual evidence remains");
+        let _ = writeln!(out, "verdict: residual evidence remains");
     }
-    if let Some(out) = &stats_out {
-        fold_kernel_counts(&recorder, kernel_base);
-        emit_stats(out, &recorder)?;
+    if let Some(dest) = stats_out {
+        fold_kernel_counts(recorder, kernel_base);
+        out.push_str(&stats_text(dest, recorder)?);
     }
-    Ok(())
+    Ok(out)
 }
 
 fn utility(p: &Parsed) -> Result<(), String> {

@@ -1,0 +1,10 @@
+//! Library surface of the `tpp` command-line front end: argument parsing,
+//! the one-shot subcommands, and the resident `tpp serve` service. The
+//! `tpp` binary is a thin wrapper over [`args`], [`commands`], and
+//! [`serve`]; the integration tests drive the same entry points
+//! in-process.
+
+pub mod args;
+pub mod commands;
+#[cfg(unix)]
+pub mod serve;

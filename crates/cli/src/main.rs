@@ -1,11 +1,26 @@
 //! `tpp` — the command-line front end for the Target Privacy Preserving
 //! library. See `tpp help` for usage.
 
-mod args;
-mod commands;
+use tpp_cli::{args, commands};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `tpp client <socket> <command> [args...]` forwards its raw argv to a
+    // resident server, so it is routed before flag parsing (the request's
+    // flags belong to the server, not to this process).
+    #[cfg(unix)]
+    if raw.first().map(String::as_str) == Some("client") {
+        match tpp_cli::serve::client_main(&raw[1..]) {
+            Ok(reply) => {
+                print!("{reply}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let parsed = match args::parse(&raw) {
         Ok(p) => p,
         Err(msg) => {

@@ -1,0 +1,413 @@
+//! `tpp serve` — the resident protection service.
+//!
+//! A one-shot `tpp protect` spends most of a small request's wall time on
+//! process startup: re-reading the graph and rebuilding the coverage
+//! index. `serve` keeps one process alive on a unix socket and answers
+//! `protect` / `attack` / `info` requests against warm registries:
+//!
+//! * **graph registry** — keyed by canonicalized input path; a hit clones
+//!   the cached graph instead of re-reading the file;
+//! * **index registry** — keyed by `(path, motif, target list)`; a hit
+//!   clones the cached [`PartitionedCoverageIndex`] into the run as an
+//!   index seed, skipping the build entirely (the targets are part of the
+//!   key because the index is built over the released graph they define);
+//! * **shared pool** — one `tpp-exec` worker set serves every request;
+//!   per-request recorders attach to it, so `--stats` replies stay
+//!   per-request while the threads are shared.
+//!
+//! Requests reuse the one-shot pipeline (`commands::run_protect` /
+//! `run_attack`), so a served reply is byte-identical to the one-shot CLI
+//! output for the same arguments — warm or cold. A panicking request is
+//! caught at the connection boundary and becomes an error reply; the
+//! recovered pool locks (`tpp-exec`) keep the shared pool usable
+//! afterwards.
+//!
+//! ## Protocol
+//!
+//! Both directions are length-prefixed frames: a little-endian `u32` byte
+//! count, then the payload (capped at 1 MiB). A request payload is the
+//! command's argv joined with NUL bytes — exactly the tokens the one-shot
+//! CLI would take. A reply payload is one status byte (`+` success, `-`
+//! error) followed by UTF-8 text. One request per connection.
+
+use crate::args::{self, Parsed};
+use crate::commands::{self, RunSeeds};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use tpp_core::{TppInstance, DEFAULT_INDEX_PARTITIONS};
+use tpp_exec::Parallelism;
+use tpp_graph::Graph;
+use tpp_motif::PartitionedCoverageIndex;
+use tpp_obs::{Recorder, ServeStats};
+
+/// Frame payload cap: far above any real request or reply, low enough
+/// that a corrupt length prefix cannot trigger a giant allocation.
+const MAX_FRAME_BYTES: usize = 1 << 20;
+
+fn write_frame(stream: &mut UnixStream, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut UnixStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Sends one request to the server at `socket` and returns the reply
+/// text; `argv` is exactly what the one-shot CLI would take (e.g.
+/// `["protect", "g.txt", "--budget", "5"]`). `Err` carries an error reply
+/// or a transport failure.
+pub fn request(socket: &str, argv: &[String]) -> Result<String, String> {
+    let mut stream =
+        UnixStream::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    write_frame(&mut stream, argv.join("\0").as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let reply = read_frame(&mut stream).map_err(|e| format!("reading reply: {e}"))?;
+    let (status, text) = reply.split_first().ok_or("empty reply frame")?;
+    let text = String::from_utf8_lossy(text).into_owned();
+    match status {
+        b'+' => Ok(text),
+        b'-' => Err(text),
+        other => Err(format!("malformed reply status byte {other:#04x}")),
+    }
+}
+
+/// `tpp client <socket> <command> [args...]`: one request, reply text
+/// returned for stdout. Raw argv (not flag-parsed) so the request reaches
+/// the server token-for-token.
+pub fn client_main(raw: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: tpp client <socket> <protect|attack|info|ping|shutdown> [args...]";
+    let (socket, argv) = raw.split_first().ok_or(USAGE)?;
+    if argv.is_empty() {
+        return Err(USAGE.into());
+    }
+    request(socket, argv)
+}
+
+/// `tpp serve --socket FILE.sock [--threads T]`.
+pub(crate) fn serve_command(p: &Parsed) -> Result<(), String> {
+    let socket = p.require("socket")?.to_string();
+    let threads: usize = p.num_or("threads", 0usize)?;
+    serve(&socket, threads)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registry key for graphs: the canonical path when resolvable, so
+/// `./g.txt` and `g.txt` share an entry.
+fn graph_key(path: &str) -> String {
+    std::fs::canonicalize(path)
+        .map_or_else(|_| path.to_string(), |p| p.to_string_lossy().into_owned())
+}
+
+struct GraphEntry {
+    graph: Graph,
+    snapshot: bool,
+}
+
+type IndexKey = (String, String, Vec<(u32, u32)>);
+
+struct Server {
+    socket: String,
+    pool: Parallelism,
+    /// Server-lifetime recorder: the `serve` counters accumulate across
+    /// requests here (surfaced by `info`), while each request's own
+    /// recorder sees only its own hits.
+    lifetime: Recorder,
+    graphs: Mutex<HashMap<String, GraphEntry>>,
+    indexes: Mutex<HashMap<IndexKey, Arc<PartitionedCoverageIndex>>>,
+    shutdown: AtomicBool,
+}
+
+/// Runs the server until a `shutdown` request; removes the socket file on
+/// the way out. `threads` sizes the shared pool (`0` = all cores).
+pub fn serve(socket: &str, threads: usize) -> Result<(), String> {
+    if std::path::Path::new(socket).exists() {
+        // A connectable socket means a live server; a dead one is a stale
+        // file from an unclean exit and is safe to replace.
+        if UnixStream::connect(socket).is_ok() {
+            return Err(format!("{socket}: a server is already listening"));
+        }
+        std::fs::remove_file(socket).map_err(|e| format!("removing stale socket {socket}: {e}"))?;
+    }
+    let listener = UnixListener::bind(socket).map_err(|e| format!("binding {socket}: {e}"))?;
+    let server = Arc::new(Server {
+        socket: socket.to_string(),
+        pool: Parallelism::new(threads),
+        lifetime: Recorder::enabled(),
+        graphs: Mutex::new(HashMap::new()),
+        indexes: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+    });
+    println!(
+        "serving on {socket} ({} worker thread(s))",
+        server.pool.threads()
+    );
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if server.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let s = Arc::clone(&server);
+                handlers.push(std::thread::spawn(move || s.handle_connection(stream)));
+            }
+            Err(e) => eprintln!("warning: accept failed: {e}"),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    std::fs::remove_file(socket).map_err(|e| format!("removing socket {socket}: {e}"))?;
+    Ok(())
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+        payload
+            .downcast_ref::<String>()
+            .map_or("opaque panic payload", String::as_str)
+    })
+}
+
+impl Server {
+    /// One request per connection: read a frame, answer it, reply. The
+    /// catch-unwind here is the request boundary — a panicking request
+    /// becomes an error reply on this connection, never a dead server.
+    fn handle_connection(&self, mut stream: UnixStream) {
+        let (status, text) = match read_frame(&mut stream) {
+            Err(e) => (b'-', format!("reading request: {e}")),
+            Ok(payload) => match String::from_utf8(payload) {
+                Err(e) => (b'-', format!("request is not UTF-8: {e}")),
+                Ok(joined) => {
+                    let argv: Vec<String> = joined.split('\0').map(str::to_string).collect();
+                    match catch_unwind(AssertUnwindSafe(|| self.handle_request(&argv))) {
+                        Ok(Ok(text)) => (b'+', text),
+                        Ok(Err(msg)) => (b'-', msg),
+                        Err(panic) => (b'-', format!("request panicked: {}", panic_text(&*panic))),
+                    }
+                }
+            },
+        };
+        let mut reply = Vec::with_capacity(text.len() + 1);
+        reply.push(status);
+        reply.extend_from_slice(text.as_bytes());
+        if let Err(e) = write_frame(&mut stream, &reply) {
+            eprintln!("warning: sending reply failed: {e}");
+        }
+    }
+
+    /// Applies `f` to the lifetime recorder's serve section and, when
+    /// present, the request's own.
+    fn bump(&self, request: Option<&Recorder>, f: impl Fn(&ServeStats)) {
+        for r in std::iter::once(&self.lifetime).chain(request) {
+            if let Some(st) = r.stats() {
+                f(&st.serve);
+            }
+        }
+    }
+
+    fn handle_request(&self, argv: &[String]) -> Result<String, String> {
+        let p = args::parse(argv)?;
+        // Untrusted input: an absurd thread request is rejected outright
+        // rather than clamped (the one-shot CLI clamps with a warning).
+        if let Some(raw) = p.flags.get("threads") {
+            let threads: usize = raw
+                .parse()
+                .map_err(|_| format!("flag --threads: cannot parse {raw:?}"))?;
+            let cap = tpp_exec::max_threads();
+            if threads > cap {
+                return Err(format!(
+                    "--threads {threads} exceeds this server's limit of {cap}"
+                ));
+            }
+        }
+        self.bump(None, |s| s.requests.inc());
+        match p.command.as_str() {
+            "ping" => Ok("pong\n".into()),
+            "info" => Ok(self.info()),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop with a throwaway connection; the
+                // reply still goes out on this request's stream.
+                drop(UnixStream::connect(&self.socket));
+                Ok("server stopping\n".into())
+            }
+            // Test hook: panic inside a dispatch on the shared pool. The
+            // reply path proves the panic was contained, and the next
+            // request proves the pool survived it unpoisoned.
+            "__panic" => {
+                let _: Vec<()> = self.pool.run_indexed(2, |_| panic!("__panic request hook"));
+                Ok("unreachable\n".into())
+            }
+            "protect" | "attack" => self.run(&p),
+            other => Err(format!(
+                "unknown serve request {other:?} (expected protect, attack, info, ping, or shutdown)"
+            )),
+        }
+    }
+
+    /// A protect/attack request: per-request recorder over the shared
+    /// pool, graph and index answered from the registries, then the same
+    /// pipeline the one-shot CLI runs. Registry counters land in the
+    /// request recorder *before* the run so a `--stats` reply carries
+    /// them.
+    fn run(&self, p: &Parsed) -> Result<String, String> {
+        let stats_out = commands::parse_stats_flag(p)?;
+        let recorder = if stats_out.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        if let Some(st) = recorder.stats() {
+            st.serve.requests.inc();
+        }
+        let kernel_base = commands::start_kernel_counting(&recorder);
+        let g = self.graph_for(p, &recorder)?;
+        let mut seeds = RunSeeds {
+            index: None,
+            pool: Some(self.pool.clone()),
+        };
+        if p.command == "protect" {
+            seeds.index = self.index_for(p, &g, &recorder)?;
+            commands::run_protect(p, g, &recorder, kernel_base, stats_out.as_ref(), &seeds)
+        } else {
+            commands::run_attack(p, g, &recorder, kernel_base, stats_out.as_ref(), &seeds)
+        }
+    }
+
+    fn graph_for(&self, p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
+        let path = p
+            .positional
+            .first()
+            .ok_or("expected an edge-list or snapshot file argument")?;
+        let key = graph_key(path);
+        if let Some(entry) = lock(&self.graphs).get(&key) {
+            let g = entry.graph.clone();
+            self.bump(Some(recorder), |s| s.graph_hits.inc());
+            return Ok(g);
+        }
+        // Miss: load outside the lock (two racing first requests both
+        // load; the registry keeps whichever inserts last — same bytes).
+        let snapshot = commands::is_snapshot(path);
+        let g = commands::load_graph_observed(p, recorder)?;
+        self.bump(Some(recorder), |s| s.graph_misses.inc());
+        lock(&self.graphs).insert(
+            key,
+            GraphEntry {
+                graph: g.clone(),
+                snapshot,
+            },
+        );
+        Ok(g)
+    }
+
+    /// The index registry: a hit hands the cached build to the run as a
+    /// seed; a miss builds once on the shared pool (charged to this
+    /// request's recorder) and caches it. Only the greedy strategies
+    /// evaluate through the index — the random baselines return `None`.
+    fn index_for(
+        &self,
+        p: &Parsed,
+        g: &Graph,
+        recorder: &Recorder,
+    ) -> Result<Option<Arc<PartitionedCoverageIndex>>, String> {
+        if !matches!(p.get_or("algorithm", "sgb"), "sgb" | "celf" | "ct" | "wt") {
+            return Ok(None);
+        }
+        let path = p
+            .positional
+            .first()
+            .ok_or("expected an edge-list or snapshot file argument")?;
+        let motif = commands::parse_motif(p)?;
+        let targets = commands::parse_targets(p, g)?;
+        let key: IndexKey = (
+            graph_key(path),
+            motif.to_string(),
+            targets.iter().map(|e| (e.u(), e.v())).collect(),
+        );
+        if let Some(index) = lock(&self.indexes).get(&key) {
+            let index = Arc::clone(index);
+            self.bump(Some(recorder), |s| s.index_hits.inc());
+            return Ok(Some(index));
+        }
+        // The instance defines the released graph the index covers; the
+        // run will rebuild the same instance from the same inputs, so the
+        // seed's motif/target check matches.
+        let instance = TppInstance::new(g.clone(), targets).map_err(|e| e.to_string())?;
+        let exec = self.pool.attach_recorder(recorder.clone());
+        let index = Arc::new(PartitionedCoverageIndex::build_parallel(
+            instance.released(),
+            instance.targets(),
+            motif,
+            DEFAULT_INDEX_PARTITIONS,
+            &exec,
+        ));
+        self.bump(Some(recorder), |s| s.index_misses.inc());
+        lock(&self.indexes).insert(key, Arc::clone(&index));
+        Ok(Some(index))
+    }
+
+    fn info(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "tpp serve on {}", self.socket);
+        let _ = writeln!(out, "pool: {} worker thread(s)", self.pool.threads());
+        if let Some(st) = self.lifetime.stats() {
+            let _ = writeln!(out, "requests: {}", st.serve.requests.get());
+            let graphs = lock(&self.graphs);
+            let _ = writeln!(
+                out,
+                "graphs: {} cached ({} hits, {} misses)",
+                graphs.len(),
+                st.serve.graph_hits.get(),
+                st.serve.graph_misses.get()
+            );
+            let mut keys: Vec<&String> = graphs.keys().collect();
+            keys.sort();
+            for key in keys {
+                let entry = &graphs[key];
+                let _ = writeln!(
+                    out,
+                    "  {key}: {} nodes, {} edges{}",
+                    entry.graph.node_count(),
+                    entry.graph.edge_count(),
+                    if entry.snapshot { " (snapshot)" } else { "" }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "indexes: {} cached ({} hits, {} misses)",
+                lock(&self.indexes).len(),
+                st.serve.index_hits.get(),
+                st.serve.index_misses.get()
+            );
+        }
+        out
+    }
+}

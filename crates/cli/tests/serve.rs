@@ -1,0 +1,213 @@
+//! Integration tests for `tpp serve`: served plans must be byte-identical
+//! to one-shot CLI plans (cold, warm, and under concurrent mixed
+//! requests), the warm registry must skip the index rebuild, and a
+//! panicking request must leave the server and its shared pool usable.
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use tpp_cli::{args, commands, serve};
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| (*s).to_string()).collect()
+}
+
+fn dispatch(argv: &[&str]) {
+    commands::dispatch(&args::parse(&strs(argv)).unwrap()).unwrap();
+}
+
+/// A per-test scratch dir plus a socket path short enough for `bind`.
+fn scratch(name: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("tpp-serve-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("tpp.sock").to_str().unwrap().to_string();
+    let _ = std::fs::remove_file(&socket);
+    (dir, socket)
+}
+
+/// Starts a server on its own thread and blocks until it answers pings.
+fn start_server(socket: &str, threads: usize) -> std::thread::JoinHandle<Result<(), String>> {
+    let sock = socket.to_string();
+    let handle = std::thread::spawn(move || serve::serve(&sock, threads));
+    for _ in 0..200 {
+        if serve::request(socket, &strs(&["ping"])).is_ok() {
+            return handle;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("server on {socket} never became ready");
+}
+
+fn shut_down(socket: &str, handle: std::thread::JoinHandle<Result<(), String>>) {
+    let reply = serve::request(socket, &strs(&["shutdown"])).unwrap();
+    assert!(reply.contains("stopping"), "got: {reply}");
+    handle.join().unwrap().unwrap();
+    assert!(
+        !std::path::Path::new(socket).exists(),
+        "socket file must be removed on clean shutdown"
+    );
+}
+
+fn generate(dir: &std::path::Path, name: &str) -> String {
+    let path = dir.join(name).to_str().unwrap().to_string();
+    dispatch(&[
+        "generate", "--model", "hk", "--nodes", "150", "--out", &path,
+    ]);
+    path
+}
+
+#[test]
+fn concurrent_served_plans_are_byte_identical_to_one_shot() {
+    let (dir, socket) = scratch("concurrent");
+    let graph = generate(&dir, "g.txt");
+
+    // Mixed motifs, strategies, and batch widths — including a random
+    // baseline (no index) and two requests sharing an index key.
+    let cases: &[&[&str]] = &[
+        &["--algorithm", "sgb", "--motif", "triangle"],
+        &["--algorithm", "celf", "--motif", "triangle"],
+        &["--algorithm", "ct", "--motif", "rectangle"],
+        &["--algorithm", "wt", "--motif", "triangle", "--batch", "2"],
+        &["--algorithm", "rd", "--seed", "7"],
+        &[
+            "--algorithm",
+            "sgb",
+            "--motif",
+            "rectangle",
+            "--threads",
+            "2",
+        ],
+    ];
+    let case_args = |case: &[&str], plan: &str| {
+        let mut argv = strs(&["protect", &graph, "--budget", "4", "--random", "4"]);
+        argv.extend(strs(case));
+        argv.extend(strs(&["--plan", plan]));
+        argv
+    };
+
+    let mut one_shot = Vec::new();
+    for (i, case) in cases.iter().enumerate() {
+        let plan = dir.join(format!("one-shot-{i}.json"));
+        let argv = case_args(case, plan.to_str().unwrap());
+        commands::dispatch(&args::parse(&argv).unwrap()).unwrap();
+        one_shot.push(std::fs::read(&plan).unwrap());
+    }
+
+    let handle = start_server(&socket, 2);
+    for round in ["cold", "warm"] {
+        let served: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let workers: Vec<_> = cases
+                .iter()
+                .enumerate()
+                .map(|(i, case)| {
+                    let plan = dir.join(format!("served-{round}-{i}.json"));
+                    let socket = &socket;
+                    s.spawn(move || {
+                        let argv = case_args(case, plan.to_str().unwrap());
+                        serve::request(socket, &argv).unwrap();
+                        std::fs::read(&plan).unwrap()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for (i, bytes) in served.iter().enumerate() {
+            assert_eq!(
+                bytes, &one_shot[i],
+                "{round} served plan {i} ({:?}) diverged from one-shot",
+                cases[i]
+            );
+        }
+    }
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn warm_registry_skips_the_index_rebuild() {
+    let (dir, socket) = scratch("warm");
+    let graph = generate(&dir, "g.txt");
+    let handle = start_server(&socket, 2);
+
+    let argv = strs(&[
+        "protect", &graph, "--budget", "4", "--random", "4", "--stats", "-",
+    ]);
+    let cold = serve::request(&socket, &argv).unwrap();
+    assert!(cold.contains("\"builds\": 1"), "cold reply: {cold}");
+    assert!(!cold.contains("\"build_ns\": 0"), "cold reply: {cold}");
+    assert!(cold.contains("\"index_misses\": 1"), "cold reply: {cold}");
+    assert!(cold.contains("\"graph_misses\": 1"), "cold reply: {cold}");
+
+    let warm = serve::request(&socket, &argv).unwrap();
+    assert!(warm.contains("\"builds\": 0"), "warm reply: {warm}");
+    assert!(warm.contains("\"build_ns\": 0"), "warm reply: {warm}");
+    assert!(warm.contains("\"index_hits\": 1"), "warm reply: {warm}");
+    assert!(warm.contains("\"graph_hits\": 1"), "warm reply: {warm}");
+
+    // Identical run summaries either way (the stats JSON legitimately
+    // differs: cold carries the build, warm the registry hits).
+    let summary = |reply: &str| {
+        reply
+            .lines()
+            .take_while(|l| !l.starts_with('{'))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(summary(&cold), summary(&warm));
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn panicking_request_leaves_server_and_pool_usable() {
+    let (dir, socket) = scratch("panic");
+    let graph = generate(&dir, "g.txt");
+    let handle = start_server(&socket, 2);
+
+    for _ in 0..2 {
+        let err = serve::request(&socket, &strs(&["__panic"])).unwrap_err();
+        assert!(err.contains("panicked"), "got: {err}");
+        // The shared pool still dispatches: a parallel protect succeeds.
+        let reply = serve::request(
+            &socket,
+            &strs(&[
+                "protect",
+                &graph,
+                "--budget",
+                "3",
+                "--random",
+                "3",
+                "--threads",
+                "2",
+            ]),
+        )
+        .unwrap();
+        assert!(reply.contains("similarity"), "got: {reply}");
+    }
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn info_reports_registries_and_absurd_threads_are_rejected() {
+    let (dir, socket) = scratch("info");
+    let graph = generate(&dir, "g.txt");
+    let handle = start_server(&socket, 1);
+
+    let err = serve::request(
+        &socket,
+        &strs(&["protect", &graph, "--budget", "3", "--threads", "100000000"]),
+    )
+    .unwrap_err();
+    assert!(err.contains("exceeds"), "got: {err}");
+
+    serve::request(
+        &socket,
+        &strs(&["protect", &graph, "--budget", "3", "--random", "3"]),
+    )
+    .unwrap();
+    let info = serve::request(&socket, &strs(&["info"])).unwrap();
+    assert!(info.contains("graphs: 1 cached"), "got: {info}");
+    assert!(info.contains("150 nodes"), "got: {info}");
+    assert!(info.contains("indexes: 1 cached"), "got: {info}");
+
+    let err = serve::request(&socket, &strs(&["frobnicate"])).unwrap_err();
+    assert!(err.contains("unknown serve request"), "got: {err}");
+    shut_down(&socket, handle);
+}

@@ -38,8 +38,10 @@ pub use sgb::{sgb_greedy, sgb_greedy_batch};
 pub use wt::{wt_greedy, wt_greedy_batch};
 
 use crate::oracle::CandidatePolicy;
+use std::sync::Arc;
 use tpp_exec::Parallelism;
-use tpp_motif::Motif;
+use tpp_graph::Edge;
+use tpp_motif::{Motif, PartitionedCoverageIndex};
 use tpp_obs::Recorder;
 
 /// Which gain-evaluation machinery to use.
@@ -85,6 +87,126 @@ impl ObsConfig {
     }
 }
 
+/// An optional pre-built [`PartitionedCoverageIndex`] a run may start
+/// from instead of building its own — how a resident process turns its
+/// index registry into warm starts. The seed is consulted only by the
+/// [`EvaluatorKind::Index`] oracle, and only when its motif and target
+/// list match the run exactly (a mismatched seed is silently ignored and
+/// the index is built fresh, so a stale seed can never corrupt a plan).
+/// Cloning a deterministically built index is bit-identical to rebuilding
+/// it, so seeded plans equal unseeded plans byte for byte.
+#[derive(Clone, Default)]
+pub struct IndexSeed(Option<Arc<PartitionedCoverageIndex>>);
+
+impl IndexSeed {
+    /// A seed wrapping a shared pre-built index.
+    #[must_use]
+    pub fn new(index: Arc<PartitionedCoverageIndex>) -> Self {
+        IndexSeed(Some(index))
+    }
+
+    /// The empty seed: every run builds its own index (the default).
+    #[must_use]
+    pub fn none() -> Self {
+        IndexSeed(None)
+    }
+
+    /// `true` when a seed index is present.
+    #[must_use]
+    pub fn is_some(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A private working copy of the seed index, iff it was built for
+    /// exactly this motif and target list.
+    #[must_use]
+    pub(crate) fn clone_matching(
+        &self,
+        motif: Motif,
+        targets: &[Edge],
+    ) -> Option<PartitionedCoverageIndex> {
+        self.0
+            .as_deref()
+            .filter(|idx| idx.motif() == motif && idx.targets() == targets)
+            .cloned()
+    }
+}
+
+impl std::fmt::Debug for IndexSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(idx) => write!(f, "IndexSeed({} targets)", idx.targets().len()),
+            None => f.write_str("IndexSeed(none)"),
+        }
+    }
+}
+
+/// Two seeds are equal when they share one index (or are both empty) —
+/// the same sink-identity convention `Recorder` uses, which keeps
+/// [`GreedyConfig`]'s derived `PartialEq`.
+impl PartialEq for IndexSeed {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for IndexSeed {}
+
+/// An optional shared executor pool a run dispatches on instead of
+/// spawning its own — how a resident process serves every request from
+/// one spawn-once worker set. [`GreedyConfig::parallelism`] attaches the
+/// run's recorder to the shared pool, so requests keep private stats
+/// trees over common workers. Plans are bit-identical at every pool
+/// width, so sharing never changes output.
+#[derive(Clone, Default)]
+pub struct ExecSeed(Option<Parallelism>);
+
+impl ExecSeed {
+    /// A seed dispatching on `pool`.
+    #[must_use]
+    pub fn shared(pool: Parallelism) -> Self {
+        ExecSeed(Some(pool))
+    }
+
+    /// The empty seed: each run owns a fresh pool (the default).
+    #[must_use]
+    pub fn none() -> Self {
+        ExecSeed(None)
+    }
+
+    /// The shared pool handle, if any.
+    #[must_use]
+    pub fn get(&self) -> Option<&Parallelism> {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for ExecSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(p) => write!(f, "ExecSeed({} threads)", p.threads()),
+            None => f.write_str("ExecSeed(none)"),
+        }
+    }
+}
+
+/// Pool-identity equality, mirroring [`IndexSeed`]'s convention.
+impl PartialEq for ExecSeed {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.same_pool(b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ExecSeed {}
+
 /// Configuration shared by all greedy algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GreedyConfig {
@@ -100,6 +222,12 @@ pub struct GreedyConfig {
     pub threads: usize,
     /// Telemetry sink (disabled by default; surfaced by `tpp --stats`).
     pub obs: ObsConfig,
+    /// Optional pre-built coverage index to start from (empty by default;
+    /// populated by `tpp serve`'s index registry).
+    pub index_seed: IndexSeed,
+    /// Optional shared executor pool to dispatch on (empty by default;
+    /// populated by `tpp serve` so requests share one worker set).
+    pub exec_seed: ExecSeed,
 }
 
 impl GreedyConfig {
@@ -114,6 +242,8 @@ impl GreedyConfig {
             evaluator: EvaluatorKind::NaiveRecount,
             threads: 1,
             obs: ObsConfig::default(),
+            index_seed: IndexSeed::default(),
+            exec_seed: ExecSeed::default(),
         }
     }
 
@@ -127,6 +257,8 @@ impl GreedyConfig {
             evaluator: EvaluatorKind::Index,
             threads: 1,
             obs: ObsConfig::default(),
+            index_seed: IndexSeed::default(),
+            exec_seed: ExecSeed::default(),
         }
     }
 
@@ -142,6 +274,8 @@ impl GreedyConfig {
             evaluator: EvaluatorKind::DeltaRecount,
             threads: 1,
             obs: ObsConfig::default(),
+            index_seed: IndexSeed::default(),
+            exec_seed: ExecSeed::default(),
         }
     }
 
@@ -156,6 +290,8 @@ impl GreedyConfig {
             evaluator: EvaluatorKind::Index,
             threads: 1,
             obs: ObsConfig::default(),
+            index_seed: IndexSeed::default(),
+            exec_seed: ExecSeed::default(),
         }
     }
 
@@ -177,13 +313,35 @@ impl GreedyConfig {
         self
     }
 
-    /// The executor handle a run of this config dispatches on: `threads`
-    /// participants, reporting into the config's recorder. Every algorithm
-    /// builds its engine through this, so one `--stats` knob observes the
-    /// scan, the index, and the pool alike.
+    /// Returns the config warm-started from `index`: runs whose motif and
+    /// targets match the seed clone it instead of rebuilding (anything else
+    /// ignores the seed). Plans stay bit-identical either way.
+    #[must_use]
+    pub fn with_index_seed(mut self, index: Arc<PartitionedCoverageIndex>) -> Self {
+        self.index_seed = IndexSeed::new(index);
+        self
+    }
+
+    /// Returns the config dispatching on `pool` (with the config's own
+    /// recorder attached) instead of spawning a private worker set. The
+    /// shared pool's width overrides `threads`.
+    #[must_use]
+    pub fn with_shared_pool(mut self, pool: Parallelism) -> Self {
+        self.exec_seed = ExecSeed::shared(pool);
+        self
+    }
+
+    /// The executor handle a run of this config dispatches on: the shared
+    /// pool when seeded, else a fresh `threads`-wide pool — either way
+    /// reporting into the config's recorder. Every algorithm builds its
+    /// engine through this, so one `--stats` knob observes the scan, the
+    /// index, and the pool alike.
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {
-        Parallelism::with_recorder(self.threads, self.obs.recorder.clone())
+        match self.exec_seed.get() {
+            Some(shared) => shared.attach_recorder(self.obs.recorder.clone()),
+            None => Parallelism::with_recorder(self.threads, self.obs.recorder.clone()),
+        }
     }
 
     /// Suffix for report labels: `""` for plain, `"-R"` for scalable.

@@ -195,6 +195,18 @@ impl IndexOracle {
         }
     }
 
+    /// Wraps an already-built index (a warm clone from a serve registry)
+    /// instead of building one. The caller guarantees `index` was built
+    /// over `released` with the run's motif and targets; a deterministic
+    /// build means the clone behaves bit-identically to a fresh build.
+    #[must_use]
+    pub fn from_prebuilt(index: PartitionedCoverageIndex, released: &Graph) -> Self {
+        IndexOracle {
+            index,
+            graph: released.clone(),
+        }
+    }
+
     /// Read access to the underlying partitioned index (reporting,
     /// verification).
     #[must_use]
@@ -546,13 +558,22 @@ impl<'a> AnyOracle<'a> {
         use crate::algorithms::EvaluatorKind;
         let (released, targets) = (instance.released(), instance.targets());
         match config.evaluator {
-            EvaluatorKind::Index => AnyOracle::Index(IndexOracle::with_partitions_on(
-                released,
-                targets,
-                config.motif,
-                DEFAULT_INDEX_PARTITIONS,
-                exec,
-            )),
+            EvaluatorKind::Index => {
+                // A matching registry seed skips the index build entirely
+                // (the warm path of `tpp serve`); anything else builds
+                // fresh on the shared executor.
+                let oracle = match config.index_seed.clone_matching(config.motif, targets) {
+                    Some(index) => IndexOracle::from_prebuilt(index, released),
+                    None => IndexOracle::with_partitions_on(
+                        released,
+                        targets,
+                        config.motif,
+                        DEFAULT_INDEX_PARTITIONS,
+                        exec,
+                    ),
+                };
+                AnyOracle::Index(oracle)
+            }
             EvaluatorKind::NaiveRecount => {
                 AnyOracle::Naive(NaiveOracle::new(released, targets, config.motif))
             }

@@ -1,0 +1,108 @@
+//! Plan invariance under warm-start seeding.
+//!
+//! `tpp serve` feeds runs a pre-built coverage index (`IndexSeed`) and a
+//! shared executor pool (`ExecSeed`) instead of letting each run build its
+//! own. Both are pure lifecycle knobs: a seeded run must produce a plan
+//! bit-identical to an unseeded one, a matching index seed must skip the
+//! index build entirely (the registry-hit acceptance criterion), and a
+//! mismatched seed must be ignored rather than trusted.
+
+use std::sync::Arc;
+use tpp_core::{
+    sgb_greedy, wt_greedy, GreedyConfig, ProtectionPlan, TppInstance, DEFAULT_INDEX_PARTITIONS,
+};
+use tpp_exec::Parallelism;
+use tpp_graph::generators;
+use tpp_motif::{Motif, PartitionedCoverageIndex};
+use tpp_obs::Recorder;
+
+fn instance(seed: u64) -> TppInstance {
+    let g = generators::barabasi_albert(100, 3, seed);
+    let targets = TppInstance::sample_targets(&g, 4, seed);
+    TppInstance::new(g, targets).unwrap()
+}
+
+/// Builds the same index a fresh `EvaluatorKind::Index` run would.
+fn prebuilt(inst: &TppInstance, motif: Motif) -> Arc<PartitionedCoverageIndex> {
+    Arc::new(PartitionedCoverageIndex::build_parallel(
+        inst.released(),
+        inst.targets(),
+        motif,
+        DEFAULT_INDEX_PARTITIONS,
+        &Parallelism::sequential(),
+    ))
+}
+
+fn run(inst: &TppInstance, config: &GreedyConfig) -> (ProtectionPlan, u64) {
+    let recorder = Recorder::enabled();
+    let plan = sgb_greedy(inst, 5, &config.clone().with_obs(recorder.clone()));
+    let builds = recorder.stats().unwrap().index.builds.get();
+    (plan, builds)
+}
+
+#[test]
+fn matching_index_seed_skips_the_build_and_keeps_the_plan() {
+    let inst = instance(11);
+    let (cold, cold_builds) = run(&inst, &GreedyConfig::scalable(Motif::Triangle));
+    assert_eq!(cold_builds, 1, "unseeded run builds its index");
+
+    let seed = prebuilt(&inst, Motif::Triangle);
+    let seeded_config = GreedyConfig::scalable(Motif::Triangle).with_index_seed(Arc::clone(&seed));
+    let (warm, warm_builds) = run(&inst, &seeded_config);
+    assert_eq!(warm_builds, 0, "matching seed skips the index build");
+    assert_eq!(warm, cold, "seeding never changes the plan");
+}
+
+#[test]
+fn mismatched_index_seed_is_ignored() {
+    let inst = instance(12);
+    let (fresh, _) = run(&inst, &GreedyConfig::scalable(Motif::Rectangle));
+
+    // A triangle index offered to a rectangle run must be rejected.
+    let wrong = prebuilt(&inst, Motif::Triangle);
+    let config = GreedyConfig::scalable(Motif::Rectangle).with_index_seed(wrong);
+    let (plan, builds) = run(&inst, &config);
+    assert_eq!(builds, 1, "mismatched seed falls back to a fresh build");
+    assert_eq!(plan, fresh);
+}
+
+#[test]
+fn shared_pool_runs_match_private_pool_runs() {
+    let inst = instance(13);
+    let pool = Parallelism::new(3);
+    for motif in [Motif::Triangle, Motif::Rectangle] {
+        let private = sgb_greedy(&inst, 5, &GreedyConfig::scalable(motif).with_threads(3));
+        let shared = sgb_greedy(
+            &inst,
+            5,
+            &GreedyConfig::scalable(motif).with_shared_pool(pool.clone()),
+        );
+        assert_eq!(shared, private, "pool sharing never changes the plan");
+    }
+
+    // Back-to-back algorithms on the one pool, interleaved with the
+    // private-pool reference runs above — the serve dispatch shape.
+    let budgets = vec![1usize; inst.targets().len()];
+    let wt_private = wt_greedy(&inst, &budgets, &GreedyConfig::scalable(Motif::Triangle)).unwrap();
+    let wt_shared = wt_greedy(
+        &inst,
+        &budgets,
+        &GreedyConfig::scalable(Motif::Triangle).with_shared_pool(pool),
+    )
+    .unwrap();
+    assert_eq!(wt_shared, wt_private);
+}
+
+#[test]
+fn seeded_and_shared_run_combines_both_knobs() {
+    let inst = instance(14);
+    let (cold, _) = run(&inst, &GreedyConfig::scalable(Motif::Triangle));
+
+    let pool = Parallelism::new(2);
+    let config = GreedyConfig::scalable(Motif::Triangle)
+        .with_index_seed(prebuilt(&inst, Motif::Triangle))
+        .with_shared_pool(pool);
+    let (warm, builds) = run(&inst, &config);
+    assert_eq!(builds, 0);
+    assert_eq!(warm, cold);
+}

@@ -39,4 +39,4 @@ mod pool;
 mod ranges;
 
 pub use pool::{ExecPool, Parallelism};
-pub use ranges::{balanced_prefix_ranges, balanced_ranges, resolve_threads};
+pub use ranges::{balanced_prefix_ranges, balanced_ranges, max_threads, resolve_threads};

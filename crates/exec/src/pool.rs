@@ -2,9 +2,10 @@
 //! [`Parallelism`] handle.
 
 use crate::ranges::ranges_for;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use tpp_obs::{Recorder, SpanTimer};
 
 /// A dispatched task, type- and lifetime-erased for storage in the shared
@@ -42,6 +43,60 @@ struct PoolShared {
     done: Condvar,
 }
 
+impl PoolShared {
+    /// Locks the pool state, recovering from poisoning. The state's
+    /// invariants are maintained by simple assignments and counter
+    /// arithmetic, none of which can be left half-done by an unwind, so a
+    /// poisoned flag only records that *some* thread panicked nearby —
+    /// which the dispatch path already handles via the `panic` slot. In a
+    /// resident process, refusing to recover would turn one bad request
+    /// into a permanent outage of the shared pool.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The stable address identifying this pool for the thread-local
+    /// re-entrancy check (valid as long as any `Arc<PoolShared>` is live).
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+}
+
+thread_local! {
+    /// Pools this thread is currently executing a dispatch of — as the
+    /// dispatching participant or as a worker running the task body. A
+    /// nested `run` on any of these would deadlock on the dispatch queue,
+    /// so it is rejected immediately instead.
+    static ACTIVE_DISPATCHES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII entry in [`ACTIVE_DISPATCHES`]: pushed for the span of a task body
+/// (or a whole dispatch), popped on drop — unwind-safe, so a panicking
+/// task still unregisters.
+struct DispatchMark(usize);
+
+impl DispatchMark {
+    fn enter(key: usize) -> DispatchMark {
+        ACTIVE_DISPATCHES.with(|d| d.borrow_mut().push(key));
+        DispatchMark(key)
+    }
+
+    fn is_active(key: usize) -> bool {
+        ACTIVE_DISPATCHES.with(|d| d.borrow().contains(&key))
+    }
+}
+
+impl Drop for DispatchMark {
+    fn drop(&mut self) {
+        ACTIVE_DISPATCHES.with(|d| {
+            let mut active = d.borrow_mut();
+            if let Some(pos) = active.iter().rposition(|&k| k == self.0) {
+                active.remove(pos);
+            }
+        });
+    }
+}
+
 /// A long-lived worker pool: `threads - 1` OS threads spawned **once** at
 /// construction, plus the dispatching thread itself, execute every
 /// [`run`](Self::run) call. This replaces the per-call
@@ -73,15 +128,21 @@ struct PoolShared {
 /// A panic in any participant (including the dispatcher's own share) is
 /// caught, the remaining participants finish their claimed work, and the
 /// first payload is re-raised from [`run`](Self::run) — the pool stays
-/// usable afterwards. Dispatching on a pool that is already mid-dispatch
-/// (from inside a running task, or from a second thread) panics
-/// immediately: one pool runs one job at a time.
+/// usable afterwards, and a panic landing at any lock site never wedges
+/// it (poisoned state locks are recovered, see `PoolShared::lock_state`).
+/// One pool still runs one job at a time, but the two ways of violating
+/// that are now told apart: dispatch from a *second thread* queues behind
+/// the current job and runs when it finishes (how a resident service
+/// shares one pool across concurrent requests), while dispatch from
+/// *inside a running task* of the same pool — which could never make
+/// progress — panics immediately.
 pub struct ExecPool {
     shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
-    /// Guards against re-entrant / concurrent dispatch.
-    busy: AtomicBool,
+    /// Serializes whole dispatches: a second dispatching thread parks here
+    /// until the current job fully retires.
+    dispatch: Mutex<()>,
 }
 
 impl std::fmt::Debug for ExecPool {
@@ -123,7 +184,7 @@ impl ExecPool {
             shared,
             workers,
             threads,
-            busy: AtomicBool::new(false),
+            dispatch: Mutex::new(()),
         }
     }
 
@@ -145,21 +206,29 @@ impl ExecPool {
     /// allocation, no locks, no atomics.
     ///
     /// # Panics
-    /// Re-raises the first participant panic, and panics on re-entrant or
-    /// concurrent dispatch (see the type-level docs).
+    /// Re-raises the first participant panic, and panics on re-entrant
+    /// dispatch from inside a running task of this same pool (a dispatch
+    /// from another *thread* queues instead — see the type-level docs).
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
         if self.threads == 1 {
             task(0);
             return;
         }
+        let key = self.shared.key();
         assert!(
-            !self.busy.swap(true, Ordering::Acquire),
-            "re-entrant ExecPool dispatch: this pool is already mid-dispatch \
-             (one pool runs one job at a time; nested dispatch must use a \
-             different pool or the sequential path)"
+            !DispatchMark::is_active(key),
+            "re-entrant ExecPool dispatch: this thread is already running a \
+             task of this pool (nested dispatch can never be scheduled; use \
+             a different pool or the sequential path)"
         );
+        // Whole-dispatch queue: concurrent dispatchers run one job at a
+        // time, in arrival order. Poisoning only means a previous
+        // dispatcher panicked *after* its job retired (the re-raise below
+        // happens with the guard released), so recovery is safe.
+        let turn = self.dispatch.lock().unwrap_or_else(PoisonError::into_inner);
+        let mark = DispatchMark::enter(key);
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = self.shared.lock_state();
             let ptr: *const (dyn Fn(usize) + Sync) = task;
             // SAFETY: this only erases the borrow's lifetime. The pointer
             // is cleared below after `active` reaches zero, and `run` does
@@ -175,14 +244,19 @@ impl ExecPool {
         // join below (workers still borrow the task's captures).
         let own = catch_unwind(AssertUnwindSafe(|| task(0)));
         let worker_panic = {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = self.shared.lock_state();
             while st.active > 0 {
-                st = self.shared.done.wait(st).expect("pool state poisoned");
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             st.task = None;
             st.panic.take()
         };
-        self.busy.store(false, Ordering::Release);
+        drop(mark);
+        drop(turn);
         if let Err(payload) = own {
             resume_unwind(payload);
         }
@@ -195,7 +269,7 @@ impl ExecPool {
 impl Drop for ExecPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -211,7 +285,7 @@ fn worker_loop(shared: &PoolShared, id: usize) {
     let mut seen = 0u64;
     loop {
         let task = {
-            let mut st = shared.state.lock().expect("pool state poisoned");
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -220,14 +294,21 @@ fn worker_loop(shared: &PoolShared, id: usize) {
                     seen = st.epoch;
                     break st.task.as_ref().expect("epoch advanced without task").0;
                 }
-                st = shared.work.wait(st).expect("pool state poisoned");
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the dispatcher keeps the closure alive until `active`
         // reaches zero, which happens strictly after this call returns.
         let task = unsafe { &*task };
-        let result = catch_unwind(AssertUnwindSafe(|| task(id)));
-        let mut st = shared.state.lock().expect("pool state poisoned");
+        let result = {
+            // Mark the task span so a nested dispatch on this same pool
+            // from inside the task body is rejected, not deadlocked.
+            let mark = DispatchMark::enter(shared.key());
+            let result = catch_unwind(AssertUnwindSafe(|| task(id)));
+            drop(mark);
+            result
+        };
+        let mut st = shared.lock_state();
         if let Err(payload) = result {
             st.panic.get_or_insert(payload);
         }
@@ -320,6 +401,30 @@ impl Parallelism {
         handle
     }
 
+    /// A handle over **this same pool** (and its spawn-once workers) that
+    /// reports into `recorder` instead of this handle's sink — how a
+    /// resident process serves many requests from one pool while giving
+    /// each request its own stats tree. Dispatches from the two handles
+    /// queue behind each other (see [`ExecPool`]'s dispatch serialization).
+    #[must_use]
+    pub fn attach_recorder(&self, recorder: Recorder) -> Parallelism {
+        let handle = Parallelism {
+            pool: Arc::clone(&self.pool),
+            recorder,
+        };
+        if let Some(stats) = handle.recorder.stats() {
+            stats.exec.threads.set_max(handle.threads() as u64);
+        }
+        handle
+    }
+
+    /// `true` when both handles dispatch onto the same underlying pool
+    /// (clones and [`attach_recorder`](Self::attach_recorder) offshoots).
+    #[must_use]
+    pub fn same_pool(&self, other: &Parallelism) -> bool {
+        Arc::ptr_eq(&self.pool, &other.pool)
+    }
+
     /// The telemetry sink this handle (and every clone) reports into.
     /// Downstream layers that receive a `Parallelism` reach their own
     /// stats sections through it, so one knob threads observability
@@ -397,7 +502,7 @@ impl Parallelism {
             if !got.is_empty() {
                 collected
                     .lock()
-                    .expect("result collection poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .extend(got);
             }
         });
@@ -405,7 +510,9 @@ impl Parallelism {
             st.exec.dispatches.inc();
         }
         dispatch_span.stop();
-        let mut tagged = collected.into_inner().expect("result collection poisoned");
+        let mut tagged = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         tagged.sort_unstable_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, r)| r).collect()
     }
@@ -619,6 +726,90 @@ mod tests {
         assert!(msg.contains("re-entrant"), "got: {msg}");
         // Rejection unwinds cleanly; the pool keeps serving.
         assert_eq!(exec.run_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_two_threads_queues() {
+        // Two threads sharing one pool dispatch at the same time: the
+        // second queues behind the first instead of panicking — the
+        // resident-service sharing mode.
+        let exec = Parallelism::new(3);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let exec = exec.clone();
+                std::thread::spawn(move || {
+                    let out = exec.run_indexed(64, move |i| i + t);
+                    assert_eq!(out, (0..64).map(|i| i + t).collect::<Vec<_>>());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("concurrent dispatch must not panic");
+        }
+    }
+
+    #[test]
+    fn poisoned_state_lock_is_recovered() {
+        let exec = Parallelism::new(3);
+        // Poison the state mutex the hard way: lock it on another thread
+        // and panic while holding the guard.
+        let shared = Arc::clone(&exec.pool.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("deliberate poison");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(
+            exec.pool.shared.state.is_poisoned(),
+            "mutex must be poisoned"
+        );
+        // Every later dispatch (and the drop path) must recover and work.
+        assert_eq!(
+            exec.run_indexed(8, |i| i * 3),
+            (0..8).map(|i| i * 3).collect::<Vec<_>>()
+        );
+        drop(exec);
+    }
+
+    #[test]
+    fn dispatch_after_a_panicked_dispatch_succeeds() {
+        // The serve-lifecycle regression: one request's dispatch panics
+        // (every participant, so the dispatcher's own share panics too);
+        // the next dispatch on the same pool must succeed, not die in a
+        // poisoned lock.
+        let exec = Parallelism::new(4);
+        for round in 0..3 {
+            let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.run_indexed(16, |i| -> usize { panic!("bad request {round} item {i}") })
+            }));
+            assert!(attempt.is_err(), "panic must propagate");
+            assert_eq!(
+                exec.run_indexed(5, |i| i + round),
+                (0..5).map(|i| i + round).collect::<Vec<_>>(),
+                "pool must keep serving after panicked dispatch {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn attach_recorder_shares_the_pool_with_a_private_stats_tree() {
+        let base = Parallelism::new(2);
+        let rec_a = Recorder::enabled();
+        let rec_b = Recorder::enabled();
+        let a = base.attach_recorder(rec_a.clone());
+        let b = base.attach_recorder(rec_b.clone());
+        assert!(base.same_pool(&a) && base.same_pool(&b) && a.same_pool(&b));
+        assert!(!base.same_pool(&Parallelism::new(2)));
+        let _ = a.run_indexed(10, |i| i);
+        assert_eq!(rec_a.stats().unwrap().exec.dispatches.get(), 1);
+        assert_eq!(
+            rec_b.stats().unwrap().exec.dispatches.get(),
+            0,
+            "sinks are per-handle"
+        );
+        let _ = b.run_indexed(10, |i| i);
+        assert_eq!(rec_b.stats().unwrap().exec.dispatches.get(), 1);
+        assert_eq!(a.threads(), 2);
     }
 
     #[test]

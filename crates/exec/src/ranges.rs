@@ -80,12 +80,44 @@ pub(crate) fn ranges_for(
     }
 }
 
+/// How far an explicit thread request may exceed the machine, as a
+/// multiple of `available_parallelism`. Oversubscription up to this factor
+/// is a legitimate experiment (the thread-invariance suites run 8 "threads"
+/// on a 1-core container); beyond it a request is a typo or an attack
+/// (`--threads 100000` would try to spawn 100k OS threads).
+const MAX_THREAD_MULTIPLE: usize = 8;
+
+/// The number of available cores (at least 1).
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The largest thread count [`resolve_threads`] accepts without clamping:
+/// `MAX_THREAD_MULTIPLE` times the available cores, floored at 64 so
+/// small containers still allow the full oversubscription test matrix.
+/// Serve-style frontends reject requests above this instead of clamping
+/// (untrusted input should fail loudly, not silently degrade).
+#[must_use]
+pub fn max_threads() -> usize {
+    (available_cores() * MAX_THREAD_MULTIPLE).max(64)
+}
+
 /// Resolves the `0 = all available cores` convention shared by every
-/// thread-count knob in the workspace.
+/// thread-count knob in the workspace. Absurd explicit requests are
+/// clamped to [`max_threads`] with a warning on stderr — every nonzero
+/// value used to pass straight through to thread spawning.
 #[must_use]
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        available_cores()
+    } else if threads > max_threads() {
+        let cap = max_threads();
+        eprintln!(
+            "warning: --threads {threads} clamped to {cap} \
+             ({MAX_THREAD_MULTIPLE}x the {} available core(s))",
+            available_cores()
+        );
+        cap
     } else {
         threads
     }
@@ -135,5 +167,18 @@ mod tests {
     fn resolve_threads_passthrough_and_auto() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_clamps_absurd_requests() {
+        let cap = max_threads();
+        assert!(cap >= 64, "floor allows the oversubscription test matrix");
+        // In-range values pass through exactly, including the cap itself.
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(cap), cap);
+        // Beyond the cap: clamped, never spawned verbatim.
+        assert_eq!(resolve_threads(cap + 1), cap);
+        assert_eq!(resolve_threads(100_000), cap);
+        assert_eq!(resolve_threads(usize::MAX), cap);
     }
 }

@@ -23,5 +23,6 @@ mod recorder;
 
 pub use metrics::{timed, Counter, Histogram, HistogramSnapshot, SpanTimer};
 pub use recorder::{
-    AttackStats, ExecStats, IndexStats, KernelStats, Recorder, RoundStats, Stats, StoreStats,
+    AttackStats, ExecStats, IndexStats, KernelStats, Recorder, RoundStats, ServeStats, Stats,
+    StoreStats,
 };

@@ -120,6 +120,23 @@ pub struct KernelStats {
     pub hub_and: Counter,
 }
 
+/// Resident-service telemetry: how a `tpp serve` request hit the server's
+/// registries. In a per-request recorder the counters are 0/1 flags; the
+/// server also keeps a lifetime recorder where they accumulate.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests dispatched through the server.
+    pub requests: Counter,
+    /// Graph loads answered from the snapshot registry.
+    pub graph_hits: Counter,
+    /// Graph loads that had to read the file (and populated the registry).
+    pub graph_misses: Counter,
+    /// Coverage-index builds skipped via the index registry.
+    pub index_hits: Counter,
+    /// Index requests that built fresh (and populated the registry).
+    pub index_misses: Counter,
+}
+
 /// The full telemetry tree, one section per instrumented layer.
 ///
 /// Every field is atomic, so a single `Arc<Stats>` is shared freely across
@@ -138,6 +155,8 @@ pub struct Stats {
     pub attack: AttackStats,
     /// Intersection-kernel section.
     pub kernels: KernelStats,
+    /// Resident-service section.
+    pub serve: ServeStats,
 }
 
 /// The shared instrumentation handle threaded through every layer.
@@ -232,8 +251,8 @@ fn section(out: &mut String, name: &str, fields: &[(&str, String)], last: bool) 
 impl Stats {
     /// Serializes the whole tree as one pretty-printed JSON document with
     /// top-level `round` / `index` / `exec` / `store` / `attack` /
-    /// `kernels` sections, flat snake_case `_ns` keys — the same shape the
-    /// committed bench results use.
+    /// `kernels` / `serve` sections, flat snake_case `_ns` keys — the same
+    /// shape the committed bench results use.
     #[must_use]
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::from("{\n");
@@ -356,6 +375,18 @@ impl Stats {
                 ("hub_probe", self.kernels.hub_probe.get().to_string()),
                 ("hub_and", self.kernels.hub_and.get().to_string()),
             ],
+            false,
+        );
+        section(
+            &mut out,
+            "serve",
+            &[
+                ("requests", self.serve.requests.get().to_string()),
+                ("graph_hits", self.serve.graph_hits.get().to_string()),
+                ("graph_misses", self.serve.graph_misses.get().to_string()),
+                ("index_hits", self.serve.index_hits.get().to_string()),
+                ("index_misses", self.serve.index_misses.get().to_string()),
+            ],
             true,
         );
         out.push_str("}\n");
@@ -404,10 +435,12 @@ mod tests {
             "\"store\":",
             "\"attack\":",
             "\"kernels\":",
+            "\"serve\":",
             "\"scan_ns\":",
             "\"p99_ns\":",
             "\"items_stolen\":",
             "\"hub_probe\":",
+            "\"index_hits\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

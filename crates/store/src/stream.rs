@@ -106,6 +106,13 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn create(out: &Path) -> Result<TempDir, StoreError> {
+        // A pid alone is not unique enough: two concurrent streamed builds
+        // of the same output inside one process (two serve requests) would
+        // share the dir, and the first finisher's remove_dir_all would
+        // delete the other's spill files mid-build. A process-wide counter
+        // makes every build's scratch dir distinct.
+        static BUILD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = BUILD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let stem = out
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -114,7 +121,7 @@ impl TempDir {
             .parent()
             .filter(|p| !p.as_os_str().is_empty())
             .unwrap_or(Path::new("."))
-            .join(format!(".{stem}.build-{}", std::process::id()));
+            .join(format!(".{stem}.build-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         Ok(TempDir(dir))
     }
@@ -324,10 +331,14 @@ pub fn build_stream<P: AsRef<Path>, Q: AsRef<Path>>(
     // Assemble the final file: header (checksum zeroed), offsets from the
     // post-dedup degrees, payload copied through; FNV-1a runs over exactly
     // the payload bytes as they are written, then a single seek patches
-    // the checksum into the header.
+    // the checksum into the header. Assembly happens inside the scratch
+    // dir and the finished file is renamed into place, so `out` is only
+    // ever a complete snapshot — concurrent builds of the same target
+    // each publish atomically instead of interleaving writes.
     let checksum_span = SpanTimer::counter(stats.map(|s| &s.store.checksum_ns));
+    let staged_path = tmp.path().join("snapshot.bin");
     let mut hasher = Fnv1a::default();
-    let mut w = BufWriter::new(File::create(out)?);
+    let mut w = BufWriter::new(File::create(&staged_path)?);
     format::write_header(&mut w, n as u64, edge_count, 0)?;
     let mut off: u64 = 0;
     let mut write_buf: Vec<u8> = Vec::with_capacity(64 * 1024);
@@ -359,6 +370,9 @@ pub fn build_stream<P: AsRef<Path>, Q: AsRef<Path>>(
     file.seek(SeekFrom::Start(32))?;
     file.write_all(&hasher.finish().to_le_bytes())?;
     file.flush()?;
+    drop(file);
+    // Scratch dir and output share a parent, so the rename is atomic.
+    std::fs::rename(&staged_path, out)?;
     checksum_span.stop();
     pass2.stop();
 
@@ -498,6 +512,49 @@ mod tests {
             );
         }
         assert!(!out.exists(), "failed builds leave no output file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_builds_of_the_same_target_do_not_collide() {
+        // Two simultaneous streamed builds of one output path inside one
+        // process (the resident-service shape): each must get its own
+        // scratch dir — a shared `.{stem}.build-{pid}` dir used to let the
+        // first finisher's cleanup delete the other's spill files — and
+        // the surviving output must be a complete, verifiable snapshot.
+        let g = tpp_graph::generators::barabasi_albert(1_200, 5, 21);
+        let dir = tmpdir("concurrent");
+        let edges = dir.join("edges.txt");
+        std::fs::write(&edges, write_edge_list(&g)).unwrap();
+        let out = dir.join("same-target.csr");
+        let cfg = StreamConfig { chunk_bytes: 4096 };
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (edges, out, cfg) = (&edges, &out, &cfg);
+                    scope.spawn(move || build_stream(edges, out, cfg, &Recorder::disabled()))
+                })
+                .collect();
+            for w in workers {
+                let report = w.join().expect("build thread must not panic").unwrap();
+                assert_eq!(report.nodes, g.node_count() as u64);
+                assert_eq!(report.edges, g.edge_count() as u64);
+            }
+        });
+        // Whoever published last, the file is a complete valid snapshot,
+        // identical to the eager build.
+        let loaded = format::load(&out).unwrap();
+        assert_eq!(loaded, CsrGraph::from_graph(&g));
+        // Both scratch dirs are gone.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".build-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "scratch dirs left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
