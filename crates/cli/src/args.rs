@@ -16,7 +16,7 @@ pub struct Parsed {
 }
 
 /// Flags that never take a value.
-const BOOLEAN_FLAGS: [&str; 5] = ["quick", "verbose", "help", "full", "stream"];
+const BOOLEAN_FLAGS: [&str; 6] = ["quick", "verbose", "help", "full", "stream", "incremental"];
 
 /// Parses raw arguments (without the program name).
 ///

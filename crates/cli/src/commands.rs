@@ -5,18 +5,19 @@ use crate::args::Parsed;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tpp_core::{
-    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy_batch, divide_budget,
-    random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, wt_greedy_batch,
-    BudgetDivision, GreedyConfig, ProtectionPlan, TppInstance,
+    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy_batch, delta_dirty_edges,
+    divide_budget, random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch,
+    sgb_greedy_incremental, wt_greedy_batch, BudgetDivision, GreedyConfig, ProtectionPlan,
+    StepRecord, TppInstance,
 };
-use tpp_graph::{parse_edge_list, write_edge_list, Edge, Graph};
+use tpp_graph::{parse_edge_list, write_edge_list, Edge, FastSet, Graph};
 use tpp_linkpred::{evaluate_attack_on, sample_non_edges, Attacker, SimilarityIndex};
 use tpp_metrics::{compute_utility, utility_loss, UtilityConfig};
 use tpp_motif::Motif;
 use tpp_obs::Recorder;
-use tpp_store::VerifyMode;
+use tpp_store::{GraphDelta, VerifyMode};
 
 /// Runs a subcommand; returns an error message for the shell on failure.
 pub fn dispatch(p: &Parsed) -> Result<(), String> {
@@ -52,6 +53,8 @@ USAGE:
                [--targets u-v,u-v | --random N] [--seed S] [--threads T]
                [--batch J] [--out released.txt] [--plan plan.json]
                [--stats stats.json|-]
+               [--incremental --plan-in prior.json --delta delta.txt
+                [--plan-out repaired.json]]
   tpp attack   <edgelist> --targets u-v,... [--attacker cn|jaccard|...|katz]
                [--negatives N] [--seed S] [--threads T] [--stats stats.json|-]
   tpp kstar    <edgelist> [--motif M] [--targets ... | --random N] [--seed S]
@@ -60,8 +63,9 @@ USAGE:
                     [--stream [--chunk-mb M]] [--stats stats.json|-]
   tpp store info    <FILE.csr> [--verify full|header|none] [--shards N] [--hubs K]
   tpp store convert <FILE.csr> --out edgelist.txt [--verify full|header|none]
-  tpp serve  --socket FILE.sock [--threads T]
-  tpp client <FILE.sock> <protect|attack|info|ping|shutdown> [args...]
+  tpp serve  --socket FILE.sock [--threads T] [--max-graphs N]
+             [--max-indexes N] [--ttl-secs S]
+  tpp client <FILE.sock> <protect|attack|update|info|ping|shutdown> [args...]
 
 MOTIFS:      triangle (default), rectangle, rectri, kpath2..kpath5
 ALGORITHMS:  sgb (default), celf, ct, wt, rd, rdt
@@ -90,14 +94,31 @@ STATS:       --stats FILE (or - for stdout) writes one JSON document with
              intersection-kernel selection counts (merge/gallop/hub).
              Telemetry never changes the plan: runs with and without
              --stats are bit-identical
-SERVE:       tpp serve answers protect/attack/info requests over a unix
-             socket without restarting: loaded graphs and built coverage
-             indexes are cached across requests, one worker pool serves
-             every request, and served plans are byte-identical to the
-             one-shot CLI. tpp client sends one request (same arguments
-             as the one-shot command) and prints the reply; --stats - on
-             a served request appends the JSON (with a serve
-             cache-hit section) to the reply"
+INCREMENTAL: protect --incremental repairs a prior plan against a graph
+             delta instead of re-scoring everything: --plan-in is the
+             plan file of a finished sgb run on the base graph, --delta
+             is an edge-delta file (one op per line: `+ u v` adds the
+             edge, `- u v` removes it; # comments allowed). The delta is
+             applied to the input graph, and the greedy re-runs scoring
+             only the candidates whose gain sets the delta touched —
+             every other gain is memoized from the prior plan. The
+             repaired plan is bit-identical to a from-scratch run on the
+             mutated graph (targets and motif come from --plan-in)
+SERVE:       tpp serve answers protect/attack/update/info requests over a
+             unix socket without restarting: loaded graphs and built
+             coverage indexes are cached across requests, one worker pool
+             serves every request, and served plans are byte-identical to
+             the one-shot CLI. tpp client sends one request (same
+             arguments as the one-shot command) and prints the reply;
+             --stats - on a served request appends the JSON (with a serve
+             cache-hit section) to the reply. update <graph> --delta FILE
+             mutates a resident graph in place and patches every warm
+             coverage index over it incrementally (delete + localized
+             insert enumeration, no rebuild); the registries then serve
+             the mutated graph regardless of what is on disk.
+             --max-graphs/--max-indexes cap the registries (least-
+             recently-used entries are evicted) and --ttl-secs expires
+             idle entries"
 }
 
 /// Where `--stats` telemetry goes: `-` for stdout, anything else a file.
@@ -289,7 +310,7 @@ fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// JSON envelope written by `tpp protect --plan`.
+/// JSON envelope written by `tpp protect --plan` / `--plan-out`.
 #[derive(Serialize)]
 struct PlanFile<'a> {
     algorithm: String,
@@ -298,6 +319,132 @@ struct PlanFile<'a> {
     targets: &'a [Edge],
     plan: &'a ProtectionPlan,
     utility_loss_percent: f64,
+}
+
+/// Owned counterpart of [`PlanFile`]: what `--plan-in` reads back. The
+/// prior run's motif and target list ride in with the plan, so an
+/// incremental repair cannot silently diverge from the problem the prior
+/// plan solved.
+#[derive(Deserialize)]
+struct PlanFileIn {
+    algorithm: String,
+    motif: String,
+    #[allow(dead_code)]
+    budget: usize,
+    targets: Vec<Edge>,
+    plan: ProtectionPlan,
+    #[allow(dead_code)]
+    utility_loss_percent: f64,
+}
+
+/// Everything `protect --incremental` resolves before the greedy runs:
+/// the mutated problem, the prior run's step trail, and the delta-dirty
+/// candidate set the memoized engine re-scores.
+struct IncrementalRun {
+    motif: Motif,
+    /// The base graph with the delta applied (the new "original").
+    original: Graph,
+    /// The TPP instance over the mutated graph.
+    instance: TppInstance,
+    /// Step records of the prior run, aligned round for round.
+    prior_steps: Vec<StepRecord>,
+    /// Candidate edges whose gain sets the delta could have touched.
+    dirty: FastSet<Edge>,
+    /// Net delta sizes, for the report line.
+    removed: usize,
+    added: usize,
+}
+
+/// Resolves `--incremental`: loads the prior plan (`--plan-in`) and the
+/// edge delta (`--delta`), applies the delta to the base graph, and
+/// computes the dirty candidate set by localized through-enumeration.
+/// Targets and motif come from the plan file — the repair must solve the
+/// same problem the prior run did, just on the mutated graph.
+fn prepare_incremental(
+    p: &Parsed,
+    g: Graph,
+    algorithm: &str,
+    batch: usize,
+) -> Result<IncrementalRun, String> {
+    if algorithm != "sgb" {
+        return Err(format!(
+            "--incremental repairs SGB-Greedy plans (got --algorithm {algorithm})"
+        ));
+    }
+    if batch > 1 {
+        return Err(format!(
+            "--incremental requires --batch 1, the exact sequential greedy (got --batch {batch})"
+        ));
+    }
+    if p.flags.contains_key("targets") || p.flags.contains_key("random") {
+        return Err(
+            "--incremental takes its targets from --plan-in; drop --targets/--random".into(),
+        );
+    }
+    let plan_path = p
+        .require("plan-in")
+        .map_err(|_| "--incremental requires --plan-in <plan.json> from a prior protect run")?;
+    let delta_path = p
+        .require("delta")
+        .map_err(|_| "--incremental requires --delta <file> (`+ u v` / `- u v` lines)")?;
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("reading --plan-in {plan_path}: {e}"))?;
+    let prior: PlanFileIn =
+        serde_json::from_str(&text).map_err(|e| format!("parsing --plan-in {plan_path}: {e}"))?;
+    if prior.algorithm != "SGB-Greedy" {
+        return Err(format!(
+            "--plan-in {plan_path} holds a {} plan; --incremental repairs SGB-Greedy plans",
+            prior.algorithm
+        ));
+    }
+    let motif = Motif::from_name(&prior.motif)
+        .ok_or_else(|| format!("--plan-in {plan_path}: unknown motif {:?}", prior.motif))?;
+    if let Some(requested) = p.flags.get("motif") {
+        if requested != &prior.motif {
+            return Err(format!(
+                "--motif {requested} conflicts with the prior plan's motif {}",
+                prior.motif
+            ));
+        }
+    }
+    let delta = GraphDelta::load(std::path::Path::new(delta_path))
+        .map_err(|e| format!("loading --delta {delta_path}: {e}"))?;
+    let applied = delta
+        .apply(&g)
+        .map_err(|e| format!("applying --delta {delta_path}: {e}"))?;
+    let targets = prior.targets;
+    if let Some(t) = applied
+        .removed
+        .iter()
+        .chain(&applied.added)
+        .find(|e| targets.contains(e))
+    {
+        return Err(format!(
+            "--delta {delta_path} touches target edge {t}; incremental repair \
+             requires a stable target list"
+        ));
+    }
+    let base = TppInstance::new(g, targets.clone()).map_err(|e| e.to_string())?;
+    let original = applied.graph;
+    let instance =
+        TppInstance::new(original.clone(), targets.clone()).map_err(|e| e.to_string())?;
+    let dirty = delta_dirty_edges(
+        base.released(),
+        instance.released(),
+        &targets,
+        motif,
+        &applied.removed,
+        &applied.added,
+    );
+    Ok(IncrementalRun {
+        motif,
+        original,
+        instance,
+        prior_steps: prior.plan.steps,
+        dirty,
+        removed: applied.removed.len(),
+        added: applied.added.len(),
+    })
 }
 
 /// Warm-start inputs a resident server passes into a run; the one-shot
@@ -348,13 +495,8 @@ pub(crate) fn run_protect(
 ) -> Result<String, String> {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let motif = parse_motif(p)?;
     let budget: usize = p.require("budget")?.parse().map_err(|_| "bad --budget")?;
     let seed: u64 = p.num_or("seed", 2020u64)?;
-    let targets = parse_targets(p, &g)?;
-    let original = g.clone();
-    let instance = TppInstance::new(g, targets).map_err(|e| e.to_string())?;
-
     let algorithm = p.get_or("algorithm", "sgb");
     // 0 = all available cores (the engine resolves it), which on the
     // single-core CI container degenerates to the sequential scan.
@@ -370,16 +512,48 @@ pub(crate) fn run_protect(
              {algorithm:?} has no candidate scan to batch"
         ));
     }
+    // --incremental swaps the problem for the delta-mutated one and the
+    // scan for the memoized repair; everything downstream (report,
+    // --out, --plan) is shared, which is what keeps the repaired plan
+    // file byte-identical to a from-scratch run on the mutated graph.
+    let (motif, original, instance, incremental) = if p.has("incremental") {
+        let ir = prepare_incremental(p, g, algorithm, batch)?;
+        let dirty_len = ir.dirty.len();
+        let _ = writeln!(
+            out,
+            "incremental: delta -{}/+{} edges, {} dirty candidate(s)",
+            ir.removed, ir.added, dirty_len
+        );
+        (
+            ir.motif,
+            ir.original,
+            ir.instance,
+            Some((ir.prior_steps, ir.dirty)),
+        )
+    } else {
+        let motif = parse_motif(p)?;
+        let targets = parse_targets(p, &g)?;
+        let original = g.clone();
+        let instance = TppInstance::new(g, targets).map_err(|e| e.to_string())?;
+        (motif, original, instance, None)
+    };
+
     let mut cfg = GreedyConfig::scalable(motif)
         .with_threads(threads)
         .with_obs(recorder.clone());
-    if let Some(index) = &seeds.index {
+    if let (Some(index), None) = (&seeds.index, &incremental) {
+        // An incremental run never takes the warm seed: the registry's
+        // index covers the pre-delta graph, not the mutated instance.
         cfg = cfg.with_index_seed(std::sync::Arc::clone(index));
     }
     if let Some(pool) = &seeds.pool {
         cfg = cfg.with_shared_pool(pool.clone());
     }
     let plan = match algorithm {
+        "sgb" if incremental.is_some() => {
+            let (prior_steps, dirty) = incremental.as_ref().expect("checked above");
+            sgb_greedy_incremental(&instance, budget, prior_steps, dirty, &cfg)
+        }
         "sgb" if batch > 1 => sgb_greedy_batch(&instance, budget, batch, &cfg),
         "sgb" => sgb_greedy(&instance, budget, &cfg),
         "celf" if batch > 1 => celf_greedy_batch(&instance, budget, batch, &cfg),
@@ -426,7 +600,9 @@ pub(crate) fn run_protect(
         std::fs::write(path, write_edge_list(&released)).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "released graph -> {path}");
     }
-    if let Some(plan_path) = p.flags.get("plan") {
+    // --plan-out is an alias of --plan (the natural spelling next to
+    // --plan-in on an incremental invocation).
+    if let Some(plan_path) = p.flags.get("plan").or_else(|| p.flags.get("plan-out")) {
         let file = PlanFile {
             algorithm: plan.algorithm.to_string(),
             motif: motif.to_string(),
@@ -1041,6 +1217,231 @@ mod tests {
     }
 
     #[test]
+    fn protect_incremental_matches_from_scratch_on_the_mutated_graph() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-inc.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "hk",
+                "--nodes",
+                "150",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let g = parse_edge_list(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        let edges = g.edge_vec();
+        let targets = [edges[0], edges[edges.len() / 2]];
+        let targets_spec = format!(
+            "{}-{},{}-{}",
+            targets[0].u(),
+            targets[0].v(),
+            targets[1].u(),
+            targets[1].v()
+        );
+
+        // Prior plan on the base graph.
+        let prior_path = dir.join("prior.json");
+        dispatch(
+            &parse(&strs(&[
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "5",
+                "--targets",
+                &targets_spec,
+                "--plan",
+                prior_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+
+        // A small delta: drop two non-target edges, add two non-edges.
+        let mut view = tpp_store::DeltaView::new(&g);
+        let mut removed = 0;
+        for e in &edges {
+            if removed == 2 {
+                break;
+            }
+            if !targets.contains(e) && view.delete_edge(*e) {
+                removed += 1;
+            }
+        }
+        let mut added = 0;
+        'outer: for u in 0..g.node_count() as u32 {
+            for v in (u + 1)..g.node_count() as u32 {
+                if added == 2 {
+                    break 'outer;
+                }
+                let e = Edge::new(u, v);
+                if !g.has_edge(u, v) && !targets.contains(&e) && view.add_edge(e) {
+                    added += 1;
+                }
+            }
+        }
+        let mut delta_text = String::new();
+        for e in view.deleted_edges() {
+            delta_text.push_str(&format!("- {} {}\n", e.u(), e.v()));
+        }
+        for e in view.added_edges() {
+            delta_text.push_str(&format!("+ {} {}\n", e.u(), e.v()));
+        }
+        let delta_path = dir.join("delta.txt");
+        std::fs::write(&delta_path, &delta_text).unwrap();
+        let mutated_path = dir.join("g-inc-mutated.txt");
+        std::fs::write(&mutated_path, write_edge_list(&view.to_graph())).unwrap();
+
+        // From-scratch greedy on the mutated graph...
+        let scratch_path = dir.join("scratch.json");
+        dispatch(
+            &parse(&strs(&[
+                "protect",
+                mutated_path.to_str().unwrap(),
+                "--budget",
+                "5",
+                "--targets",
+                &targets_spec,
+                "--plan",
+                scratch_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        // ...must be byte-identical to the incremental repair of the
+        // prior plan (which re-scores only delta-dirty candidates).
+        let inc_path = dir.join("incremental.json");
+        let stats_path = dir.join("incremental-stats.json");
+        dispatch(
+            &parse(&strs(&[
+                "protect",
+                graph_path.to_str().unwrap(),
+                "--budget",
+                "5",
+                "--incremental",
+                "--plan-in",
+                prior_path.to_str().unwrap(),
+                "--delta",
+                delta_path.to_str().unwrap(),
+                "--plan-out",
+                inc_path.to_str().unwrap(),
+                "--stats",
+                stats_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&scratch_path).unwrap(),
+            std::fs::read_to_string(&inc_path).unwrap(),
+            "incremental plan diverged from the from-scratch run"
+        );
+        // The repair memoized most of the candidate scans.
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        let memo_line = stats
+            .lines()
+            .find(|l| l.contains("\"candidates_memoized\""))
+            .expect("update section present");
+        assert!(
+            !memo_line.contains(": 0,") && !memo_line.ends_with(": 0"),
+            "incremental run memoized nothing: {memo_line}"
+        );
+    }
+
+    #[test]
+    fn protect_incremental_guard_rails() {
+        let dir = tmpdir();
+        let graph_path = dir.join("g-inc-guard.txt");
+        dispatch(
+            &parse(&strs(&[
+                "generate",
+                "--model",
+                "karate",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let graph = graph_path.to_str().unwrap();
+        let prior = dir.join("guard-prior.json");
+        dispatch(
+            &parse(&strs(&[
+                "protect",
+                graph,
+                "--budget",
+                "3",
+                "--targets",
+                "0-1",
+                "--plan",
+                prior.to_str().unwrap(),
+            ]))
+            .unwrap(),
+        )
+        .unwrap();
+        let delta = dir.join("guard-delta.txt");
+        std::fs::write(&delta, "- 0 2\n").unwrap();
+        let base = vec!["protect", graph, "--budget", "3", "--incremental"];
+        let prior_s = prior.to_str().unwrap();
+        let delta_s = delta.to_str().unwrap();
+        for (extra, needle) in [
+            (vec!["--delta", delta_s], "--plan-in"),
+            (vec!["--plan-in", prior_s], "--delta"),
+            (
+                vec![
+                    "--plan-in",
+                    prior_s,
+                    "--delta",
+                    delta_s,
+                    "--algorithm",
+                    "celf",
+                ],
+                "SGB",
+            ),
+            (
+                vec!["--plan-in", prior_s, "--delta", delta_s, "--batch", "2"],
+                "--batch 1",
+            ),
+            (
+                vec!["--plan-in", prior_s, "--delta", delta_s, "--targets", "0-1"],
+                "--plan-in",
+            ),
+            (
+                vec![
+                    "--plan-in",
+                    prior_s,
+                    "--delta",
+                    delta_s,
+                    "--motif",
+                    "rectangle",
+                ],
+                "conflicts",
+            ),
+        ] {
+            let mut args = base.clone();
+            args.extend(extra);
+            let err = dispatch(&parse(&strs(&args)).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in: {err}");
+        }
+        // A delta that removes a target edge is rejected by name.
+        let target_delta = dir.join("guard-target-delta.txt");
+        std::fs::write(&target_delta, "- 0 1\n").unwrap();
+        let mut args = base.clone();
+        args.extend([
+            "--plan-in",
+            prior_s,
+            "--delta",
+            target_delta.to_str().unwrap(),
+        ]);
+        let err = dispatch(&parse(&strs(&args)).unwrap()).unwrap_err();
+        assert!(err.contains("target"), "got: {err}");
+    }
+
+    #[test]
     fn protect_batch_flag_modes() {
         let dir = tmpdir();
         let graph_path = dir.join("g-batch.txt");
@@ -1171,6 +1572,7 @@ mod tests {
             "\"store\"",
             "\"attack\"",
             "\"kernels\"",
+            "\"update\"",
         ] {
             assert!(stats.contains(key), "missing {key} in: {stats}");
         }

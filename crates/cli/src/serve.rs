@@ -22,6 +22,15 @@
 //! recovered pool locks (`tpp-exec`) keep the shared pool usable
 //! afterwards.
 //!
+//! Registries are bounded: `--max-graphs` / `--max-indexes` cap each
+//! registry (the least-recently-used entries are evicted past the cap)
+//! and `--ttl-secs` expires entries idle longer than the window; both
+//! default off. An `update <graph> --delta FILE` request mutates a
+//! resident graph in place and patches every warm coverage index over it
+//! incrementally — removals through the kill-flag delete path, insertions
+//! by localized through-enumeration — after which the registries serve
+//! the mutated graph regardless of what is on disk.
+//!
 //! ## Protocol
 //!
 //! Both directions are length-prefixed frames: a little-endian `u32` byte
@@ -38,6 +47,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 use tpp_core::{TppInstance, DEFAULT_INDEX_PARTITIONS};
 use tpp_exec::Parallelism;
 use tpp_graph::Graph;
@@ -105,11 +115,32 @@ pub fn client_main(raw: &[String]) -> Result<String, String> {
     request(socket, argv)
 }
 
-/// `tpp serve --socket FILE.sock [--threads T]`.
+/// `tpp serve --socket FILE.sock [--threads T] [--max-graphs N]
+/// [--max-indexes N] [--ttl-secs S]`.
 pub(crate) fn serve_command(p: &Parsed) -> Result<(), String> {
     let socket = p.require("socket")?.to_string();
-    let threads: usize = p.num_or("threads", 0usize)?;
-    serve(&socket, threads)
+    let options = ServeOptions {
+        threads: p.num_or("threads", 0usize)?,
+        max_graphs: p.num_or("max-graphs", 0usize)?,
+        max_indexes: p.num_or("max-indexes", 0usize)?,
+        ttl_secs: p.num_or("ttl-secs", 0u64)?,
+    };
+    serve_with_options(&socket, &options)
+}
+
+/// Sizing and eviction knobs for [`serve_with_options`]; the `Default`
+/// (everything 0) means an unbounded pool-sized server, exactly what
+/// [`serve`] runs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Shared worker pool width (`0` = all cores).
+    pub threads: usize,
+    /// Graph registry LRU cap (`0` = unlimited).
+    pub max_graphs: usize,
+    /// Index registry LRU cap (`0` = unlimited).
+    pub max_indexes: usize,
+    /// Idle TTL in seconds for both registries (`0` = never expire).
+    pub ttl_secs: u64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -126,9 +157,17 @@ fn graph_key(path: &str) -> String {
 struct GraphEntry {
     graph: Graph,
     snapshot: bool,
+    /// Last request that touched this entry (the LRU/TTL clock).
+    last_used: Instant,
 }
 
 type IndexKey = (String, String, Vec<(u32, u32)>);
+
+struct IndexEntry {
+    index: Arc<PartitionedCoverageIndex>,
+    /// Last request that touched this entry (the LRU/TTL clock).
+    last_used: Instant,
+}
 
 struct Server {
     socket: String,
@@ -138,13 +177,62 @@ struct Server {
     /// recorder sees only its own hits.
     lifetime: Recorder,
     graphs: Mutex<HashMap<String, GraphEntry>>,
-    indexes: Mutex<HashMap<IndexKey, Arc<PartitionedCoverageIndex>>>,
+    indexes: Mutex<HashMap<IndexKey, IndexEntry>>,
+    /// Registry caps and idle TTL (0s = off).
+    options: ServeOptions,
     shutdown: AtomicBool,
 }
 
+/// Applies the idle TTL and then the LRU cap to one registry; returns how
+/// many entries were dropped. LRU order ties break on the key, so
+/// eviction is deterministic even under equal timestamps.
+fn evict_registry<K: Clone + Ord + std::hash::Hash, V>(
+    map: &mut HashMap<K, V>,
+    last_used: impl Fn(&V) -> Instant,
+    cap: usize,
+    ttl: Option<Duration>,
+    now: Instant,
+) -> u64 {
+    let mut evicted = 0u64;
+    if let Some(ttl) = ttl {
+        let stale: Vec<K> = map
+            .iter()
+            .filter(|(_, v)| now.duration_since(last_used(v)) >= ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &stale {
+            map.remove(k);
+        }
+        evicted += stale.len() as u64;
+    }
+    if cap > 0 && map.len() > cap {
+        let mut order: Vec<(Instant, K)> =
+            map.iter().map(|(k, v)| (last_used(v), k.clone())).collect();
+        order.sort();
+        for (_, k) in order.into_iter().take(map.len() - cap) {
+            map.remove(&k);
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
 /// Runs the server until a `shutdown` request; removes the socket file on
-/// the way out. `threads` sizes the shared pool (`0` = all cores).
+/// the way out. `threads` sizes the shared pool (`0` = all cores);
+/// registries are unbounded — see [`serve_with_options`].
 pub fn serve(socket: &str, threads: usize) -> Result<(), String> {
+    serve_with_options(
+        socket,
+        &ServeOptions {
+            threads,
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// Runs the server until a `shutdown` request with explicit registry
+/// bounds; removes the socket file on the way out.
+pub fn serve_with_options(socket: &str, options: &ServeOptions) -> Result<(), String> {
     if std::path::Path::new(socket).exists() {
         // A connectable socket means a live server; a dead one is a stale
         // file from an unclean exit and is safe to replace.
@@ -156,10 +244,11 @@ pub fn serve(socket: &str, threads: usize) -> Result<(), String> {
     let listener = UnixListener::bind(socket).map_err(|e| format!("binding {socket}: {e}"))?;
     let server = Arc::new(Server {
         socket: socket.to_string(),
-        pool: Parallelism::new(threads),
+        pool: Parallelism::new(options.threads),
         lifetime: Recorder::enabled(),
         graphs: Mutex::new(HashMap::new()),
         indexes: Mutex::new(HashMap::new()),
+        options: options.clone(),
         shutdown: AtomicBool::new(false),
     });
     println!(
@@ -266,8 +355,10 @@ impl Server {
                 Ok("unreachable\n".into())
             }
             "protect" | "attack" => self.run(&p),
+            "update" => self.update(&p),
             other => Err(format!(
-                "unknown serve request {other:?} (expected protect, attack, info, ping, or shutdown)"
+                "unknown serve request {other:?} (expected protect, attack, update, info, ping, \
+                 or shutdown)"
             )),
         }
     }
@@ -287,6 +378,7 @@ impl Server {
         if let Some(st) = recorder.stats() {
             st.serve.requests.inc();
         }
+        self.sweep_registries(Some(&recorder));
         let kernel_base = commands::start_kernel_counting(&recorder);
         let g = self.graph_for(p, &recorder)?;
         let mut seeds = RunSeeds {
@@ -294,11 +386,154 @@ impl Server {
             pool: Some(self.pool.clone()),
         };
         if p.command == "protect" {
-            seeds.index = self.index_for(p, &g, &recorder)?;
+            // An incremental request solves the delta-mutated problem, so
+            // the registry's pre-delta index would be the wrong seed.
+            if !p.has("incremental") {
+                seeds.index = self.index_for(p, &g, &recorder)?;
+            }
             commands::run_protect(p, g, &recorder, kernel_base, stats_out.as_ref(), &seeds)
         } else {
             commands::run_attack(p, g, &recorder, kernel_base, stats_out.as_ref(), &seeds)
         }
+    }
+
+    /// TTL-expires idle registry entries and enforces the LRU caps,
+    /// folding eviction counts into the lifetime (and optionally the
+    /// request's) serve section. Runs at the top of every registry-
+    /// touching request, so limits hold before new entries pile on.
+    fn sweep_registries(&self, request: Option<&Recorder>) {
+        let now = Instant::now();
+        let ttl = (self.options.ttl_secs > 0).then(|| Duration::from_secs(self.options.ttl_secs));
+        let graphs = evict_registry(
+            &mut lock(&self.graphs),
+            |e| e.last_used,
+            self.options.max_graphs,
+            ttl,
+            now,
+        );
+        if graphs > 0 {
+            self.bump(request, |s| s.graph_evictions.add(graphs));
+        }
+        let indexes = evict_registry(
+            &mut lock(&self.indexes),
+            |e| e.last_used,
+            self.options.max_indexes,
+            ttl,
+            now,
+        );
+        if indexes > 0 {
+            self.bump(request, |s| s.index_evictions.add(indexes));
+        }
+    }
+
+    /// An `update <graph> --delta FILE` request: applies the edge delta
+    /// to the resident graph and patches every warm coverage index over
+    /// it in place — removals through the kill-flag delete path,
+    /// insertions by localized through-enumeration — instead of
+    /// rebuilding. The registries then serve the mutated graph: they
+    /// deliberately diverge from the file on disk until a restart (or an
+    /// eviction) reloads it. An index whose target list collides with the
+    /// delta cannot be patched (targets are phase-1-removed from its
+    /// released view), so it is dropped and rebuilt on next use.
+    fn update(&self, p: &Parsed) -> Result<String, String> {
+        use std::fmt::Write as _;
+        let stats_out = commands::parse_stats_flag(p)?;
+        let recorder = if stats_out.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
+        if let Some(st) = recorder.stats() {
+            st.serve.requests.inc();
+        }
+        self.sweep_registries(Some(&recorder));
+        let path = p
+            .positional
+            .first()
+            .ok_or("expected an edge-list or snapshot file argument")?;
+        let delta_path = p
+            .require("delta")
+            .map_err(|_| "update requires --delta <file> (`+ u v` / `- u v` lines)")?;
+        let delta = tpp_store::GraphDelta::load(std::path::Path::new(delta_path))
+            .map_err(|e| format!("loading --delta {delta_path}: {e}"))?;
+        // First touch of a path loads it into the registry like any other
+        // request; the delta then applies to the resident copy under the
+        // registry lock, so concurrent updates serialize.
+        self.graph_for(p, &recorder)?;
+        let key = graph_key(path);
+        let mut graphs = lock(&self.graphs);
+        let entry = graphs
+            .get_mut(&key)
+            .ok_or("graph evicted mid-update; retry")?;
+        let base = entry.graph.clone();
+        let applied = delta
+            .apply(&base)
+            .map_err(|e| format!("applying --delta {delta_path}: {e}"))?;
+        entry.graph = applied.graph.clone();
+        entry.last_used = Instant::now();
+        drop(graphs);
+
+        let mut patched = 0usize;
+        let mut dropped = 0usize;
+        let mut discovered = 0usize;
+        let mut indexes = lock(&self.indexes);
+        let keys: Vec<IndexKey> = indexes.keys().filter(|k| k.0 == key).cloned().collect();
+        for ikey in keys {
+            let collides = applied
+                .removed
+                .iter()
+                .chain(&applied.added)
+                .any(|e| ikey.2.contains(&(e.u(), e.v())));
+            if collides {
+                indexes.remove(&ikey);
+                dropped += 1;
+                continue;
+            }
+            let entry = indexes.get_mut(&ikey).expect("key listed above");
+            // Clone-on-write: requests holding the old Arc keep a
+            // consistent pre-delta index; the registry swaps to the
+            // patched one.
+            let mut idx = (*entry.index).clone();
+            idx.set_parallelism(self.pool.attach_recorder(recorder.clone()));
+            // Replay the net delta on this index's released view (its
+            // targets removed): deletions need no graph, each insertion
+            // enumerates against the state that already holds it.
+            let mut released = base.clone();
+            for &(u, v) in &ikey.2 {
+                released.remove_edge(u, v);
+            }
+            for &e in &applied.removed {
+                idx.delete_edge(e);
+                released.remove_edge(e.u(), e.v());
+            }
+            for &e in &applied.added {
+                released.add_edge(e.u(), e.v());
+                discovered += idx.insert_edge(&released, e);
+            }
+            entry.index = Arc::new(idx);
+            entry.last_used = Instant::now();
+            patched += 1;
+        }
+        drop(indexes);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "updated {path}: -{}/+{} edge(s), now {} nodes, {} edges (resident only)",
+            applied.removed.len(),
+            applied.added.len(),
+            applied.graph.node_count(),
+            applied.graph.edge_count(),
+        );
+        let _ = writeln!(
+            out,
+            "indexes: {patched} patched in place, {dropped} dropped (delta hit their targets), \
+             {discovered} instance(s) discovered",
+        );
+        if let Some(dest) = &stats_out {
+            out.push_str(&commands::stats_text(dest, &recorder)?);
+        }
+        Ok(out)
     }
 
     fn graph_for(&self, p: &Parsed, recorder: &Recorder) -> Result<Graph, String> {
@@ -307,7 +542,8 @@ impl Server {
             .first()
             .ok_or("expected an edge-list or snapshot file argument")?;
         let key = graph_key(path);
-        if let Some(entry) = lock(&self.graphs).get(&key) {
+        if let Some(entry) = lock(&self.graphs).get_mut(&key) {
+            entry.last_used = Instant::now();
             let g = entry.graph.clone();
             self.bump(Some(recorder), |s| s.graph_hits.inc());
             return Ok(g);
@@ -322,6 +558,7 @@ impl Server {
             GraphEntry {
                 graph: g.clone(),
                 snapshot,
+                last_used: Instant::now(),
             },
         );
         Ok(g)
@@ -351,8 +588,9 @@ impl Server {
             motif.to_string(),
             targets.iter().map(|e| (e.u(), e.v())).collect(),
         );
-        if let Some(index) = lock(&self.indexes).get(&key) {
-            let index = Arc::clone(index);
+        if let Some(entry) = lock(&self.indexes).get_mut(&key) {
+            entry.last_used = Instant::now();
+            let index = Arc::clone(&entry.index);
             self.bump(Some(recorder), |s| s.index_hits.inc());
             return Ok(Some(index));
         }
@@ -369,24 +607,43 @@ impl Server {
             &exec,
         ));
         self.bump(Some(recorder), |s| s.index_misses.inc());
-        lock(&self.indexes).insert(key, Arc::clone(&index));
+        lock(&self.indexes).insert(
+            key,
+            IndexEntry {
+                index: Arc::clone(&index),
+                last_used: Instant::now(),
+            },
+        );
         Ok(Some(index))
     }
 
     fn info(&self) -> String {
         use std::fmt::Write as _;
+        self.sweep_registries(None);
+        let limit = |cap: usize| {
+            if cap == 0 {
+                "unlimited".to_string()
+            } else {
+                format!("cap {cap}")
+            }
+        };
         let mut out = String::new();
         let _ = writeln!(out, "tpp serve on {}", self.socket);
         let _ = writeln!(out, "pool: {} worker thread(s)", self.pool.threads());
+        if self.options.ttl_secs > 0 {
+            let _ = writeln!(out, "idle ttl: {}s", self.options.ttl_secs);
+        }
         if let Some(st) = self.lifetime.stats() {
             let _ = writeln!(out, "requests: {}", st.serve.requests.get());
             let graphs = lock(&self.graphs);
             let _ = writeln!(
                 out,
-                "graphs: {} cached ({} hits, {} misses)",
+                "graphs: {} cached ({}, {} hits, {} misses, {} evictions)",
                 graphs.len(),
+                limit(self.options.max_graphs),
                 st.serve.graph_hits.get(),
-                st.serve.graph_misses.get()
+                st.serve.graph_misses.get(),
+                st.serve.graph_evictions.get()
             );
             let mut keys: Vec<&String> = graphs.keys().collect();
             keys.sort();
@@ -402,10 +659,12 @@ impl Server {
             }
             let _ = writeln!(
                 out,
-                "indexes: {} cached ({} hits, {} misses)",
+                "indexes: {} cached ({}, {} hits, {} misses, {} evictions)",
                 lock(&self.indexes).len(),
+                limit(self.options.max_indexes),
                 st.serve.index_hits.get(),
-                st.serve.index_misses.get()
+                st.serve.index_misses.get(),
+                st.serve.index_evictions.get()
             );
         }
         out

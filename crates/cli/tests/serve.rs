@@ -26,8 +26,22 @@ fn scratch(name: &str) -> (PathBuf, String) {
 
 /// Starts a server on its own thread and blocks until it answers pings.
 fn start_server(socket: &str, threads: usize) -> std::thread::JoinHandle<Result<(), String>> {
+    start_server_with(
+        socket,
+        serve::ServeOptions {
+            threads,
+            ..serve::ServeOptions::default()
+        },
+    )
+}
+
+/// Starts a server with explicit registry bounds and blocks until ready.
+fn start_server_with(
+    socket: &str,
+    options: serve::ServeOptions,
+) -> std::thread::JoinHandle<Result<(), String>> {
     let sock = socket.to_string();
-    let handle = std::thread::spawn(move || serve::serve(&sock, threads));
+    let handle = std::thread::spawn(move || serve::serve_with_options(&sock, &options));
     for _ in 0..200 {
         if serve::request(socket, &strs(&["ping"])).is_ok() {
             return handle;
@@ -181,6 +195,190 @@ fn panicking_request_leaves_server_and_pool_usable() {
         .unwrap();
         assert!(reply.contains("similarity"), "got: {reply}");
     }
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn stale_socket_file_is_replaced_and_live_sockets_are_refused() {
+    let (_dir, socket) = scratch("stale");
+    // Fabricate the unclean-exit case: a bound socket file whose server
+    // is gone. Dropping the listener closes the fd but leaves the file.
+    drop(std::os::unix::net::UnixListener::bind(&socket).unwrap());
+    assert!(
+        std::path::Path::new(&socket).exists(),
+        "stale socket file must exist before startup"
+    );
+    // Startup must replace the stale file and come up listening.
+    let handle = start_server(&socket, 1);
+    assert_eq!(serve::request(&socket, &strs(&["ping"])).unwrap(), "pong\n");
+    // A live server, by contrast, must be refused — never stolen.
+    let err = serve::serve(&socket, 1).unwrap_err();
+    assert!(err.contains("already listening"), "got: {err}");
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn registry_caps_evict_least_recently_used_entries() {
+    let (dir, socket) = scratch("evict");
+    let g1 = generate(&dir, "g1.txt");
+    let g2 = generate(&dir, "g2.txt");
+    let handle = start_server_with(
+        &socket,
+        serve::ServeOptions {
+            threads: 1,
+            max_graphs: 1,
+            max_indexes: 1,
+            ..serve::ServeOptions::default()
+        },
+    );
+    let protect = |graph: &str, motif: &str| {
+        serve::request(
+            &socket,
+            &strs(&[
+                "protect", graph, "--budget", "3", "--random", "3", "--motif", motif,
+            ]),
+        )
+        .unwrap()
+    };
+    // Two distinct graphs and two distinct index keys: each registry
+    // must hold only the most recent entry and count the evictions.
+    protect(&g1, "triangle");
+    protect(&g2, "triangle");
+    protect(&g2, "rectangle");
+    let info = serve::request(&socket, &strs(&["info"])).unwrap();
+    assert!(info.contains("graphs: 1 cached (cap 1"), "got: {info}");
+    assert!(info.contains("indexes: 1 cached (cap 1"), "got: {info}");
+    assert!(info.contains("1 evictions"), "got: {info}");
+    assert!(!info.contains("g1.txt"), "g1 must be evicted: {info}");
+    // The evicted graph still serves — it just reloads (a miss).
+    protect(&g1, "triangle");
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn update_request_patches_warm_indexes_to_match_from_scratch_plans() {
+    let (dir, socket) = scratch("update");
+    let graph = generate(&dir, "g.txt");
+    let g = tpp_graph::parse_edge_list(&std::fs::read_to_string(&graph).unwrap()).unwrap();
+    let edges = g.edge_vec();
+    let targets = [edges[0], edges[edges.len() / 2]];
+    let targets_spec = format!(
+        "{}-{},{}-{}",
+        targets[0].u(),
+        targets[0].v(),
+        targets[1].u(),
+        targets[1].v()
+    );
+
+    // The delta: two removals, two additions, none touching a target.
+    let mut view = tpp_store::DeltaView::new(&g);
+    let mut removed = 0;
+    for e in &edges {
+        if removed == 2 {
+            break;
+        }
+        if !targets.contains(e) && view.delete_edge(*e) {
+            removed += 1;
+        }
+    }
+    let mut added = 0;
+    'outer: for u in 0..g.node_count() as u32 {
+        for v in (u + 1)..g.node_count() as u32 {
+            if added == 2 {
+                break 'outer;
+            }
+            let e = tpp_graph::Edge::new(u, v);
+            if !g.has_edge(u, v) && !targets.contains(&e) && view.add_edge(e) {
+                added += 1;
+            }
+        }
+    }
+    let mut delta_text = String::new();
+    for e in view.deleted_edges() {
+        delta_text.push_str(&format!("- {} {}\n", e.u(), e.v()));
+    }
+    for e in view.added_edges() {
+        delta_text.push_str(&format!("+ {} {}\n", e.u(), e.v()));
+    }
+    let delta_path = dir.join("delta.txt");
+    std::fs::write(&delta_path, &delta_text).unwrap();
+    let mutated_path = dir.join("mutated.txt");
+    std::fs::write(&mutated_path, tpp_graph::write_edge_list(&view.to_graph())).unwrap();
+
+    // One-shot from-scratch run on the mutated graph: the ground truth.
+    let scratch_plan = dir.join("scratch.json");
+    dispatch(&[
+        "protect",
+        mutated_path.to_str().unwrap(),
+        "--budget",
+        "4",
+        "--targets",
+        &targets_spec,
+        "--plan",
+        scratch_plan.to_str().unwrap(),
+    ]);
+
+    let handle = start_server(&socket, 2);
+    // Warm the registries on the pre-delta graph...
+    serve::request(
+        &socket,
+        &strs(&[
+            "protect",
+            &graph,
+            "--budget",
+            "4",
+            "--targets",
+            &targets_spec,
+        ]),
+    )
+    .unwrap();
+    // ...mutate the resident graph, patching the warm index in place...
+    let reply = serve::request(
+        &socket,
+        &strs(&["update", &graph, "--delta", delta_path.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(reply.contains("-2/+2 edge(s)"), "got: {reply}");
+    assert!(reply.contains("1 patched in place"), "got: {reply}");
+    // ...and the next served plan must match the from-scratch run on the
+    // mutated graph, answered from the patched index without a rebuild.
+    let served_plan = dir.join("served.json");
+    let warm = serve::request(
+        &socket,
+        &strs(&[
+            "protect",
+            &graph,
+            "--budget",
+            "4",
+            "--targets",
+            &targets_spec,
+            "--plan",
+            served_plan.to_str().unwrap(),
+            "--stats",
+            "-",
+        ]),
+    )
+    .unwrap();
+    assert!(warm.contains("\"builds\": 0"), "index was rebuilt: {warm}");
+    assert!(warm.contains("\"index_hits\": 1"), "got: {warm}");
+    assert_eq!(
+        std::fs::read_to_string(&scratch_plan).unwrap(),
+        std::fs::read_to_string(&served_plan).unwrap(),
+        "served post-update plan diverged from the from-scratch run"
+    );
+    // A delta that removes a target edge drops the index instead.
+    let bad_delta = dir.join("bad-delta.txt");
+    std::fs::write(
+        &bad_delta,
+        format!("- {} {}\n", targets[0].u(), targets[0].v()),
+    )
+    .unwrap();
+    let reply = serve::request(
+        &socket,
+        &strs(&["update", &graph, "--delta", bad_delta.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(reply.contains("1 dropped"), "got: {reply}");
     shut_down(&socket, handle);
 }
 

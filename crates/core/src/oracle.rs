@@ -57,6 +57,15 @@ pub trait GainOracle {
     fn candidates(&self, policy: CandidatePolicy) -> Vec<Edge>;
     /// Permanently deletes `p`; returns the realized gain.
     fn commit(&mut self, p: Edge) -> usize;
+    /// Applies an edge **insertion** to the oracle's committed state (a
+    /// graph-delta addition, the mirror of [`commit`](Self::commit));
+    /// returns the similarity increase. `e` must be absent and must not be
+    /// a target. Oracles without an insertion path keep the default, which
+    /// panics — the incremental re-protection flow only drives oracles
+    /// that override it.
+    fn insert_edge(&mut self, e: Edge) -> usize {
+        panic!("this oracle does not support edge insertion ({e})");
+    }
     /// Permanently deletes a batch of edges; returns the per-edge realized
     /// gains in input order. The default commits sequentially; oracles with
     /// a partition-parallel index override it with one shard-parallel
@@ -261,6 +270,11 @@ impl GainOracle for IndexOracle {
         self.index.delete_edges(edges)
     }
 
+    fn insert_edge(&mut self, e: Edge) -> usize {
+        self.graph.add_edge(e.u(), e.v());
+        self.index.insert_edge(&self.graph, e)
+    }
+
     fn gain_set(&mut self, p: Edge) -> Option<Vec<InstanceId>> {
         Some(self.index.alive_instance_ids(p))
     }
@@ -370,6 +384,12 @@ impl GainOracle for NaiveOracle {
         let before = self.total_similarity();
         self.graph.remove_edge(p.u(), p.v());
         before - self.total_similarity()
+    }
+
+    fn insert_edge(&mut self, e: Edge) -> usize {
+        let before = self.total_similarity();
+        self.graph.add_edge(e.u(), e.v());
+        self.total_similarity() - before
     }
 
     fn target_count(&self) -> usize {
@@ -518,6 +538,17 @@ impl<B: NeighborAccess> GainOracle for SnapshotOracle<'_, B> {
         broken
     }
 
+    fn insert_edge(&mut self, e: Edge) -> usize {
+        if !self.view.add_edge(e) {
+            return 0;
+        }
+        self.current_per_target = count_each(&self.view, &self.targets, self.motif);
+        let after: usize = self.current_per_target.iter().sum();
+        let gained = after - self.current_total;
+        self.current_total = after;
+        gained
+    }
+
     fn target_count(&self) -> usize {
         self.targets.len()
     }
@@ -625,6 +656,10 @@ impl GainOracle for AnyOracle<'_> {
 
     fn commit_batch(&mut self, edges: &[Edge]) -> Vec<usize> {
         any_oracle_delegate!(self, o => o.commit_batch(edges))
+    }
+
+    fn insert_edge(&mut self, e: Edge) -> usize {
+        any_oracle_delegate!(self, o => o.insert_edge(e))
     }
 
     fn gain_set(&mut self, p: Edge) -> Option<Vec<InstanceId>> {

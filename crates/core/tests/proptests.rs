@@ -5,10 +5,10 @@
 use proptest::prelude::*;
 use tpp_bench::fixtures::er_instance;
 use tpp_core::{
-    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy, ct_greedy_batch, divide_budget,
-    random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch, verify_plan,
-    wt_greedy, wt_greedy_batch, BudgetDivision, EvaluatorKind, GreedyConfig, ObsConfig,
-    TppInstance,
+    celf_greedy, celf_greedy_batch, critical_budget, ct_greedy, ct_greedy_batch, delta_dirty_edges,
+    divide_budget, random_deletion, random_deletion_from_subgraphs, sgb_greedy, sgb_greedy_batch,
+    sgb_greedy_incremental, verify_plan, wt_greedy, wt_greedy_batch, BudgetDivision, EvaluatorKind,
+    GreedyConfig, ObsConfig, TppInstance,
 };
 use tpp_graph::{Edge, FastSet};
 use tpp_motif::Motif;
@@ -389,6 +389,62 @@ proptest! {
             prop_assert_eq!(wt_full.final_similarity, wt_b.final_similarity);
             let celf_b = celf_greedy_batch(&instance, usize::MAX, j, &cfg);
             prop_assert_eq!(celf_full.final_similarity, celf_b.final_similarity);
+        }
+    }
+
+    /// The incremental-repair contract on random instances and deltas:
+    /// `sgb_greedy_incremental` over a prior plan plus the dirty set from
+    /// `delta_dirty_edges` is **bit-identical** to the from-scratch greedy
+    /// on the mutated instance, for `threads ∈ {1, 2, 4}`.
+    #[test]
+    fn incremental_repair_is_bit_identical_to_from_scratch(
+        instance in instance_strategy(),
+        k in 1usize..=4,
+        removals in 0usize..=2,
+        additions in 0usize..=2,
+    ) {
+        let motif = Motif::Triangle;
+        let targets = instance.targets().to_vec();
+        // Small non-target delta against the released graph.
+        let base_released = instance.released();
+        let mut view = tpp_store::DeltaView::new(base_released);
+        let mut done = 0usize;
+        for e in base_released.edge_vec() {
+            if done == removals { break; }
+            if view.delete_edge(e) { done += 1; }
+        }
+        done = 0;
+        'outer: for u in 0..base_released.node_count() as u32 {
+            for v in (u + 1)..base_released.node_count() as u32 {
+                if done == additions { break 'outer; }
+                let e = Edge::new(u, v);
+                if !base_released.has_edge(u, v)
+                    && !targets.contains(&e)
+                    && view.add_edge(e)
+                {
+                    done += 1;
+                }
+            }
+        }
+        let (removed, added) = (view.deleted_edges(), view.added_edges());
+        // Rebuild the mutated instance from original = released + targets,
+        // so phase 1 re-removes the same target edges.
+        let mut mutated_original = view.to_graph();
+        for t in &targets {
+            mutated_original.add_edge(t.u(), t.v());
+        }
+        let mutated = TppInstance::new(mutated_original, targets.clone()).unwrap();
+
+        let cfg = GreedyConfig::scalable(motif);
+        let prior = sgb_greedy(&instance, k, &cfg);
+        let dirty = delta_dirty_edges(
+            base_released, mutated.released(), &targets, motif, &removed, &added);
+        let scratch = sgb_greedy(&mutated, k, &cfg);
+        for threads in [1usize, 2, 4] {
+            let inc = sgb_greedy_incremental(
+                &mutated, k, &prior.steps, &dirty, &cfg.clone().with_threads(threads));
+            prop_assert_eq!(&scratch, &inc,
+                "-{}/+{} x{} diverged", removed.len(), added.len(), threads);
         }
     }
 }

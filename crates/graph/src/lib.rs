@@ -39,6 +39,6 @@ pub use edge::{Edge, NodeId};
 pub use edgelist::{parse_edge_list, read_edge_list_file, write_edge_list, write_edge_list_file};
 pub use error::GraphError;
 pub use graph::Graph;
-pub use hash::{FastMap, FastSet};
+pub use hash::{fast_map_with_capacity, fast_set_with_capacity, FastMap, FastSet};
 pub use kernels::{HubBitsets, KernelCounts};
 pub use view::MaskedGraph;

@@ -184,6 +184,313 @@ fn enumerate_rectris<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
     }
 }
 
+/// Enumerates the target subgraphs of `motif` for target `(u, v)` that
+/// **contain the edge `e`** — the localized discovery pass behind
+/// incremental index maintenance.
+///
+/// Called on the post-insert graph (`e` present), this returns exactly the
+/// instances the insertion of `e` created: instance validity depends only
+/// on an instance's own edges, so the instances of `G + e` minus those of
+/// `G` are precisely the ones through `e`. Cost is neighborhood-local to
+/// `e`'s endpoints instead of a full re-enumeration.
+///
+/// `e = (u, v)` itself yields nothing: the target link is never part of an
+/// instance.
+#[must_use]
+pub fn enumerate_target_subgraphs_through<G: NeighborAccess>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    motif: Motif,
+    target_idx: usize,
+    e: Edge,
+) -> Vec<MotifInstance> {
+    let mut out = Vec::new();
+    if e == Edge::new(u, v) {
+        return out;
+    }
+    let mut push = |edges: Vec<Edge>| out.push(MotifInstance::new(target_idx, edges));
+    match motif {
+        Motif::Triangle => enumerate_k_paths_through(g, u, v, 2, e, &mut push),
+        Motif::Rectangle => enumerate_k_paths_through(g, u, v, 3, e, &mut push),
+        Motif::RecTri => enumerate_rectris_through(g, u, v, e, &mut push),
+        Motif::KPath(k) => enumerate_k_paths_through(g, u, v, k as usize, e, &mut push),
+    }
+    out
+}
+
+/// Simple `k`-paths from `u` to `v` that traverse the edge `e`: for each
+/// orientation of `e = (a, b)` and each position `i` the edge can occupy,
+/// a prefix leg `u ⤳ a` of `i` edges and a suffix leg `b ⤳ v` of
+/// `k - 1 - i` edges are enumerated depth-first over one shared visited
+/// set, so the assembled walk is simple. Each qualifying path contains `e`
+/// exactly once at one (orientation, position), so no path is emitted
+/// twice.
+fn enumerate_k_paths_through<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    k: usize,
+    e: Edge,
+    emit: &mut F,
+) {
+    debug_assert!(k >= 2, "k-path motifs start at k = 2");
+    let (a, b) = (e.u(), e.v());
+    let mut visited = vec![false; g.node_count()];
+    for n in [u, v, a, b] {
+        if (n as usize) < visited.len() {
+            visited[n as usize] = true;
+        }
+    }
+    let mut edges: Vec<Edge> = Vec::with_capacity(k);
+    edges.push(e);
+    for (s, t) in [(a, b), (b, a)] {
+        // `s` sits at path position i (never the terminal node), `t` at
+        // i + 1 (never the start): orientations touching u/v the wrong
+        // way around cannot occur on a simple u ⤳ v path.
+        if s == v || t == u {
+            continue;
+        }
+        for i in 0..k {
+            if (s == u) != (i == 0) || (t == v) != (i == k - 1) {
+                continue;
+            }
+            dfs_leg(
+                g,
+                u,
+                s,
+                i,
+                Some((t, v, k - 1 - i)),
+                &mut visited,
+                &mut edges,
+                emit,
+            );
+        }
+    }
+}
+
+/// Depth-first enumeration of one simple-path leg from `current` to `goal`
+/// in exactly `remaining` edges over unvisited interior nodes. On
+/// completion, either recurses into `next_leg` (the suffix leg of a
+/// through-path, sharing the same visited set and edge buffer) or emits
+/// the assembled edge set.
+#[allow(clippy::too_many_arguments)] // recursive DFS plumbing: shared visited/edge buffers
+fn dfs_leg<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    current: NodeId,
+    goal: NodeId,
+    remaining: usize,
+    next_leg: Option<(NodeId, NodeId, usize)>,
+    visited: &mut [bool],
+    edges: &mut Vec<Edge>,
+    emit: &mut F,
+) {
+    if remaining == 0 {
+        debug_assert_eq!(current, goal, "zero-length leg must start at its goal");
+        match next_leg {
+            Some((start, goal2, len2)) => {
+                dfs_leg(g, start, goal2, len2, None, visited, edges, emit);
+            }
+            None => emit(edges.clone()),
+        }
+        return;
+    }
+    if remaining == 1 {
+        // The goal is pre-marked visited, so the neighbor loop below could
+        // never arrive: the final hop is an explicit adjacency test.
+        if g.has_edge(current, goal) {
+            edges.push(Edge::new(current, goal));
+            match next_leg {
+                Some((start, goal2, len2)) => {
+                    dfs_leg(g, start, goal2, len2, None, visited, edges, emit);
+                }
+                None => emit(edges.clone()),
+            }
+            edges.pop();
+        }
+        return;
+    }
+    for next in g.neighbors_iter(current) {
+        if visited[next as usize] {
+            continue;
+        }
+        visited[next as usize] = true;
+        edges.push(Edge::new(current, next));
+        dfs_leg(g, next, goal, remaining - 1, next_leg, visited, edges, emit);
+        edges.pop();
+        visited[next as usize] = false;
+    }
+}
+
+/// RecTri instances through `e`: every instance is a `(w, orientation, x)`
+/// triple (see [`enumerate_rectris`]) whose four edges are pairwise
+/// distinct, so `e` matches exactly one of the four edge slots — each slot
+/// case below reconstructs the triples with `e` in that slot, and no
+/// instance is emitted twice.
+fn enumerate_rectris_through<G: NeighborAccess, F: FnMut(Vec<Edge>)>(
+    g: &G,
+    u: NodeId,
+    v: NodeId,
+    e: Edge,
+    emit: &mut F,
+) {
+    let (p, q) = (e.u(), e.v());
+    let emit_a = |emit: &mut F, w: NodeId, x: NodeId| {
+        emit(vec![
+            Edge::new(u, w),
+            Edge::new(w, v),
+            Edge::new(u, x),
+            Edge::new(x, w),
+        ]);
+    };
+    let emit_b = |emit: &mut F, w: NodeId, x: NodeId| {
+        emit(vec![
+            Edge::new(u, w),
+            Edge::new(w, v),
+            Edge::new(w, x),
+            Edge::new(x, v),
+        ]);
+    };
+    for (s, t) in [(p, q), (q, p)] {
+        if s == u {
+            // Slot e = (u, w): every type-A and type-B triple of w is new.
+            let w = t;
+            if w != v && g.has_edge(w, v) {
+                g.for_each_common_neighbor(u, w, |x| {
+                    if x != v && x != u && x != w {
+                        emit_a(emit, w, x);
+                    }
+                });
+                g.for_each_common_neighbor(w, v, |x| {
+                    if x != u && x != v && x != w {
+                        emit_b(emit, w, x);
+                    }
+                });
+            }
+            // Slot e = (u, x) of a type-A triple: x fixed, w varies.
+            let x = t;
+            if x != v {
+                g.for_each_common_neighbor(u, v, |w| {
+                    if w != x && g.has_edge(x, w) {
+                        emit_a(emit, w, x);
+                    }
+                });
+            }
+        } else if s == v {
+            // Slot e = (w, v): every triple of w is new.
+            let w = t;
+            if w != u && g.has_edge(u, w) {
+                g.for_each_common_neighbor(u, w, |x| {
+                    if x != v && x != u && x != w {
+                        emit_a(emit, w, x);
+                    }
+                });
+                g.for_each_common_neighbor(w, v, |x| {
+                    if x != u && x != v && x != w {
+                        emit_b(emit, w, x);
+                    }
+                });
+            }
+            // Slot e = (x, v) of a type-B triple: x fixed, w varies.
+            let x = t;
+            if x != u {
+                g.for_each_common_neighbor(u, v, |w| {
+                    if w != x && g.has_edge(w, x) {
+                        emit_b(emit, w, x);
+                    }
+                });
+            }
+        } else if t != u && t != v {
+            // Neither endpoint is u or v: e can only be the (x, w) edge of
+            // a type-A triple or the (w, x) edge of a type-B triple.
+            let (x, w) = (s, t);
+            if g.has_edge(u, w) && g.has_edge(w, v) && g.has_edge(u, x) {
+                emit_a(emit, w, x);
+            }
+            let (w, x) = (s, t);
+            if g.has_edge(u, w) && g.has_edge(w, v) && g.has_edge(x, v) {
+                emit_b(emit, w, x);
+            }
+        }
+    }
+}
+
+/// Whether the radius-1 target locality filter is **sound** for `motif`:
+/// every instance of `motif` containing an edge `e = (p, q)` has at least
+/// one target endpoint inside `ball1(e) = {p, q} ∪ N(p) ∪ N(q)`, so
+/// targets with both endpoints outside the ball can be skipped without
+/// enumerating. This turns a delta-sized update from
+/// `O(|targets| · local)` into work local to `e`'s endpoints.
+///
+/// Soundness, per motif (instance edges are graph edges, so instance
+/// adjacency implies ball membership; `a`/`b` are the target endpoints):
+///
+/// * `Triangle` (path `a–w–b`): both edges touch a target endpoint.
+/// * `Rectangle` (path `a–x–y–b`): the middle edge `(x, y)` has
+///   `a ∈ N(x)` via instance edge `(a, x)`; the legs touch directly.
+/// * `KPath(k ≤ 4)` (path `a–n₁–…–b`): every edge is within one hop of a
+///   terminal — e.g. in a 4-path, `(n₁, n₂)` has `a ∈ N(n₁)` and
+///   `(n₂, n₃)` has `b ∈ N(n₃)`.
+/// * `RecTri` (triple `{(a,w),(w,b),(a,x),(x,w)}` or mirrored): edges
+///   incident to `a`/`b` qualify directly; `(x, w)` has `a ∈ N(x)` via
+///   `(a, x)`, and `(w, x)` of the mirrored triple has `b ∈ N(x)` via
+///   `(x, b)`.
+/// * `KPath(5)` is the exception (`false` — no filter): the middle edge
+///   `(n₂, n₃)` of `a–n₁–n₂–n₃–n₄–b` sits at distance 2 from **both**
+///   terminals.
+pub(crate) fn locality_filter_applies(motif: Motif) -> bool {
+    !matches!(motif, Motif::KPath(k) if k >= 5)
+}
+
+/// Materializes `ball1(e)` as a node set for the locality pre-filter, or
+/// `None` when the filter is unsound for `motif` (see
+/// [`locality_filter_applies`]).
+pub(crate) fn through_target_ball<G: NeighborAccess>(
+    g: &G,
+    motif: Motif,
+    e: Edge,
+) -> Option<tpp_graph::FastSet<NodeId>> {
+    if !locality_filter_applies(motif) {
+        return None;
+    }
+    let mut ball = tpp_graph::fast_set_with_capacity(2 + g.degree(e.u()) + g.degree(e.v()));
+    for n in [e.u(), e.v()] {
+        ball.insert(n);
+        ball.extend(g.neighbors_iter(n));
+    }
+    Some(ball)
+}
+
+/// `true` when the target `t` can participate in instances through the
+/// edge whose [`through_target_ball`] is `ball` (`None` = unfiltered).
+pub(crate) fn ball_admits(ball: &Option<tpp_graph::FastSet<NodeId>>, t: Edge) -> bool {
+    ball.as_ref()
+        .is_none_or(|b| b.contains(&t.u()) || b.contains(&t.v()))
+}
+
+/// Accumulates into `out` every edge of every instance of `motif` (over
+/// all `targets`) that contains `e` — the dirty-candidate set one edge of
+/// a graph delta contributes to a memoized re-protection run. Evaluate on
+/// the graph **containing** `e`: the post-insert graph for additions, the
+/// pre-delete graph for removals.
+pub fn collect_instance_edges_through<G: NeighborAccess>(
+    g: &G,
+    targets: &[Edge],
+    motif: Motif,
+    e: Edge,
+    out: &mut tpp_graph::FastSet<Edge>,
+) {
+    let ball = through_target_ball(g, motif, e);
+    for (idx, t) in targets.iter().enumerate() {
+        if !ball_admits(&ball, *t) {
+            continue;
+        }
+        for inst in enumerate_target_subgraphs_through(g, t.u(), t.v(), motif, idx, e) {
+            out.extend(inst.edges().iter().copied());
+        }
+    }
+}
+
 /// Counts instances of `motif` for every target, returning per-target counts.
 /// This is the vector of similarities `s(P, t)` evaluated on `g` as-is.
 #[must_use]
@@ -351,6 +658,144 @@ mod tests {
         g.remove_edge(0, 1);
         assert_eq!(count_target_subgraphs(&g, 0, 1, Motif::KPath(5)), 1);
         assert_eq!(count_target_subgraphs(&g, 0, 1, Motif::KPath(4)), 0);
+    }
+
+    /// Sorted instance sets for set-difference comparison.
+    fn sorted(mut v: Vec<MotifInstance>) -> Vec<MotifInstance> {
+        v.sort_by(|x, y| x.edges().cmp(y.edges()));
+        v
+    }
+
+    #[test]
+    fn through_enumeration_is_the_insertion_difference() {
+        // For every motif, every target, and a spread of inserted edges:
+        // instances through e on G+e == instances(G+e) \ instances(G).
+        let base = tpp_graph::generators::erdos_renyi_gnp(40, 0.12, 21);
+        let targets = [(0u32, 1u32), (3, 9), (10, 20)];
+        let inserts = [
+            Edge::new(0, 5),   // incident to a target endpoint
+            Edge::new(9, 14),  // incident to another target endpoint
+            Edge::new(17, 31), // generic middle edge
+            Edge::new(2, 39),  // touches the last node
+        ];
+        for motif in [
+            Motif::Triangle,
+            Motif::Rectangle,
+            Motif::RecTri,
+            Motif::KPath(4),
+            Motif::KPath(5),
+        ] {
+            for &(u, v) in &targets {
+                let mut g = base.clone();
+                g.remove_edge(u, v);
+                for &e in &inserts {
+                    let mut g2 = g.clone();
+                    if g2.contains(e) {
+                        g2.remove_edge(e.u(), e.v());
+                    }
+                    let before = sorted(enumerate_target_subgraphs(&g2, u, v, motif, 0));
+                    g2.add_edge(e.u(), e.v());
+                    let after = sorted(enumerate_target_subgraphs(&g2, u, v, motif, 0));
+                    let through =
+                        sorted(enumerate_target_subgraphs_through(&g2, u, v, motif, 0, e));
+                    let fresh: Vec<MotifInstance> = after
+                        .iter()
+                        .filter(|i| !before.contains(i))
+                        .cloned()
+                        .collect();
+                    assert_eq!(
+                        through, fresh,
+                        "{motif} target ({u},{v}) insert {e}: through != difference"
+                    );
+                    assert!(
+                        through.iter().all(|i| i.contains(e)),
+                        "{motif}: every through-instance must contain {e}"
+                    );
+                    assert!(
+                        through.windows(2).all(|w| w[0] != w[1]),
+                        "{motif} insert {e}: duplicate through-instances"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn through_enumeration_of_target_edge_is_empty() {
+        let g = two_triangle_graph();
+        for motif in Motif::ALL {
+            assert!(
+                enumerate_target_subgraphs_through(&g, 0, 1, motif, 0, Edge::new(0, 1)).is_empty(),
+                "{motif}: the target link is never part of an instance"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_through_edges_unions_instance_edges() {
+        let mut g = tpp_graph::generators::erdos_renyi_gnp(30, 0.2, 44);
+        let targets = vec![Edge::new(0, 1), Edge::new(4, 9)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        let e = Edge::new(2, 7);
+        if !g.contains(e) {
+            g.add_edge(e.u(), e.v());
+        }
+        let mut dirty: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+        collect_instance_edges_through(&g, &targets, Motif::Triangle, e, &mut dirty);
+        let mut expect: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+        for (idx, t) in targets.iter().enumerate() {
+            for inst in
+                enumerate_target_subgraphs_through(&g, t.u(), t.v(), Motif::Triangle, idx, e)
+            {
+                expect.extend(inst.edges().iter().copied());
+            }
+        }
+        let mut a: Vec<Edge> = dirty.into_iter().collect();
+        let mut b: Vec<Edge> = expect.into_iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    /// The radius-1 target pre-filter must change nothing: for every
+    /// motif (including `KPath(5)`, which disables the filter — a 5-path's
+    /// middle edge sits two hops from both terminals) and every edge of a
+    /// dense-ish random graph, the filtered collection equals the
+    /// brute-force all-targets union.
+    #[test]
+    fn ball_filter_matches_unfiltered_collection() {
+        let mut g = tpp_graph::generators::erdos_renyi_gnp(24, 0.18, 77);
+        let targets = vec![Edge::new(0, 12), Edge::new(3, 19), Edge::new(7, 8)];
+        for t in &targets {
+            g.remove_edge(t.u(), t.v());
+        }
+        let motifs = [
+            Motif::Triangle,
+            Motif::Rectangle,
+            Motif::RecTri,
+            Motif::KPath(4),
+            Motif::KPath(5),
+        ];
+        for motif in motifs {
+            for e in g.edge_vec() {
+                let mut filtered: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+                collect_instance_edges_through(&g, &targets, motif, e, &mut filtered);
+                let mut reference: tpp_graph::FastSet<Edge> = tpp_graph::FastSet::default();
+                for (idx, t) in targets.iter().enumerate() {
+                    for inst in enumerate_target_subgraphs_through(&g, t.u(), t.v(), motif, idx, e)
+                    {
+                        reference.extend(inst.edges().iter().copied());
+                    }
+                }
+                let mut a: Vec<Edge> = filtered.into_iter().collect();
+                let mut b: Vec<Edge> = reference.into_iter().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "filtered collection diverged for {motif} through {e}");
+            }
+        }
     }
 
     #[test]

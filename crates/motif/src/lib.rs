@@ -31,7 +31,10 @@ mod partitioned;
 mod pattern;
 
 pub use coverage::{CoverageIndex, InstanceId};
-pub use enumerate::{count_all_targets, count_target_subgraphs, enumerate_target_subgraphs};
+pub use enumerate::{
+    collect_instance_edges_through, count_all_targets, count_target_subgraphs,
+    enumerate_target_subgraphs, enumerate_target_subgraphs_through,
+};
 pub use instance::MotifInstance;
 pub use partitioned::PartitionedCoverageIndex;
 pub use pattern::Motif;

@@ -129,6 +129,11 @@ pub struct PartitionedCoverageIndex {
     /// falls in that range). `bounds.len() == shards.len() + 1`.
     bounds: Vec<NodeId>,
     shards: Vec<IndexShard>,
+    /// Inverted target map: node → indexes of targets with that endpoint.
+    /// Lets [`insert_edge`](Self::insert_edge) find the targets whose
+    /// instances a new edge can touch by probing the edge's radius-1 ball
+    /// (degree-sized) instead of scanning the full target list.
+    targets_by_node: FastMap<NodeId, Vec<u32>>,
     /// Executor handle for the per-shard commit phase (sequential handles
     /// run commits inline). Clones of the index share the same pool.
     exec: Parallelism,
@@ -136,6 +141,17 @@ pub struct PartitionedCoverageIndex {
     kill_scratch: Vec<InstanceId>,
     /// Reusable per-shard decrement-op buffers.
     op_scratch: Vec<Vec<Edge>>,
+}
+
+/// Builds the node → target-indexes inverted map (two entries per target,
+/// one when the endpoints coincide — which [`Edge`] forbids anyway).
+fn invert_targets(targets: &[Edge]) -> FastMap<NodeId, Vec<u32>> {
+    let mut by_node: FastMap<NodeId, Vec<u32>> = FastMap::default();
+    for (ti, t) in targets.iter().enumerate() {
+        by_node.entry(t.u()).or_default().push(ti as u32);
+        by_node.entry(t.v()).or_default().push(ti as u32);
+    }
+    by_node
 }
 
 impl PartitionedCoverageIndex {
@@ -175,6 +191,7 @@ impl PartitionedCoverageIndex {
         let op_scratch = vec![Vec::new(); shard_count];
         PartitionedCoverageIndex {
             motif,
+            targets_by_node: invert_targets(targets),
             targets: targets.to_vec(),
             alive: vec![true; instances.len()],
             instances,
@@ -340,6 +357,7 @@ impl PartitionedCoverageIndex {
         let op_scratch = vec![Vec::new(); shard_count];
         let built = PartitionedCoverageIndex {
             motif,
+            targets_by_node: invert_targets(targets),
             targets: targets.to_vec(),
             alive: vec![true; total_instances],
             instances,
@@ -589,6 +607,131 @@ impl PartitionedCoverageIndex {
         broken_out
     }
 
+    /// Applies an edge **insertion** to the index: localized enumeration
+    /// around `e` (see
+    /// [`enumerate_target_subgraphs_through`](crate::enumerate_target_subgraphs_through))
+    /// discovers exactly the instances the insertion created, and each one
+    /// is appended as a fresh alive instance — postings append in the
+    /// owning shard of each instance edge, alive counts increment, and
+    /// retired-then-revived candidate edges re-enter their shard's sorted
+    /// candidate list in place. The mirror image of the kill-flag delete
+    /// path: deletes only flip instances dead, inserts only append live
+    /// ones, and neither renumbers existing instances.
+    ///
+    /// `g` must be the **post-insert** graph (`e` already present); apply
+    /// multi-edge deltas one edge at a time, each against the graph state
+    /// containing every edge inserted so far, or instances spanning two
+    /// new edges are discovered twice. Returns the number of instances
+    /// discovered (the similarity increase).
+    ///
+    /// Queries and subsequent deletions on the updated index are
+    /// indistinguishable from a rebuild on the mutated graph: counts,
+    /// gains, and candidate lists agree exactly (instance *ids* may
+    /// differ — a reinserted edge revives killed instances under fresh
+    /// ids — which no query observes).
+    ///
+    /// # Panics
+    /// Panics if `e` is absent from `g`, is one of the index's targets, or
+    /// already participates in alive instances (a double insertion).
+    pub fn insert_edge<G: NeighborAccess>(&mut self, g: &G, e: Edge) -> usize {
+        assert!(
+            g.has_edge(e.u(), e.v()),
+            "insert_edge({e}) requires the post-insert graph: edge absent"
+        );
+        assert!(
+            !self.targets.contains(&e),
+            "cannot insert target edge {e}: targets stay deleted (phase 1)"
+        );
+        // A genuinely new edge cannot already sit in an alive instance:
+        // an alive posting here means `e` was present (and indexed) before
+        // the claimed insertion, and enumerating would double-count.
+        assert!(
+            self.shards[owner_shard(&self.bounds, e.u())]
+                .postings
+                .get(&e)
+                .is_none_or(|po| po.alive == 0),
+            "insert_edge({e}): edge already participates in alive instances (double insertion)"
+        );
+        let stats = self.exec.recorder().stats();
+        let mut discovered = 0usize;
+        let mut appended = 0u64;
+        // Radius-1 locality: only targets with an endpoint within one hop
+        // of `e` can gain instances through it (sound for every motif but
+        // KPath(5) — see `enumerate::locality_filter_applies`). Probing
+        // the ball's nodes against the inverted target map keeps the cost
+        // degree-local: O(deg(u) + deg(v)) map lookups instead of a scan
+        // over every target.
+        let tids: Vec<u32> = if crate::enumerate::locality_filter_applies(self.motif) {
+            let mut tids = Vec::new();
+            for n in [e.u(), e.v()]
+                .into_iter()
+                .chain(g.neighbors_iter(e.u()))
+                .chain(g.neighbors_iter(e.v()))
+            {
+                if let Some(hits) = self.targets_by_node.get(&n) {
+                    tids.extend_from_slice(hits);
+                }
+            }
+            // Overlapping neighborhoods and two-endpoint hits duplicate
+            // entries; instances append in ascending-target order either
+            // way, matching the unfiltered scan.
+            tids.sort_unstable();
+            tids.dedup();
+            tids
+        } else {
+            (0..self.targets.len() as u32).collect()
+        };
+        for ti in tids {
+            let ti = ti as usize;
+            let t = self.targets[ti];
+            let found = crate::enumerate::enumerate_target_subgraphs_through(
+                g,
+                t.u(),
+                t.v(),
+                self.motif,
+                ti,
+                e,
+            );
+            discovered += found.len();
+            for inst in found {
+                let id = self.instances.len() as InstanceId;
+                for &edge in inst.edges() {
+                    let shard = &mut self.shards[owner_shard(&self.bounds, edge.u())];
+                    let po = shard.postings.entry(edge).or_insert_with(|| Posting {
+                        ids: Vec::new(),
+                        alive: 0,
+                    });
+                    if po.alive == 0 {
+                        // Compaction keeps candidate lists exactly the
+                        // alive>0 edges, so a zero-count posting is never
+                        // listed: insert at the sorted position.
+                        match shard.alive_candidates.binary_search(&edge) {
+                            Ok(_) => unreachable!("dead edge {edge} still listed as candidate"),
+                            Err(pos) => shard.alive_candidates.insert(pos, edge),
+                        }
+                    }
+                    // `id` exceeds every existing id, so the posting's id
+                    // list stays ascending without a sort.
+                    po.ids.push(id);
+                    po.alive += 1;
+                    appended += 1;
+                }
+                self.alive.push(true);
+                self.per_target_alive[ti] += 1;
+                self.alive_total += 1;
+                self.instances.push(inst);
+            }
+        }
+        if let Some(st) = stats {
+            st.update.inserts.inc();
+            st.update.instances_discovered.add(discovered as u64);
+            st.update.postings_appended.add(appended);
+        }
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+        discovered
+    }
+
     /// Edges participating in at least one alive instance, sorted
     /// canonically: the concatenation of the per-shard candidate lists
     /// (shard ownership follows ascending lower-endpoint ranges, so the
@@ -797,6 +940,148 @@ mod tests {
         assert_eq!(st.index.commits.get(), st.index.instances_killed.count());
         assert!(st.index.commits.get() > 0);
         assert!(st.index.compactions.get() > 0, "full teardown must compact");
+    }
+
+    /// The first `count` canonical non-edges of `g` that avoid `targets`
+    /// (deterministic scan order, so failures replay).
+    fn non_edges(g: &Graph, targets: &[Edge], count: usize) -> Vec<Edge> {
+        let n = g.node_count() as u32;
+        let mut out = Vec::new();
+        'scan: for u in 0..n {
+            for v in (u + 1)..n {
+                let e = Edge::new(u, v);
+                if !g.contains(e) && !targets.contains(&e) {
+                    out.push(e);
+                    if out.len() == count {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Queries of `idx` must be indistinguishable from `rebuilt` (a fresh
+    /// build on the mutated graph): counts, candidates, and gains.
+    fn assert_matches_rebuild(idx: &PartitionedCoverageIndex, rebuilt: &PartitionedCoverageIndex) {
+        assert_eq!(idx.total_similarity(), rebuilt.total_similarity());
+        assert_eq!(idx.similarities(), rebuilt.similarities());
+        assert_eq!(idx.alive_candidate_edges(), rebuilt.alive_candidate_edges());
+        for p in rebuilt.alive_candidate_edges() {
+            assert_eq!(idx.gain(p), rebuilt.gain(p), "gain({p})");
+            assert_eq!(idx.gain_vector(p), rebuilt.gain_vector(p));
+        }
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn insert_then_query_equals_rebuild_for_all_parts() {
+        let (g, targets) = fixture();
+        // A deterministic non-edge batch (includes target-endpoint-incident
+        // edges: the scan starts at node 0).
+        let adds = non_edges(&g, &targets, 3);
+        assert_eq!(adds.len(), 3);
+        for motif in Motif::ALL {
+            for parts in [1usize, 3, 8] {
+                let mut idx = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+                let mut g2 = g.clone();
+                for &e in &adds {
+                    assert!(!g2.contains(e), "fixture add {e} must be a non-edge");
+                    g2.add_edge(e.u(), e.v());
+                    idx.insert_edge(&g2, e);
+                }
+                let rebuilt = PartitionedCoverageIndex::build(&g2, &targets, motif, parts);
+                assert_matches_rebuild(&idx, &rebuilt);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_returns_the_similarity_increase() {
+        let (g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 4);
+        let before = idx.total_similarity();
+        let e = non_edges(&g, &targets, 1)[0];
+        let mut g2 = g.clone();
+        g2.add_edge(e.u(), e.v());
+        let discovered = idx.insert_edge(&g2, e);
+        assert_eq!(idx.total_similarity(), before + discovered);
+        // Deleting the inserted edge undoes exactly its contribution.
+        assert_eq!(idx.delete_edge(e), discovered);
+        assert_eq!(idx.total_similarity(), before);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_matches_rebuild() {
+        let (g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 4);
+        let mut live = g.clone();
+        // Delete a committed protector, insert a new edge, delete another,
+        // then reinsert the first deleted edge. `add` is picked from the
+        // original graph's non-edges so it cannot collide with `kill1`
+        // (which becomes a non-edge of `live` after its deletion).
+        let add = non_edges(&g, &targets, 1)[0];
+        let kill1 = idx.alive_candidate_edges()[0];
+        idx.delete_edge(kill1);
+        live.remove_edge(kill1.u(), kill1.v());
+        live.add_edge(add.u(), add.v());
+        idx.insert_edge(&live, add);
+        let kill2 = *idx
+            .alive_candidate_edges()
+            .last()
+            .expect("candidates remain");
+        idx.delete_edge(kill2);
+        live.remove_edge(kill2.u(), kill2.v());
+        live.add_edge(kill1.u(), kill1.v());
+        idx.insert_edge(&live, kill1);
+        let rebuilt = PartitionedCoverageIndex::build(&live, &targets, Motif::Triangle, 4);
+        assert_matches_rebuild(&idx, &rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "post-insert graph")]
+    fn insert_rejects_absent_edges() {
+        let (g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 2);
+        let absent = non_edges(&g, &targets, 1)[0];
+        let _ = idx.insert_edge(&g, absent);
+    }
+
+    #[test]
+    #[should_panic(expected = "target edge")]
+    fn insert_rejects_target_edges() {
+        let (mut g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 2);
+        g.add_edge(0, 1);
+        let _ = idx.insert_edge(&g, Edge::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double insertion")]
+    fn insert_rejects_already_indexed_edges() {
+        let (g, targets) = fixture();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 2);
+        let present = idx.alive_candidate_edges()[0];
+        let _ = idx.insert_edge(&g, present);
+    }
+
+    #[test]
+    fn insert_records_update_stats() {
+        let (g, targets) = fixture();
+        let rec = tpp_obs::Recorder::enabled();
+        let mut idx = PartitionedCoverageIndex::build(&g, &targets, Motif::Triangle, 4);
+        idx.set_parallelism(Parallelism::with_recorder(1, rec.clone()));
+        let e = non_edges(&g, &targets, 1)[0];
+        let mut g2 = g.clone();
+        g2.add_edge(e.u(), e.v());
+        let discovered = idx.insert_edge(&g2, e);
+        let st = rec.stats().unwrap();
+        assert_eq!(st.update.inserts.get(), 1);
+        assert_eq!(st.update.instances_discovered.get(), discovered as u64);
+        assert_eq!(
+            st.update.postings_appended.get(),
+            (discovered * Motif::Triangle.edges_per_instance()) as u64
+        );
     }
 
     #[test]

@@ -234,6 +234,79 @@ proptest! {
         }
     }
 
+    /// Edge insertions — alone and interleaved with deletions — keep the
+    /// partitioned index consistent with a **fresh build** on the mutated
+    /// graph: totals, per-target similarities, the alive-candidate list,
+    /// and every gain, across shard counts {1, 2, 4} paired with commit
+    /// thread counts {1, 2, 4}. (Instance ids legitimately differ — a
+    /// re-discovered instance gets a fresh id — so equivalence is on
+    /// counts, candidates, and gains.)
+    #[test]
+    fn insert_then_query_matches_fresh_build(
+        (g, targets) in instance_strategy(),
+        order in 0usize..1000,
+    ) {
+        for motif in MOTIFS {
+            // Candidate insertions: non-edges that are not target links.
+            let n = g.node_count() as u32;
+            let mut non_edges = Vec::new();
+            'scan: for u in 0..n {
+                for v in (u + 1)..n {
+                    let e = Edge::new(u, v);
+                    if !g.contains(e) && !targets.contains(&e) {
+                        non_edges.push(e);
+                        if non_edges.len() == 3 { break 'scan; }
+                    }
+                }
+            }
+            let mut edges = g.edge_vec();
+            if edges.is_empty() || non_edges.is_empty() { continue; }
+            let rot = order % edges.len();
+            edges.rotate_left(rot);
+
+            for (parts, threads) in [(1usize, 1usize), (2, 2), (4, 4)] {
+                let mut idx = PartitionedCoverageIndex::build(&g, &targets, motif, parts);
+                idx.set_parallelism(tpp_exec::Parallelism::new(threads));
+                let mut live = g.clone();
+                // Interleave inserts (from the non-edge pool) with
+                // deletes (from the rotated edge permutation).
+                let mut ops = Vec::new();
+                for i in 0..non_edges.len().min(edges.len()) {
+                    ops.push((true, non_edges[i]));
+                    ops.push((false, edges[i]));
+                }
+                for (is_insert, e) in ops {
+                    if is_insert {
+                        live.add_edge(e.u(), e.v());
+                        idx.insert_edge(&live, e);
+                    } else {
+                        live.remove_edge(e.u(), e.v());
+                        idx.delete_edge(e);
+                    }
+                    let fresh =
+                        PartitionedCoverageIndex::build(&live, &targets, motif, parts);
+                    prop_assert_eq!(
+                        idx.total_similarity(), fresh.total_similarity(),
+                        "{} x{} t{} total diverged after {} of {}",
+                        motif, parts, threads,
+                        if is_insert { "insert" } else { "delete" }, e);
+                    prop_assert_eq!(idx.similarities(), fresh.similarities());
+                    prop_assert_eq!(
+                        idx.alive_candidate_edges(),
+                        fresh.alive_candidate_edges(),
+                        "{} x{} t{} candidates diverged after {}",
+                        motif, parts, threads, e);
+                    for p in fresh.alive_candidate_edges() {
+                        prop_assert_eq!(
+                            idx.gain(p), fresh.gain(p),
+                            "{} x{} t{} gain({}) stale", motif, parts, threads, p);
+                    }
+                    idx.check_invariants();
+                }
+            }
+        }
+    }
+
     /// Every enumerated instance has the right arity and all its edges
     /// really exist; and no instance contains a target link.
     #[test]

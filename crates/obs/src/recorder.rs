@@ -135,6 +135,28 @@ pub struct ServeStats {
     pub index_hits: Counter,
     /// Index requests that built fresh (and populated the registry).
     pub index_misses: Counter,
+    /// Graph registry entries evicted (LRU cap or idle TTL).
+    pub graph_evictions: Counter,
+    /// Index registry entries evicted (LRU cap or idle TTL).
+    pub index_evictions: Counter,
+}
+
+/// Incremental-update telemetry: edge insertions applied to a live
+/// coverage index and the memoized re-protection scan economy (how many
+/// candidate gains a `protect --incremental` run re-scored vs reused).
+#[derive(Debug, Default)]
+pub struct UpdateStats {
+    /// Edge insertions applied to a coverage index.
+    pub inserts: Counter,
+    /// Fresh motif instances discovered by localized enumeration around
+    /// inserted edges.
+    pub instances_discovered: Counter,
+    /// Posting-list appends ((instance, edge) pairs routed to shards).
+    pub postings_appended: Counter,
+    /// Candidate gains re-scored because the delta touched their gain set.
+    pub candidates_rescored: Counter,
+    /// Candidate gains reused from the prior plan without re-scoring.
+    pub candidates_memoized: Counter,
 }
 
 /// The full telemetry tree, one section per instrumented layer.
@@ -157,6 +179,8 @@ pub struct Stats {
     pub kernels: KernelStats,
     /// Resident-service section.
     pub serve: ServeStats,
+    /// Incremental-update section.
+    pub update: UpdateStats,
 }
 
 /// The shared instrumentation handle threaded through every layer.
@@ -251,8 +275,8 @@ fn section(out: &mut String, name: &str, fields: &[(&str, String)], last: bool) 
 impl Stats {
     /// Serializes the whole tree as one pretty-printed JSON document with
     /// top-level `round` / `index` / `exec` / `store` / `attack` /
-    /// `kernels` / `serve` sections, flat snake_case `_ns` keys — the same
-    /// shape the committed bench results use.
+    /// `kernels` / `serve` / `update` sections, flat snake_case `_ns`
+    /// keys — the same shape the committed bench results use.
     #[must_use]
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::from("{\n");
@@ -386,6 +410,38 @@ impl Stats {
                 ("graph_misses", self.serve.graph_misses.get().to_string()),
                 ("index_hits", self.serve.index_hits.get().to_string()),
                 ("index_misses", self.serve.index_misses.get().to_string()),
+                (
+                    "graph_evictions",
+                    self.serve.graph_evictions.get().to_string(),
+                ),
+                (
+                    "index_evictions",
+                    self.serve.index_evictions.get().to_string(),
+                ),
+            ],
+            false,
+        );
+        section(
+            &mut out,
+            "update",
+            &[
+                ("inserts", self.update.inserts.get().to_string()),
+                (
+                    "instances_discovered",
+                    self.update.instances_discovered.get().to_string(),
+                ),
+                (
+                    "postings_appended",
+                    self.update.postings_appended.get().to_string(),
+                ),
+                (
+                    "candidates_rescored",
+                    self.update.candidates_rescored.get().to_string(),
+                ),
+                (
+                    "candidates_memoized",
+                    self.update.candidates_memoized.get().to_string(),
+                ),
             ],
             true,
         );
@@ -441,6 +497,9 @@ mod tests {
             "\"items_stolen\":",
             "\"hub_probe\":",
             "\"index_hits\":",
+            "\"update\":",
+            "\"graph_evictions\":",
+            "\"candidates_memoized\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -1,0 +1,197 @@
+//! Benchmark: repairing a protection plan against a small graph delta
+//! (the `tpp protect --incremental` / `tpp serve update` fast path) vs
+//! re-running the greedy from scratch, on the `ba_50k` workload
+//! (Barabási–Albert, 50 000 nodes, rectangle motif, 2 500 hidden
+//! targets) with a ≤1% edge delta.
+//!
+//! * `from_scratch` — `sgb_greedy` on the mutated instance with the
+//!   scalable config: a full coverage-index build plus a full candidate
+//!   scan every round.
+//! * `incremental_repair` — the resident-service shape end to end:
+//!   clone the warm pre-delta index, patch it in place (`delete_edge`
+//!   per removal, `insert_edge` per addition — localized
+//!   through-enumeration, nothing re-enumerated), hand it to
+//!   `sgb_greedy_incremental` as an `IndexSeed`, and let the memoized
+//!   rounds re-score **only** the `delta_dirty_edges` candidates.
+//!
+//! Before anything is timed the bench asserts the repaired plan
+//! **bit-identical** to the from-scratch plan and enforces the PR-10
+//! contract ratios on a head-to-head measurement: ≥10× fewer candidate
+//! probes and ≥5× wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tpp_core::{
+    delta_dirty_edges, sgb_greedy, sgb_greedy_incremental, GreedyConfig, ObsConfig, TppInstance,
+};
+use tpp_graph::{Edge, FastSet, Graph};
+use tpp_motif::{Motif, PartitionedCoverageIndex};
+
+const MOTIF: Motif = Motif::Rectangle;
+const PARTS: usize = 16;
+const BUDGET: usize = 16;
+/// 200 removals + 200 additions ≈ 0.2% of the ~197k released edges.
+const DELTA_HALF: usize = 200;
+
+/// A ≤1% delta in the regime incremental repair targets: bulk churn that
+/// stays clear of the protected neighborhood. Removals are stride-sampled
+/// edges outside the Lemma-5 candidate pool (in no alive instance, so
+/// they dirty nothing); additions land between later low-degree nodes
+/// (BA hubs are the early ids), far from the targets' motif instances.
+fn pick_delta(
+    g: &Graph,
+    targets: &[Edge],
+    candidates: &FastSet<Edge>,
+    half: usize,
+) -> (Vec<Edge>, Vec<Edge>) {
+    let edges = g.edge_vec();
+    let mut removed = Vec::with_capacity(half);
+    let mut i = 0usize;
+    while removed.len() < half {
+        let e = edges[(i * 997 + 13) % edges.len()];
+        if !targets.contains(&e) && !candidates.contains(&e) && !removed.contains(&e) {
+            removed.push(e);
+        }
+        i += 1;
+    }
+    let n = g.node_count() as u32;
+    let mut added = Vec::with_capacity(half);
+    let mut j = 0u32;
+    while added.len() < half {
+        let u = n / 4 + (j * 9973 + 7) % (3 * n / 4);
+        let v = u + 1 + (j * 31) % 977;
+        j += 1;
+        if v >= n || g.degree(u) > 16 || g.degree(v) > 16 {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if !g.contains(e) && !targets.contains(&e) && !added.contains(&e) {
+            added.push(e);
+        }
+    }
+    (removed, added)
+}
+
+fn bench_incremental_protect(c: &mut Criterion) {
+    let (released, targets) = tpp_bench::fixtures::ba_50k_rectangle();
+    let mut original = released.clone();
+    for t in &targets {
+        original.add_edge(t.u(), t.v());
+    }
+    let base = TppInstance::new(original, targets.clone()).expect("base instance");
+
+    // The warm pre-delta index a resident service would hold; its alive
+    // candidate pool also steers the delta away from the instances.
+    let warm = PartitionedCoverageIndex::build(&released, &targets, MOTIF, PARTS);
+    let pool: FastSet<Edge> = warm.alive_candidate_edges().into_iter().collect();
+    let (removed, added) = pick_delta(&released, &targets, &pool, DELTA_HALF);
+    let mut mutated_released = released.clone();
+    for e in &removed {
+        mutated_released.remove_edge(e.u(), e.v());
+    }
+    for e in &added {
+        mutated_released.add_edge(e.u(), e.v());
+    }
+    let mut mutated_original = mutated_released.clone();
+    for t in &targets {
+        mutated_original.add_edge(t.u(), t.v());
+    }
+    let mutated = TppInstance::new(mutated_original, targets.clone()).expect("mutated instance");
+
+    let cfg = GreedyConfig::scalable(MOTIF);
+    let prior = sgb_greedy(&base, BUDGET, &cfg);
+    let dirty = delta_dirty_edges(
+        base.released(),
+        mutated.released(),
+        &targets,
+        MOTIF,
+        &removed,
+        &added,
+    );
+
+    // Insert-time graph progression (removals applied; additions join one
+    // at a time so instances spanning two new edges are found exactly
+    // once, at the later insert).
+    let mut work = released.clone();
+    for e in &removed {
+        work.remove_edge(e.u(), e.v());
+    }
+    let patch_and_repair = |work: &mut Graph, cfg: &GreedyConfig| {
+        let mut idx = warm.clone();
+        for &e in &removed {
+            idx.delete_edge(e);
+        }
+        for &e in &added {
+            work.add_edge(e.u(), e.v());
+            idx.insert_edge(&*work, e);
+        }
+        for &e in &added {
+            work.remove_edge(e.u(), e.v());
+        }
+        let seeded = cfg.clone().with_index_seed(Arc::new(idx));
+        sgb_greedy_incremental(&mutated, BUDGET, &prior.steps, &dirty, &seeded)
+    };
+
+    // Contract gate: bit-identity, ≥10× fewer probes, ≥5× wall-clock.
+    let scratch_obs = GreedyConfig {
+        obs: ObsConfig::enabled(),
+        ..cfg.clone()
+    };
+    let inc_obs = GreedyConfig {
+        obs: ObsConfig::enabled(),
+        ..cfg.clone()
+    };
+    let t0 = Instant::now();
+    let scratch = sgb_greedy(&mutated, BUDGET, &scratch_obs);
+    let scratch_ns = t0.elapsed().as_nanos();
+    let t1 = Instant::now();
+    let inc = patch_and_repair(&mut work, &inc_obs);
+    let inc_ns = t1.elapsed().as_nanos();
+    assert_eq!(scratch, inc, "repaired plan must be bit-identical");
+    let scratch_probes = scratch_obs
+        .obs
+        .recorder
+        .stats()
+        .expect("enabled recorder")
+        .round
+        .candidates_probed
+        .get();
+    let st = inc_obs.obs.recorder.stats().expect("enabled recorder");
+    let inc_probes = st.round.candidates_probed.get();
+    let (rescored, memoized) = (
+        st.update.candidates_rescored.get(),
+        st.update.candidates_memoized.get(),
+    );
+    println!(
+        "incremental_protect: delta -{}/+{} | dirty {} | probes {scratch_probes} -> \
+         {inc_probes} ({rescored} rescored, {memoized} memoized) | wall {:.1}ms -> {:.1}ms",
+        removed.len(),
+        added.len(),
+        dirty.len(),
+        scratch_ns as f64 / 1e6,
+        inc_ns as f64 / 1e6,
+    );
+    assert!(
+        scratch_probes >= 10 * inc_probes.max(1),
+        "expected >=10x fewer probes, got {scratch_probes} vs {inc_probes}"
+    );
+    assert!(
+        scratch_ns >= 5 * inc_ns.max(1),
+        "expected >=5x wall-clock, got {scratch_ns}ns vs {inc_ns}ns"
+    );
+
+    let mut group = c.benchmark_group("incremental_protect");
+    group.sample_size(10);
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| black_box(sgb_greedy(&mutated, BUDGET, &cfg)));
+    });
+    group.bench_function("incremental_repair", |b| {
+        b.iter(|| black_box(patch_and_repair(&mut work, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_protect);
+criterion_main!(benches);

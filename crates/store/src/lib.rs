@@ -62,6 +62,7 @@
 
 mod csr;
 mod delta;
+mod deltafile;
 mod error;
 pub mod format;
 pub mod mmap;
@@ -71,6 +72,7 @@ pub mod stream;
 
 pub use csr::{balanced_prefix_ranges, CsrGraph};
 pub use delta::DeltaView;
+pub use deltafile::{AppliedDelta, DeltaOp, GraphDelta};
 pub use error::StoreError;
 pub use format::VerifyMode;
 pub use shard::CsrShard;
